@@ -1,0 +1,498 @@
+// Benchmarks mapping to the paper's tables and figures (see DESIGN.md §4
+// for the experiment index). Each BenchmarkFigN exercises the code path
+// behind that figure with a small, fixed workload so `go test -bench=.`
+// stays fast; the full parameter sweeps with printed tables live in
+// cmd/micronn-bench.
+package micronn_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"micronn"
+	"micronn/internal/clustering"
+	"micronn/internal/ivf"
+	"micronn/internal/vec"
+	"micronn/internal/workload"
+)
+
+// benchScale keeps benchmark datasets small; the shapes (not absolute
+// numbers) are what map to the paper.
+const benchScale = 0.002
+
+// sharedDB lazily builds one SIFT-scaled database reused by the query-path
+// benchmarks.
+var (
+	sharedOnce sync.Once
+	sharedDB   *micronn.DB
+	sharedDS   *workload.Dataset
+	sharedErr  error
+)
+
+func sharedSetup(b *testing.B) (*micronn.DB, *workload.Dataset) {
+	b.Helper()
+	sharedOnce.Do(func() {
+		spec, err := workload.ByName("SIFT")
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		spec = spec.Scaled(benchScale)
+		sharedDS = spec.Generate()
+		dir, err := os.MkdirTemp("", "micronn-bench-*")
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		sharedDB, sharedErr = buildBenchDB(filepath.Join(dir, "shared.mnn"), sharedDS, micronn.Options{
+			Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+		})
+	})
+	if sharedErr != nil {
+		b.Fatal(sharedErr)
+	}
+	return sharedDB, sharedDS
+}
+
+func buildBenchDB(path string, ds *workload.Dataset, opts micronn.Options) (*micronn.DB, error) {
+	db, err := micronn.Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]micronn.Item, 0, 2000)
+	for i := 0; i < ds.Train.Rows; i++ {
+		items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+		if len(items) == cap(items) || i == ds.Train.Rows-1 {
+			if err := db.UpsertBatch(items); err != nil {
+				db.Close()
+				return nil, err
+			}
+			items = items[:0]
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// --- Figure 4: query latency (InMemory / WarmCache / ColdStart) ---
+
+func BenchmarkFig4WarmCacheSearch(b *testing.B) {
+	db, ds := sharedSetup(b)
+	// Warm the caches.
+	for i := 0; i < 8; i++ {
+		if _, err := db.Search(micronn.SearchRequest{Vector: ds.Queries.Row(i), K: 100, NProbe: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		if _, err := db.Search(micronn.SearchRequest{Vector: q, K: 100, NProbe: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4ColdStartSearch(b *testing.B) {
+	db, ds := sharedSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db.DropCaches()
+		b.StartTimer()
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		if _, err := db.Search(micronn.SearchRequest{Vector: q, K: 100, NProbe: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4InMemorySearch(b *testing.B) {
+	_, ds := sharedSetup(b)
+	assets := make([]string, ds.Train.Rows)
+	for i := range assets {
+		assets[i] = workload.AssetID(i)
+	}
+	mem, err := ivf.BuildMemIndex(ivf.MemIndexConfig{
+		Metric: ds.Spec.Metric, TargetPartitionSize: 100, Seed: 1,
+	}, ds.Train, assets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		if _, err := mem.Search(q, 100, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: index construction ---
+
+func BenchmarkFig6ConstructionMicroNN(b *testing.B) {
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := buildBenchDB(filepath.Join(dir, fmt.Sprintf("c%d.mnn", i)), ds, micronn.Options{
+			Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+func BenchmarkFig6ConstructionInMemory(b *testing.B) {
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	assets := make([]string, ds.Train.Rows)
+	for i := range assets {
+		assets[i] = workload.AssetID(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ivf.BuildMemIndex(ivf.MemIndexConfig{
+			Metric: spec.Metric, TargetPartitionSize: 100, Seed: int64(i),
+		}, ds.Train, assets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: hybrid plans ---
+
+var (
+	hybridOnce sync.Once
+	hybridDB   *micronn.DB
+	hybridFD   *workload.FilteredDataset
+	hybridErr  error
+)
+
+func hybridSetup(b *testing.B) (*micronn.DB, *workload.FilteredDataset) {
+	b.Helper()
+	hybridOnce.Do(func() {
+		fd := workload.GenerateFiltered(workload.FilteredSpec{
+			Dim: 32, NumVectors: 8000, NumQueries: 50, Seed: 9,
+		})
+		hybridFD = fd
+		dir, err := os.MkdirTemp("", "micronn-hybrid-*")
+		if err != nil {
+			hybridErr = err
+			return
+		}
+		db, err := micronn.Open(filepath.Join(dir, "h.mnn"), micronn.Options{
+			Dim: fd.Spec.Dim, Metric: micronn.Cosine, TargetPartitionSize: 100, Seed: 9,
+			Attributes: []micronn.AttributeDef{{Name: "tags", Type: micronn.AttrText, FullText: true}},
+		})
+		if err != nil {
+			hybridErr = err
+			return
+		}
+		items := make([]micronn.Item, 0, 1000)
+		for i := 0; i < fd.Train.Rows; i++ {
+			items = append(items, micronn.Item{
+				ID: workload.AssetID(i), Vector: fd.Train.Row(i),
+				Attributes: map[string]any{"tags": fd.Tags[i]},
+			})
+			if len(items) == cap(items) || i == fd.Train.Rows-1 {
+				if err := db.UpsertBatch(items); err != nil {
+					hybridErr = err
+					return
+				}
+				items = items[:0]
+			}
+		}
+		if _, err := db.Rebuild(); err != nil {
+			hybridErr = err
+			return
+		}
+		hybridDB = db
+	})
+	if hybridErr != nil {
+		b.Fatal(hybridErr)
+	}
+	return hybridDB, hybridFD
+}
+
+func benchHybridPlan(b *testing.B, plan micronn.PlanType) {
+	db, fd := hybridSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := i % fd.Queries.Rows
+		_, err := db.Search(micronn.SearchRequest{
+			Vector: fd.Queries.Row(qi), K: 100, NProbe: 8,
+			Filters: []micronn.Filter{micronn.Match("tags", fd.QueryTags[qi])},
+			Plan:    plan,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7PreFilter(b *testing.B)  { benchHybridPlan(b, micronn.PlanPreFilter) }
+func BenchmarkFig7PostFilter(b *testing.B) { benchHybridPlan(b, micronn.PlanPostFilter) }
+func BenchmarkFig7Optimizer(b *testing.B)  { benchHybridPlan(b, micronn.PlanAuto) }
+
+// --- Figure 8: mini-batch k-means trainer ---
+
+func benchMiniBatch(b *testing.B, batchFrac float64) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	batch := int(float64(ds.Train.Rows) * batchFrac)
+	if batch < 8 {
+		batch = 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := clustering.MiniBatchKMeans(clustering.Config{
+			TargetClusterSize: 100, BatchSize: batch, Metric: spec.Metric, Seed: int64(i),
+		}, clustering.MatrixSource{M: ds.Train})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8MiniBatch1pct(b *testing.B)   { benchMiniBatch(b, 0.01) }
+func BenchmarkFig8MiniBatch100pct(b *testing.B) { benchMiniBatch(b, 1.0) }
+
+// --- Figure 9: batch search (MQO) ---
+
+func benchBatchSearch(b *testing.B, batchSize int) {
+	db, ds := sharedSetup(b)
+	vecs := make([][]float32, batchSize)
+	for i := range vecs {
+		vecs[i] = ds.Queries.Row(i % ds.Queries.Rows)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.BatchSearch(micronn.BatchSearchRequest{Vectors: vecs, K: 100, NProbe: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchSize)/1e6, "ms/query")
+}
+
+func BenchmarkFig9Batch1(b *testing.B)   { benchBatchSearch(b, 1) }
+func BenchmarkFig9Batch64(b *testing.B)  { benchBatchSearch(b, 64) }
+func BenchmarkFig9Batch512(b *testing.B) { benchBatchSearch(b, 512) }
+
+// --- Figure 10: maintenance ---
+
+func BenchmarkFig10FullRebuild(b *testing.B) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	db, err := buildBenchDB(filepath.Join(b.TempDir(), "f10.mnn"), ds, micronn.Options{
+		Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10IncrementalFlush(b *testing.B) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	db, err := buildBenchDB(filepath.Join(b.TempDir(), "f10i.mnn"), ds, micronn.Options{
+		Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	// Per iteration: insert a 3% epoch then flush it incrementally.
+	epoch := ds.Train.Rows * 3 / 100
+	if epoch < 1 {
+		epoch = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		items := make([]micronn.Item, epoch)
+		for j := range items {
+			items[j] = micronn.Item{ID: fmt.Sprintf("new-%d-%d", i, j), Vector: ds.Train.Row(j)}
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := db.FlushDelta(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationClusteredScan(b *testing.B) {
+	db, _ := sharedSetup(b)
+	ix := db.InternalIndex()
+	store := db.InternalStore()
+	rt, err := store.BeginRead()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	parts, err := ix.PartitionIDs(rt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		part := parts[i%len(parts)]
+		err := ix.ScanPartition(rt, part, func(vid int64, blob []byte) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n == 0 {
+		b.Fatal("scanned nothing")
+	}
+}
+
+func BenchmarkAblationRandomLookups(b *testing.B) {
+	db, ds := sharedSetup(b)
+	ix := db.InternalIndex()
+	store := db.InternalStore()
+	rt, err := store.BeginRead()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	// One benchmark op = fetching as many vectors as one partition scan
+	// touches (~TargetPartitionSize), but by random vid.
+	per := 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < per; j++ {
+			vid := int64((i*per + j) % ds.Train.Rows)
+			if _, err := ix.FetchVector(rt, vid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationBalancePenalty(b *testing.B) {
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	for _, penalty := range []float32{1e-9, 0.12} {
+		b.Run(fmt.Sprintf("penalty=%g", penalty), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := clustering.MiniBatchKMeans(clustering.Config{
+					TargetClusterSize: 100, BalancePenalty: penalty,
+					Metric: spec.Metric, Seed: int64(i),
+				}, clustering.MatrixSource{M: ds.Train})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Report partition-size stddev as the quality metric.
+				counts := make([]int, res.Centroids.Rows)
+				scratch := make([]float32, res.Centroids.Rows)
+				for v := 0; v < ds.Train.Rows; v++ {
+					counts[clustering.Assign(spec.Metric, res.Centroids, ds.Train.Row(v), scratch)]++
+				}
+				mean := float64(ds.Train.Rows) / float64(len(counts))
+				var varSum float64
+				for _, c := range counts {
+					d := float64(c) - mean
+					varSum += d * d
+				}
+				b.ReportMetric(varSum/float64(len(counts)), "size-variance")
+			}
+		})
+	}
+}
+
+// --- Core operation benchmarks ---
+
+func BenchmarkUpsert(b *testing.B) {
+	spec, _ := workload.ByName("SIFT")
+	dim := spec.Dim
+	db, err := micronn.Open(filepath.Join(b.TempDir(), "up.mnn"), micronn.Options{Dim: dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	v := make([]float32, dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v[0] = float32(i)
+		if err := db.Upsert(micronn.Item{ID: fmt.Sprintf("u%d", i), Vector: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactKNN(b *testing.B) {
+	db, ds := sharedSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		if _, err := db.Search(micronn.SearchRequest{Vector: q, K: 100, Exact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceKernelBaseline(b *testing.B) {
+	// Raw kernel throughput for context: one partition's worth of
+	// 128-dim distance computations.
+	data := vec.NewMatrix(100, 128)
+	q := make([]float32, 128)
+	out := make([]float32, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.DistancesOneToMany(vec.L2, q, data, nil, out)
+	}
+}

@@ -1,0 +1,66 @@
+// Command micronn-bench regenerates the tables and figures of the MicroNN
+// paper's evaluation on synthetic workloads.
+//
+// Usage:
+//
+//	micronn-bench -exp fig4              # one experiment
+//	micronn-bench -exp all -scale 0.02   # everything, 2% of paper scale
+//	micronn-bench -list                  # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"micronn/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		scale    = flag.Float64("scale", 0.01, "dataset scale relative to the paper (1.0 = full)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: representative set)")
+		k        = flag.Int("k", 100, "result list size (paper reports top-100)")
+		recall   = flag.Float64("recall", 0.9, "target recall for nprobe selection")
+		queries  = flag.Int("queries", 50, "timed queries per configuration")
+		dir      = flag.String("dir", "", "scratch directory for database files (default: temp)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-20s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Out:          os.Stdout,
+		Scale:        *scale,
+		K:            *k,
+		TargetRecall: *recall,
+		QuerySample:  *queries,
+		Dir:          *dir,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(cfg)
+	} else {
+		var e bench.Experiment
+		e, err = bench.Lookup(*exp)
+		if err == nil {
+			err = e.Run(cfg)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "micronn-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,262 @@
+// Command micronn is a small CLI for inspecting and exercising MicroNN
+// databases: create an index, load random or CSV vectors, search, and show
+// stats. It is a demonstration tool; the library API (package micronn) is
+// the product.
+//
+// Usage:
+//
+//	micronn -db photos.mnn create -dim 128 -metric L2
+//	micronn -db photos.mnn load -n 10000
+//	micronn -db photos.mnn rebuild
+//	micronn -db photos.mnn search -id v00000042 -k 10
+//	micronn -db photos.mnn stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"micronn"
+	"micronn/internal/workload"
+)
+
+func main() {
+	db := flag.String("db", "micronn.mnn", "database path")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "create":
+		err = cmdCreate(*db, rest)
+	case "load":
+		err = cmdLoad(*db, rest)
+	case "rebuild":
+		err = cmdRebuild(*db)
+	case "flush":
+		err = cmdFlush(*db)
+	case "search":
+		err = cmdSearch(*db, rest)
+	case "stats":
+		err = cmdStats(*db)
+	case "delete":
+		err = cmdDelete(*db, rest)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "micronn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: micronn -db <path> <command> [flags]
+
+commands:
+  create  -dim N [-metric L2|cosine|dot] [-partition-size N]
+  load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
+  rebuild                           full index rebuild
+  flush                             incremental delta flush
+  search  -id <asset> | -vec "f,f,..."  [-k N] [-nprobe N] [-exact]
+  delete  -id <asset>
+  stats`)
+}
+
+func cmdCreate(path string, args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	dim := fs.Int("dim", 0, "vector dimensionality (required)")
+	metric := fs.String("metric", "L2", "distance metric: L2, cosine, dot")
+	partSize := fs.Int("partition-size", 100, "target IVF partition size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dim <= 0 {
+		return fmt.Errorf("create: -dim is required")
+	}
+	var m micronn.Metric
+	switch strings.ToLower(*metric) {
+	case "l2":
+		m = micronn.L2
+	case "cosine":
+		m = micronn.Cosine
+	case "dot":
+		m = micronn.Dot
+	default:
+		return fmt.Errorf("create: unknown metric %q", *metric)
+	}
+	d, err := micronn.Open(path, micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("created %s (dim=%d, metric=%s)\n", path, *dim, *metric)
+	return nil
+}
+
+func cmdLoad(path string, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	n := fs.Int("n", 10000, "number of random vectors")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := micronn.Open(path, micronn.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	dim := d.Dim()
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	const chunk = 1000
+	items := make([]micronn.Item, 0, chunk)
+	for i := 0; i < *n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: v})
+		if len(items) == chunk || i == *n-1 {
+			if err := d.UpsertBatch(items); err != nil {
+				return err
+			}
+			items = items[:0]
+		}
+	}
+	fmt.Printf("loaded %d vectors in %v\n", *n, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdRebuild(path string) error {
+	d, err := micronn.Open(path, micronn.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	rep, err := d.Rebuild()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rebuilt: %d partitions, %d vectors assigned, %d row changes, %v\n",
+		rep.Partitions, rep.VectorsAssigned, rep.RowChanges, rep.Duration.Round(time.Millisecond))
+	return nil
+}
+
+func cmdFlush(path string) error {
+	d, err := micronn.Open(path, micronn.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	rep, err := d.FlushDelta()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flushed: %d vectors assigned, %d row changes, %v\n",
+		rep.VectorsAssigned, rep.RowChanges, rep.Duration.Round(time.Millisecond))
+	return nil
+}
+
+func cmdSearch(path string, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	id := fs.String("id", "", "search near the vector of this asset id")
+	vecStr := fs.String("vec", "", "comma-separated query vector")
+	k := fs.Int("k", 10, "result count")
+	nprobe := fs.Int("nprobe", 8, "partitions to scan")
+	exact := fs.Bool("exact", false, "exhaustive KNN")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := micronn.Open(path, micronn.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	var q []float32
+	switch {
+	case *id != "":
+		item, err := d.Get(*id)
+		if err != nil {
+			return err
+		}
+		q = item.Vector
+	case *vecStr != "":
+		for _, f := range strings.Split(*vecStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+			if err != nil {
+				return fmt.Errorf("search: bad vector component %q", f)
+			}
+			q = append(q, float32(v))
+		}
+	default:
+		return fmt.Errorf("search: -id or -vec required")
+	}
+
+	start := time.Now()
+	resp, err := d.Search(micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for i, r := range resp.Results {
+		fmt.Printf("%2d. %-16s %.6f\n", i+1, r.ID, r.Distance)
+	}
+	fmt.Printf("(%d results in %v, %d partitions, %d vectors scanned)\n",
+		len(resp.Results), elapsed.Round(time.Microsecond),
+		resp.Plan.PartitionsScanned, resp.Plan.VectorsScanned)
+	return nil
+}
+
+func cmdDelete(path string, args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	id := fs.String("id", "", "asset id to delete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("delete: -id required")
+	}
+	d, err := micronn.Open(path, micronn.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Delete(*id); err != nil {
+		return err
+	}
+	fmt.Printf("deleted %s\n", *id)
+	return nil
+}
+
+func cmdStats(path string) error {
+	d, err := micronn.Open(path, micronn.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	st, err := d.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vectors:          %d\n", st.NumVectors)
+	fmt.Printf("delta-store:      %d\n", st.DeltaCount)
+	fmt.Printf("partitions:       %d (avg size %.1f)\n", st.NumPartitions, st.AvgPartitionSize)
+	fmt.Printf("needs rebuild:    %v\n", st.NeedsRebuild)
+	fmt.Printf("page cache:       %.1f / %.1f MiB (hits %d, misses %d)\n",
+		float64(st.CacheBytes)/(1<<20), float64(st.CacheBudget)/(1<<20), st.CacheHits, st.CacheMisses)
+	fmt.Printf("file size:        %.1f MiB (WAL %.1f MiB)\n",
+		float64(st.FileBytes)/(1<<20), float64(st.WALBytes)/(1<<20))
+	return nil
+}

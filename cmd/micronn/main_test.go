@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIWorkflow(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "cli.mnn")
+
+	if err := cmdCreate(db, []string{"-dim", "16", "-metric", "L2", "-partition-size", "50"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := cmdLoad(db, []string{"-n", "500", "-seed", "7"}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := cmdRebuild(db); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := cmdSearch(db, []string{"-id", "v00000042", "-k", "5"}); err != nil {
+		t.Fatalf("search by id: %v", err)
+	}
+	if err := cmdSearch(db, []string{"-vec", "1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0", "-k", "3", "-exact"}); err != nil {
+		t.Fatalf("search by vector: %v", err)
+	}
+	if err := cmdStats(db); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdDelete(db, []string{"-id", "v00000042"}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := cmdDelete(db, []string{"-id", "v00000042"}); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	if err := cmdFlush(db); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func TestCLIValidation(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "v.mnn")
+	if err := cmdCreate(db, nil); err == nil {
+		t.Error("create without -dim should fail")
+	}
+	if err := cmdCreate(db, []string{"-dim", "4", "-metric", "bogus"}); err == nil {
+		t.Error("create with bad metric should fail")
+	}
+	if err := cmdCreate(db, []string{"-dim", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSearch(db, []string{"-k", "3"}); err == nil {
+		t.Error("search without -id/-vec should fail")
+	}
+	if err := cmdSearch(db, []string{"-vec", "1,oops", "-k", "3"}); err == nil {
+		t.Error("search with bad vector should fail")
+	}
+	if err := cmdDelete(db, nil); err == nil {
+		t.Error("delete without -id should fail")
+	}
+}

@@ -1,0 +1,203 @@
+// Photo-search reproduces the paper's Example 1 (interactive semantic
+// search): a photo library with CLIP-style embeddings and structured
+// attributes, hybrid queries combining similarity with location and date
+// filters, and live inserts/deletes that are visible immediately through
+// the delta-store.
+//
+//	go run ./examples/photo-search
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"micronn"
+)
+
+const (
+	dim       = 128
+	numPhotos = 20000
+)
+
+// locations with a skewed distribution: the user lives in Seattle, visited
+// New York once (the paper's selectivity running example).
+var locations = []struct {
+	name   string
+	weight int
+}{
+	{"Seattle", 90},
+	{"Portland", 6},
+	{"NewYork", 1},
+	{"Tokyo", 3},
+}
+
+func pickLocation(rng *rand.Rand) string {
+	r := rng.Intn(100)
+	acc := 0
+	for _, l := range locations {
+		acc += l.weight
+		if r < acc {
+			return l.name
+		}
+	}
+	return locations[0].name
+}
+
+// embed produces a synthetic "CLIP embedding": photos of the same scene
+// type cluster together.
+func embed(rng *rand.Rand, scene int) []float32 {
+	v := make([]float32, dim)
+	sceneRng := rand.New(rand.NewSource(int64(scene)))
+	for j := range v {
+		v[j] = float32(sceneRng.NormFloat64()*4 + rng.NormFloat64())
+	}
+	return v
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "micronn-photos-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := micronn.Open(filepath.Join(dir, "photos.mnn"), micronn.Options{
+		Dim:    dim,
+		Metric: micronn.Cosine,
+		Device: micronn.DeviceSmall, // a phone-like memory budget
+		Attributes: []micronn.AttributeDef{
+			{Name: "location", Type: micronn.AttrText, Indexed: true},
+			{Name: "taken_at", Type: micronn.AttrInt, Indexed: true},
+			{Name: "caption", Type: micronn.AttrText, FullText: true},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Import the photo library.
+	rng := rand.New(rand.NewSource(7))
+	base := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	captions := []string{"black cat playing with yarn", "sunset over the water",
+		"birthday cake with candles", "mountain hiking trail", "coffee on the desk"}
+	items := make([]micronn.Item, 0, numPhotos)
+	for i := 0; i < numPhotos; i++ {
+		scene := rng.Intn(len(captions))
+		items = append(items, micronn.Item{
+			ID:     fmt.Sprintf("IMG_%05d", i),
+			Vector: embed(rng, scene),
+			Attributes: map[string]any{
+				"location": pickLocation(rng),
+				"taken_at": base + int64(i)*3600,
+				"caption":  captions[scene],
+			},
+		})
+	}
+	start := time.Now()
+	for lo := 0; lo < len(items); lo += 2000 {
+		hi := lo + 2000
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := db.UpsertBatch(items[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d photos and built the index in %v\n\n",
+		numPhotos, time.Since(start).Round(time.Millisecond))
+
+	query := items[41].Vector // "photos like this one"
+
+	// 1. Plain semantic search.
+	run := func(label string, req micronn.SearchRequest) {
+		start := time.Now()
+		resp, err := db.Search(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%v, plan=%v):\n", label, time.Since(start).Round(time.Microsecond), resp.Plan.Plan)
+		for i, r := range resp.Results {
+			if i == 3 {
+				fmt.Printf("   ... %d more\n", len(resp.Results)-3)
+				break
+			}
+			item, err := db.Get(r.ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   %-10s %-9s %q\n", r.ID, item.Attributes["location"], item.Attributes["caption"])
+		}
+		fmt.Println()
+	}
+
+	run("similar photos", micronn.SearchRequest{Vector: query, K: 10, NProbe: 8})
+
+	// 2. Hybrid: the paper's "high selectivity" case — the one trip to
+	// New York. The optimizer picks the pre-filter plan (100% recall).
+	run("similar photos taken in NewYork", micronn.SearchRequest{
+		Vector: query, K: 10, NProbe: 8,
+		Filters: []micronn.Filter{micronn.Eq("location", "NewYork")},
+	})
+
+	// 3. Hybrid: "low selectivity" — most photos are from Seattle, so the
+	// optimizer post-filters during the IVF scan.
+	run("similar photos taken in Seattle", micronn.SearchRequest{
+		Vector: query, K: 10, NProbe: 8,
+		Filters: []micronn.Filter{micronn.Eq("location", "Seattle")},
+	})
+
+	// 4. Hybrid with a date range and full-text match.
+	weekAgo := base + int64(numPhotos-168)*3600
+	run("recent photos matching 'cat yarn'", micronn.SearchRequest{
+		Vector: query, K: 10, NProbe: 8,
+		Filters: []micronn.Filter{
+			micronn.Match("caption", "cat yarn"),
+			micronn.Gt("taken_at", weekAgo),
+		},
+	})
+
+	// 5. Live updates: a new photo appears in results immediately (it
+	// sits in the delta-store, which every query scans), and a deleted
+	// photo disappears immediately.
+	newPhoto := micronn.Item{
+		ID:     "IMG_NEW",
+		Vector: query, // identical embedding: must rank first
+		Attributes: map[string]any{
+			"location": "Seattle", "taken_at": base, "caption": "new photo",
+		},
+	}
+	if err := db.Upsert(newPhoto); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := db.Search(micronn.SearchRequest{Vector: query, K: 1, NProbe: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after insert, top hit: %s (live, unindexed)\n", resp.Results[0].ID)
+
+	if err := db.Delete("IMG_NEW"); err != nil {
+		log.Fatal(err)
+	}
+	resp, err = db.Search(micronn.SearchRequest{Vector: query, K: 1, NProbe: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after delete, top hit: %s\n\n", resp.Results[0].ID)
+
+	// 6. Background maintenance folds the delta-store into the index.
+	rep, err := db.Maintain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := db.Stats()
+	fmt.Printf("maintenance: %s; %d vectors, %d partitions, cache %.1f MiB\n",
+		rep.Action, st.NumVectors, st.NumPartitions, float64(st.CacheBytes)/(1<<20))
+}

@@ -1,0 +1,75 @@
+// Quickstart: create a MicroNN database, insert a handful of vectors,
+// build the IVF index and run a search.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"micronn"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "micronn-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open (and create) a database for 64-dimensional vectors.
+	db, err := micronn.Open(filepath.Join(dir, "quickstart.mnn"), micronn.Options{
+		Dim:    64,
+		Metric: micronn.L2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Insert 5000 random vectors. In a real application these are
+	// embeddings produced by a model.
+	rng := rand.New(rand.NewSource(42))
+	items := make([]micronn.Item, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		items = append(items, micronn.Item{ID: fmt.Sprintf("doc-%04d", i), Vector: v})
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the IVF index (until then, queries scan the delta-store and
+	// are still exact — just slower at scale).
+	rep, err := db.Rebuild()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built index: %d partitions in %v\n", rep.Partitions, rep.Duration.Round(1e6))
+
+	// Search: the query is one of the stored vectors, so it must come
+	// back as its own nearest neighbour.
+	query := items[1234].Vector
+	resp, err := db.Search(micronn.SearchRequest{Vector: query, K: 5, NProbe: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 neighbours of doc-1234:")
+	for i, r := range resp.Results {
+		fmt.Printf("  %d. %-10s distance %.4f\n", i+1, r.ID, r.Distance)
+	}
+
+	st, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d vectors, %d partitions, cache %.1f MiB\n",
+		st.NumVectors, st.NumPartitions, float64(st.CacheBytes)/(1<<20))
+}

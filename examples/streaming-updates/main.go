@@ -1,0 +1,138 @@
+// Streaming-updates demonstrates MicroNN's update path (paper §3.6): a
+// vector collection that grows continuously while staying searchable. New
+// vectors land in the delta-store and are visible immediately; the index
+// monitor flushes the delta incrementally and schedules a full rebuild when
+// partitions grow past the threshold. The example tracks recall against
+// exact search throughout.
+//
+//	go run ./examples/streaming-updates
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+)
+
+import "micronn"
+
+const (
+	dim       = 64
+	bootstrap = 8000
+	epochs    = 12
+	perEpoch  = 600
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "micronn-streaming-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := micronn.Open(filepath.Join(dir, "stream.mnn"), micronn.Options{
+		Dim:                    dim,
+		TargetPartitionSize:    100,
+		RebuildGrowthThreshold: 0.5, // full rebuild at +50% average partition size
+		FlushThreshold:         200, // flush the delta once it holds 200 vectors
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Embedding-like data: a Gaussian mixture (real embedding spaces are
+	// clustered; isotropic noise would make any IVF index look bad).
+	rng := rand.New(rand.NewSource(11))
+	const centers = 30
+	centerVecs := make([][]float32, centers)
+	for c := range centerVecs {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64() * 8)
+		}
+		centerVecs[c] = v
+	}
+	var all [][]float32
+	newVec := func() []float32 {
+		c := centerVecs[rng.Intn(centers)]
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64())
+		}
+		all = append(all, v)
+		return v
+	}
+	insert := func(n int) {
+		items := make([]micronn.Item, n)
+		for i := range items {
+			items[i] = micronn.Item{ID: fmt.Sprintf("v%06d", len(all)), Vector: newVec()}
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// recallAt measures recall@10 of ANN search against exact search.
+	recallAt := func(nprobe int) float64 {
+		const samples = 20
+		var total float64
+		for s := 0; s < samples; s++ {
+			q := all[rng.Intn(len(all))]
+			exact, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, Exact: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			approx, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: nprobe})
+			if err != nil {
+				log.Fatal(err)
+			}
+			want := map[string]bool{}
+			for _, r := range exact.Results {
+				want[r.ID] = true
+			}
+			hits := 0
+			for _, r := range approx.Results {
+				if want[r.ID] {
+					hits++
+				}
+			}
+			total += float64(hits) / float64(len(exact.Results))
+		}
+		return total / samples
+	}
+
+	insert(bootstrap)
+	if _, err := db.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped with %d vectors\n\n", bootstrap)
+	fmt.Println("epoch  vectors  delta  action   rowChanges  recall@10")
+
+	for epoch := 1; epoch <= epochs; epoch++ {
+		insert(perEpoch)
+		st, err := db.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		deltaBefore := st.DeltaCount
+
+		// The index monitor decides: nothing, incremental flush, or a
+		// full rebuild once the growth threshold trips.
+		rep, err := db.Maintain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %7d  %5d  %-7s  %10d  %.3f\n",
+			epoch, st.NumVectors, deltaBefore, rep.Action, rep.RowChanges, recallAt(8))
+	}
+
+	st, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal: %d vectors in %d partitions (avg %.1f), needs rebuild: %v\n",
+		st.NumVectors, st.NumPartitions, st.AvgPartitionSize, st.NeedsRebuild)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"micronn"
+	"micronn/internal/storage"
+	"micronn/internal/workload"
+)
+
+// AblationClustering quantifies the clustered-layout design decision
+// (paper §3.2: "a clustered index ensures that the rows of the vector
+// table are clustered on disk, giving data locality to vectors in the same
+// partition"). It reads the same set of vectors two ways with cold caches:
+// as contiguous partition range scans (MicroNN's layout) and as random
+// point lookups by vector id (what an unclustered heap layout would
+// require), reporting the throughput difference.
+func AblationClustering(cfg Config) error {
+	cfg.fill()
+	cfg.header("Ablation: clustered partition scans vs unclustered point lookups (SIFT)")
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		return err
+	}
+	p := cfg.prepare(spec)
+	db, err := cfg.buildDB(p, micronn.DeviceSmall, "ablation-clustering")
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ix := db.InternalIndex()
+	store := db.InternalStore()
+
+	var rt *storage.ReadTxn
+	newSnapshot := func() error {
+		if rt != nil {
+			rt.Close()
+		}
+		var err error
+		rt, err = store.BeginRead()
+		return err
+	}
+	if err := newSnapshot(); err != nil {
+		return err
+	}
+	defer func() { rt.Close() }()
+
+	parts, err := ix.PartitionIDs(rt)
+	if err != nil {
+		return err
+	}
+	scanParts := len(parts)
+	if scanParts > 32 {
+		scanParts = 32
+	}
+
+	// Clustered: contiguous range scans, cold cache.
+	db.DropCaches()
+	var vids []int64
+	start := time.Now()
+	for _, part := range parts[:scanParts] {
+		err := ix.ScanPartition(rt, part, func(vid int64, blob []byte) error {
+			vids = append(vids, vid)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	clustered := time.Since(start)
+
+	// Unclustered: the same rows via random point lookups, cold cache.
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(vids), func(i, j int) { vids[i], vids[j] = vids[j], vids[i] })
+	db.DropCaches()
+	start = time.Now()
+	for _, vid := range vids {
+		if _, err := ix.FetchVector(rt, vid); err != nil {
+			return err
+		}
+	}
+	random := time.Since(start)
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Access pattern\tVectors\tTime ms\tus/vector")
+	fmt.Fprintf(tw, "Clustered range scan\t%d\t%s\t%.2f\n",
+		len(vids), ms(clustered), float64(clustered.Microseconds())/float64(len(vids)))
+	fmt.Fprintf(tw, "Random point lookups\t%d\t%s\t%.2f\n",
+		len(vids), ms(random), float64(random.Microseconds())/float64(len(vids)))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nSlowdown without clustering: %.1fx\n", float64(random)/float64(clustered))
+	return nil
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"micronn"
+	"micronn/internal/clustering"
+	"micronn/internal/ivf"
+	"micronn/internal/memtrack"
+	"micronn/internal/workload"
+)
+
+// Construction reproduces Figure 6: index construction time (a) and memory
+// usage during construction (b), comparing the InMemory approach (all
+// vectors buffered, full-batch k-means) against MicroNN (disk-resident
+// mini-batch training). The decisive contrast is the buffered working set:
+// InMemory must hold every vector, MicroNN only a mini-batch plus its page
+// cache — the "buffered" columns make the asymptotics visible at any
+// scale, the "peak" columns report GC-accurate live heap.
+func Construction(cfg Config) error {
+	cfg.fill()
+	cfg.header("Figure 6: index construction time and memory")
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Dataset\tVectors\tInMemory s\tMicroNN s\tInMemory buffered MiB\tMicroNN buffered MiB\tInMemory peak MiB\tMicroNN peak MiB")
+	for _, name := range cfg.Datasets {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		spec = spec.Scaled(cfg.Scale)
+		ds := spec.Generate()
+
+		// InMemory: buffer everything, full k-means.
+		assets := make([]string, ds.Train.Rows)
+		for i := range assets {
+			assets[i] = workload.AssetID(i)
+		}
+		startMem := time.Now()
+		memIdx, err := ivf.BuildMemIndex(ivf.MemIndexConfig{
+			Metric: spec.Metric, TargetPartitionSize: 100, Seed: spec.Seed,
+		}, ds.Train, assets)
+		if err != nil {
+			return err
+		}
+		memTime := time.Since(startMem)
+		memBuffered := memIdx.MemoryBytes() // the retained index incl. all vectors
+
+		// MicroNN: stream into the DB, then disk-resident mini-batch
+		// rebuild under a scaled cache budget.
+		p := &prepared{ds: ds}
+		device := micronn.DeviceProfile{CacheBytes: scaleCache(micronn.DeviceSmall.CacheBytes, cfg.Scale), Workers: 2}
+		db, err := openEmptyDB(cfg, p, device, "fig6-"+name)
+		if err != nil {
+			return err
+		}
+		if err := loadVectors(db, ds); err != nil {
+			db.Close()
+			return err
+		}
+		// Timing run (no GC interference).
+		startDisk := time.Now()
+		if _, err := db.Rebuild(); err != nil {
+			db.Close()
+			return err
+		}
+		diskTime := time.Since(startDisk)
+		// Memory run: rebuild again under the GC-forcing sampler.
+		samplerDisk := memtrack.StartGC(25 * time.Millisecond)
+		if _, err := db.Rebuild(); err != nil {
+			db.Close()
+			return err
+		}
+		diskPeak := samplerDisk.Stop() + device.CacheBytes
+
+		batch := 1024 // mini-batch default
+		if batch > ds.Train.Rows {
+			batch = ds.Train.Rows
+		}
+		k := ds.Train.Rows / 100
+		if k < 1 {
+			k = 1
+		}
+		diskBuffered := int64(batch+k) * int64(spec.Dim) * 4
+		db.Close()
+
+		// InMemory peak equals its buffered set (it is all live).
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%s\t%s\t%s\t%s\n",
+			name, ds.Train.Rows,
+			memTime.Seconds(), diskTime.Seconds(),
+			mib(memBuffered), mib(diskBuffered),
+			mib(memBuffered), mib(diskPeak))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "\nShape checks (paper): construction times comparable (compute-bound);")
+	fmt.Fprintln(cfg.Out, "MicroNN buffered memory independent of collection size (4x-60x below InMemory")
+	fmt.Fprintln(cfg.Out, "at paper scale; the gap widens with -scale).")
+	return nil
+}
+
+func openEmptyDB(cfg Config, p *prepared, device micronn.DeviceProfile, name string) (*micronn.DB, error) {
+	path := cfg.Dir + "/" + name + ".mnn"
+	return micronn.Open(path, micronn.Options{
+		Dim:    p.ds.Spec.Dim,
+		Metric: p.ds.Spec.Metric,
+		Device: device,
+		Seed:   p.ds.Spec.Seed,
+	})
+}
+
+func loadVectors(db *micronn.DB, ds *workload.Dataset) error {
+	const chunk = 2000
+	items := make([]micronn.Item, 0, chunk)
+	for i := 0; i < ds.Train.Rows; i++ {
+		items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+		if len(items) == chunk || i == ds.Train.Rows-1 {
+			if err := db.UpsertBatch(items); err != nil {
+				return err
+			}
+			items = items[:0]
+		}
+	}
+	return nil
+}
+
+// MiniBatchSweep reproduces Figure 8: the impact of the mini-batch size on
+// top-100 recall (a) and construction memory (b), sweeping the batch from
+// a small fraction of the training set up to 100% (which degenerates to
+// conventional k-means). The nprobe is fixed at the value reaching the
+// target recall with the smallest batch, exactly as in §4.3.2.
+func MiniBatchSweep(cfg Config) error {
+	cfg.fill()
+	cfg.header("Figure 8: mini-batch size vs recall and construction memory (InternalA)")
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		return err
+	}
+	// The sweep needs enough vectors for batch-size percentages to be
+	// meaningful (0.04% of the collection must exceed a handful of
+	// vectors), so this experiment floors the scale at 5%.
+	sweepCfg := cfg
+	if sweepCfg.Scale < 0.05 {
+		sweepCfg.Scale = 0.05
+		fmt.Fprintf(cfg.Out, "(scale floored at %.2f for this sweep)\n", sweepCfg.Scale)
+	}
+	p := sweepCfg.prepare(spec)
+	n := p.ds.Train.Rows
+
+	percents := []float64{0.04, 0.17, 0.66, 2.65, 10.61, 100}
+	type row struct {
+		pct    float64
+		batch  int
+		recall float64
+		mem    int64
+	}
+	rows := make([]row, 0, len(percents))
+	fixedNProbe := 0
+	cache := scaleCache(micronn.DeviceSmall.CacheBytes, sweepCfg.Scale)
+	for _, pct := range percents {
+		batch := int(float64(n) * pct / 100)
+		if batch < 8 {
+			batch = 8
+		}
+		if batch > n {
+			batch = n
+		}
+		path := fmt.Sprintf("fig8-%.2f", pct)
+		db, err := openEmptyDBWithCluster(sweepCfg, p, path, batch, cache)
+		if err != nil {
+			return err
+		}
+		if err := loadVectors(db, p.ds); err != nil {
+			db.Close()
+			return err
+		}
+		sampler := memtrack.StartGC(25 * time.Millisecond)
+		if _, err := db.Rebuild(); err != nil {
+			db.Close()
+			return err
+		}
+		heap := sampler.Stop()
+
+		if fixedNProbe == 0 {
+			// Identify nprobe on the smallest batch size and reuse it,
+			// keeping the distance-computation budget constant.
+			np, _, err := sweepCfg.findNProbe(db, p)
+			if err != nil {
+				db.Close()
+				return err
+			}
+			fixedNProbe = np
+		}
+		recall, err := sweepCfg.meanRecallAt(db, p, fixedNProbe)
+		db.Close()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{pct: pct, batch: batch, recall: recall, mem: heap + cache})
+	}
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintf(tw, "Batch %%\tBatch size\tRecall@%d (nprobe=%d)\tConstruction MiB\n", cfg.K, fixedNProbe)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%d\t%.3f\t%s\n", r.pct, r.batch, r.recall, mib(r.mem))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "\nShape checks (paper): recall flat (~90%) across batch sizes;")
+	fmt.Fprintln(cfg.Out, "memory grows with batch size, with 100% ≈ conventional k-means footprint.")
+	return nil
+}
+
+func openEmptyDBWithCluster(cfg Config, p *prepared, name string, batch int, cacheBytes int64) (*micronn.DB, error) {
+	path := cfg.Dir + "/" + name + ".mnn"
+	os.Remove(path)
+	os.Remove(path + "-wal")
+	os.Remove(path + ".lock")
+	return micronn.Open(path, micronn.Options{
+		Dim:              p.ds.Spec.Dim,
+		Metric:           p.ds.Spec.Metric,
+		Device:           micronn.DeviceProfile{CacheBytes: cacheBytes, Workers: 2},
+		Seed:             p.ds.Spec.Seed,
+		ClusterBatchSize: batch,
+	})
+}
+
+// AblationBalance quantifies the balance penalty's effect on partition-size
+// spread (a design choice DESIGN.md calls out; §3.1's "flexible balance
+// constraints").
+func AblationBalance(cfg Config) error {
+	cfg.fill()
+	cfg.header("Ablation: balance penalty vs partition-size spread (SIFT)")
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		return err
+	}
+	spec = spec.Scaled(cfg.Scale)
+	ds := spec.Generate()
+	src := clustering.MatrixSource{M: ds.Train}
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Balance penalty\tPartitions\tMax size\tStddev size")
+	for _, penalty := range []float32{1e-9, 0.12, 0.5} {
+		res, err := clustering.MiniBatchKMeans(clustering.Config{
+			TargetClusterSize: 100,
+			BalancePenalty:    penalty,
+			Metric:            spec.Metric,
+			Seed:              spec.Seed,
+		}, src)
+		if err != nil {
+			return err
+		}
+		counts := make([]int, res.Centroids.Rows)
+		scratch := make([]float32, res.Centroids.Rows)
+		for i := 0; i < ds.Train.Rows; i++ {
+			counts[clustering.Assign(spec.Metric, res.Centroids, ds.Train.Row(i), scratch)]++
+		}
+		maxC, mean := 0, float64(ds.Train.Rows)/float64(len(counts))
+		var varSum float64
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+			d := float64(c) - mean
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum / float64(len(counts)))
+		fmt.Fprintf(tw, "%.2g\t%d\t%d\t%.1f\n", penalty, len(counts), maxC, std)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,744 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"micronn/internal/storage"
+)
+
+func testStore(t *testing.T) *storage.Store {
+	t.Helper()
+	s, err := storage.Open(filepath.Join(t.TempDir(), "t.db"), storage.Options{
+		Sync: storage.SyncOff, CheckpointFrames: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// newTree creates a tree in its own committed transaction and returns it.
+func newTree(t *testing.T, s *storage.Store) *Tree {
+	t.Helper()
+	var tree *Tree
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		var err error
+		tree, err = New(wt, int(s.PageSize()))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func mustPut(t *testing.T, s *storage.Store, tree *Tree, kv map[string]string) {
+	t.Helper()
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for k, v := range kv {
+			if err := tree.Put(wt, []byte(k), []byte(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	mustPut(t, s, tree, map[string]string{"alpha": "1", "beta": "2", "gamma": "3"})
+	err := s.View(func(rt *storage.ReadTxn) error {
+		for k, want := range map[string]string{"alpha": "1", "beta": "2", "gamma": "3"} {
+			v, err := tree.Get(rt, []byte(k))
+			if err != nil {
+				return fmt.Errorf("Get(%s): %w", k, err)
+			}
+			if string(v) != want {
+				t.Errorf("Get(%s) = %q, want %q", k, v, want)
+			}
+		}
+		if _, err := tree.Get(rt, []byte("missing")); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceValue(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	mustPut(t, s, tree, map[string]string{"k": "old"})
+	mustPut(t, s, tree, map[string]string{"k": "new value, different length"})
+	err := s.View(func(rt *storage.ReadTxn) error {
+		v, err := tree.Get(rt, []byte("k"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "new value, different length" {
+			t.Errorf("Get = %q", v)
+		}
+		n, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			t.Errorf("Count = %d, want 1", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		return tree.Put(wt, nil, []byte("v"))
+	})
+	if err == nil {
+		t.Error("Put(empty key) should fail")
+	}
+}
+
+func TestManyKeysSplits(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	const n = 5000
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < n; i++ {
+			k := []byte(fmt.Sprintf("key-%06d", i))
+			v := []byte(fmt.Sprintf("value-%d", i*i))
+			if err := tree.Put(wt, k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		count, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if count != n {
+			t.Errorf("Count = %d, want %d", count, n)
+		}
+		// Spot check lookups.
+		for _, i := range []int{0, 1, 999, 2500, n - 1} {
+			v, err := tree.Get(rt, []byte(fmt.Sprintf("key-%06d", i)))
+			if err != nil {
+				return fmt.Errorf("Get %d: %w", i, err)
+			}
+			if string(v) != fmt.Sprintf("value-%d", i*i) {
+				t.Errorf("Get(%d) = %q", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	keys := []string{"zebra", "apple", "mango", "banana", "cherry"}
+	kv := map[string]string{}
+	for _, k := range keys {
+		kv[k] = "v-" + k
+	}
+	mustPut(t, s, tree, kv)
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+
+	err := s.View(func(rt *storage.ReadTxn) error {
+		c, err := tree.First(rt)
+		if err != nil {
+			return err
+		}
+		var got []string
+		for c.Valid() {
+			k, err := c.Key()
+			if err != nil {
+				return err
+			}
+			got = append(got, string(k))
+			if err := c.Next(); err != nil {
+				return err
+			}
+		}
+		if len(got) != len(sorted) {
+			t.Fatalf("iterated %d keys, want %d", len(got), len(sorted))
+		}
+		for i := range sorted {
+			if got[i] != sorted[i] {
+				t.Errorf("[%d] = %s, want %s", i, got[i], sorted[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < 100; i += 2 { // even keys only
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%03d", i)), []byte("x")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		// Seek to an absent odd key: should land on the next even key.
+		c, err := tree.Seek(rt, []byte("051"))
+		if err != nil {
+			return err
+		}
+		if !c.Valid() {
+			t.Fatal("cursor invalid")
+		}
+		k, err := c.Key()
+		if err != nil {
+			return err
+		}
+		if string(k) != "052" {
+			t.Errorf("Seek(051) = %s, want 052", k)
+		}
+		// Seek to exact key.
+		c, err = tree.Seek(rt, []byte("050"))
+		if err != nil {
+			return err
+		}
+		k, _ = c.Key()
+		if string(k) != "050" {
+			t.Errorf("Seek(050) = %s", k)
+		}
+		// Seek beyond the end.
+		c, err = tree.Seek(rt, []byte("999"))
+		if err != nil {
+			return err
+		}
+		if c.Valid() {
+			k, _ := c.Key()
+			t.Errorf("Seek(999) valid at %s, want invalid", k)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	mustPut(t, s, tree, map[string]string{"a": "1", "b": "2", "c": "3"})
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		if err := tree.Delete(wt, []byte("b")); err != nil {
+			return err
+		}
+		if err := tree.Delete(wt, []byte("nope")); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Delete(nope) = %v, want ErrNotFound", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		if _, err := tree.Get(rt, []byte("b")); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(b) after delete = %v", err)
+		}
+		n, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if n != 2 {
+			t.Errorf("Count = %d, want 2", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAllThenIterate(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	const n = 1000
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < n; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%05d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < n; i++ {
+			if err := tree.Delete(wt, []byte(fmt.Sprintf("%05d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		count, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if count != 0 {
+			t.Errorf("Count after delete-all = %d", count)
+		}
+		c, err := tree.First(rt)
+		if err != nil {
+			return err
+		}
+		if c.Valid() {
+			t.Error("cursor valid on empty tree")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverflowValues(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	big := bytes.Repeat([]byte("0123456789abcdef"), 2048) // 32 KiB, multi-page
+	small := []byte("small")
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		if err := tree.Put(wt, []byte("big"), big); err != nil {
+			return err
+		}
+		return tree.Put(wt, []byte("small"), small)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		v, err := tree.Get(rt, []byte("big"))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(v, big) {
+			t.Errorf("overflow value mismatch: len %d want %d", len(v), len(big))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replacing an overflow value must free the old chain.
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		before := wt.FreePages()
+		if err := tree.Put(wt, []byte("big"), []byte("now small")); err != nil {
+			return err
+		}
+		if wt.FreePages() <= before {
+			t.Errorf("free pages %d -> %d, expected overflow chain reclaimed", before, wt.FreePages())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		v, err := tree.Get(rt, []byte("big"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "now small" {
+			t.Errorf("Get = %q", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropReclaimsPages(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < 2000; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%06d", i)), bytes.Repeat([]byte("x"), 64)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		before := wt.FreePages()
+		if err := tree.Drop(wt); err != nil {
+			return err
+		}
+		if wt.FreePages() <= before+10 {
+			t.Errorf("Drop reclaimed too few pages: %d -> %d", before, wt.FreePages())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		n, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if n != 0 {
+			t.Errorf("Count after Drop = %d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree must be reusable after Drop.
+	mustPut(t, s, tree, map[string]string{"fresh": "start"})
+	err = s.View(func(rt *storage.ReadTxn) error {
+		v, err := tree.Get(rt, []byte("fresh"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "start" {
+			t.Errorf("Get = %q", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOperationsMatchReferenceMap(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(42))
+
+	for round := 0; round < 10; round++ {
+		err := s.Update(func(wt *storage.WriteTxn) error {
+			for op := 0; op < 500; op++ {
+				key := fmt.Sprintf("k%04d", rng.Intn(800))
+				switch rng.Intn(3) {
+				case 0, 1: // put
+					val := fmt.Sprintf("v%d-%d", round, rng.Intn(1_000_000))
+					if rng.Intn(20) == 0 {
+						val = string(bytes.Repeat([]byte(val), 300)) // overflow-sized
+					}
+					if err := tree.Put(wt, []byte(key), []byte(val)); err != nil {
+						return err
+					}
+					ref[key] = val
+				case 2: // delete
+					err := tree.Delete(wt, []byte(key))
+					_, existed := ref[key]
+					if existed && err != nil {
+						return fmt.Errorf("delete existing %s: %w", key, err)
+					}
+					if !existed && !errors.Is(err, ErrNotFound) {
+						return fmt.Errorf("delete missing %s: %v", key, err)
+					}
+					delete(ref, key)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Verify full equality with the reference map via iteration.
+		err = s.View(func(rt *storage.ReadTxn) error {
+			c, err := tree.First(rt)
+			if err != nil {
+				return err
+			}
+			seen := 0
+			for c.Valid() {
+				k, err := c.Key()
+				if err != nil {
+					return err
+				}
+				v, err := c.Value()
+				if err != nil {
+					return err
+				}
+				want, ok := ref[string(k)]
+				if !ok {
+					return fmt.Errorf("round %d: unexpected key %s", round, k)
+				}
+				if string(v) != want {
+					return fmt.Errorf("round %d: key %s value mismatch (len %d vs %d)", round, k, len(v), len(want))
+				}
+				seen++
+				if err := c.Next(); err != nil {
+					return err
+				}
+			}
+			if seen != len(ref) {
+				return fmt.Errorf("round %d: iterated %d keys, want %d", round, seen, len(ref))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPrefixScanProperty(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	// Keys 00..99 with two-digit prefix groups.
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < 100; i++ {
+			for j := 0; j < 5; j++ {
+				k := fmt.Sprintf("%02d/%d", i, j)
+				if err := tree.Put(wt, []byte(k), []byte("v")); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(prefixNum uint8) bool {
+		p := fmt.Sprintf("%02d/", prefixNum%100)
+		var count int
+		err := s.View(func(rt *storage.ReadTxn) error {
+			c, err := tree.Seek(rt, []byte(p))
+			if err != nil {
+				return err
+			}
+			for c.Valid() {
+				k, err := c.Key()
+				if err != nil {
+					return err
+				}
+				if !bytes.HasPrefix(k, []byte(p)) {
+					break
+				}
+				count++
+				if err := c.Next(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return err == nil && count == 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.db")
+	opts := storage.Options{Sync: storage.SyncOff, CheckpointFrames: -1}
+	s, err := storage.Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root uint32
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		tree, err := New(wt, int(s.PageSize()))
+		if err != nil {
+			return err
+		}
+		root = tree.Root()
+		wt.SetCatalogRoot(root)
+		for i := 0; i < 300; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%04d", i)), []byte("persisted")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := storage.Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	err = s2.View(func(rt *storage.ReadTxn) error {
+		r, err := rt.CatalogRoot()
+		if err != nil {
+			return err
+		}
+		tree := Load(r, int(s2.PageSize()))
+		n, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if n != 300 {
+			t.Errorf("Count after reopen = %d", n)
+		}
+		v, err := tree.Get(rt, []byte("0123"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "persisted" {
+			t.Errorf("Get = %q", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomKeysWithBinaryContent(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	rng := rand.New(rand.NewSource(99))
+	keys := make([][]byte, 400)
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := range keys {
+			k := make([]byte, 1+rng.Intn(100))
+			rng.Read(k)
+			// Deduplicate by appending the index.
+			k = append(k, byte(i), byte(i>>8))
+			keys[i] = k
+			if err := tree.Put(wt, k, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.View(func(rt *storage.ReadTxn) error {
+		for _, k := range keys {
+			v, err := tree.Get(rt, k)
+			if err != nil {
+				return fmt.Errorf("Get(%x): %w", k, err)
+			}
+			if !bytes.Equal(v, k) {
+				t.Errorf("value mismatch for %x", k)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutSequential(b *testing.B) {
+	dir := b.TempDir()
+	s, err := storage.Open(filepath.Join(dir, "b.db"), storage.Options{Sync: storage.SyncOff, CheckpointFrames: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var tree *Tree
+	if err := s.Update(func(wt *storage.WriteTxn) error {
+		tree, err = New(wt, int(s.PageSize()))
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		val := bytes.Repeat([]byte("v"), 100)
+		for i := 0; i < b.N; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%012d", i)), val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGetRandom(b *testing.B) {
+	dir := b.TempDir()
+	s, err := storage.Open(filepath.Join(dir, "b.db"), storage.Options{Sync: storage.SyncOff, CheckpointFrames: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var tree *Tree
+	const n = 10000
+	if err := s.Update(func(wt *storage.WriteTxn) error {
+		tree, err = New(wt, int(s.PageSize()))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%012d", i)), []byte("value")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	rt, err := s.BeginRead()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Get(rt, []byte(fmt.Sprintf("%012d", rng.Intn(n)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"micronn/internal/storage"
+)
+
+// TestBulkDeleteReclaimsLeaves verifies that deleting a contiguous key
+// range unlinks and frees its leaves: a subsequent scan past the range must
+// not traverse dead pages, and the freelist must grow.
+func TestBulkDeleteReclaimsLeaves(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	const n = 3000
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < n; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%06d", i)), make([]byte, 100)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the first 90% — the rebuild-style bulk move pattern.
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		before := wt.FreePages()
+		for i := 0; i < n*9/10; i++ {
+			if err := tree.Delete(wt, []byte(fmt.Sprintf("%06d", i))); err != nil {
+				return err
+			}
+		}
+		freed := wt.FreePages() - before
+		if freed < 50 {
+			t.Errorf("only %d pages freed by bulk delete; empty leaves not reclaimed", freed)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving keys must be reachable and iteration must be clean.
+	err = s.View(func(rt *storage.ReadTxn) error {
+		count, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if count != n/10 {
+			t.Errorf("Count = %d, want %d", count, n/10)
+		}
+		c, err := tree.Seek(rt, []byte("000000"))
+		if err != nil {
+			return err
+		}
+		if !c.Valid() {
+			t.Fatal("cursor invalid")
+		}
+		k, err := c.Key()
+		if err != nil {
+			return err
+		}
+		if string(k) != fmt.Sprintf("%06d", n*9/10) {
+			t.Errorf("first surviving key = %s", k)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteAllResetsTree drives the collapse cascade all the way to the
+// root.
+func TestDeleteAllResetsTree(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	const n = 2000
+	err := s.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < n; i++ {
+			if err := tree.Put(wt, []byte(fmt.Sprintf("%06d", i)), []byte("x")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		pagesBefore := wt.PageCount() - wt.FreePages()
+		for i := 0; i < n; i++ {
+			if err := tree.Delete(wt, []byte(fmt.Sprintf("%06d", i))); err != nil {
+				return err
+			}
+		}
+		pagesAfter := wt.PageCount() - wt.FreePages()
+		// Nearly everything should be back on the freelist.
+		if pagesAfter > pagesBefore/4 {
+			t.Errorf("in-use pages %d -> %d; collapse did not reclaim", pagesBefore, pagesAfter)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree usable after full drain.
+	mustPut(t, s, tree, map[string]string{"again": "works"})
+	err = s.View(func(rt *storage.ReadTxn) error {
+		v, err := tree.Get(rt, []byte("again"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "works" {
+			t.Errorf("Get = %q", v)
+		}
+		n, err := tree.Count(rt)
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			t.Errorf("Count = %d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedDeleteInsertChainIntegrity hammers the sibling chain with
+// random churn and verifies iteration equals a reference model throughout.
+func TestInterleavedDeleteInsertChainIntegrity(t *testing.T) {
+	s := testStore(t)
+	tree := newTree(t, s)
+	ref := map[string]bool{}
+	rng := rand.New(rand.NewSource(77))
+	val := make([]byte, 200) // large-ish values force frequent splits
+
+	for round := 0; round < 8; round++ {
+		err := s.Update(func(wt *storage.WriteTxn) error {
+			for op := 0; op < 600; op++ {
+				key := fmt.Sprintf("%05d", rng.Intn(1500))
+				if rng.Intn(5) < 2 && ref[key] {
+					if err := tree.Delete(wt, []byte(key)); err != nil {
+						return fmt.Errorf("delete %s: %w", key, err)
+					}
+					delete(ref, key)
+				} else {
+					if err := tree.Put(wt, []byte(key), val); err != nil {
+						return err
+					}
+					ref[key] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.View(func(rt *storage.ReadTxn) error {
+			seen := 0
+			c, err := tree.First(rt)
+			if err != nil {
+				return err
+			}
+			var last string
+			for c.Valid() {
+				k, err := c.Key()
+				if err != nil {
+					return err
+				}
+				ks := string(k)
+				if ks <= last && last != "" {
+					return fmt.Errorf("round %d: order violation %s after %s", round, ks, last)
+				}
+				if !ref[ks] {
+					return fmt.Errorf("round %d: phantom key %s", round, ks)
+				}
+				last = ks
+				seen++
+				if err := c.Next(); err != nil {
+					return err
+				}
+			}
+			if seen != len(ref) {
+				return fmt.Errorf("round %d: iterated %d keys, ref has %d", round, seen, len(ref))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

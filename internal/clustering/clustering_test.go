@@ -1,0 +1,250 @@
+package clustering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"micronn/internal/vec"
+)
+
+// gaussianMixture generates n vectors around nCenters well-separated
+// centers; returns data and the true center of each vector.
+func gaussianMixture(seed int64, n, dim, nCenters int, spread float64) (*vec.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := vec.NewMatrix(nCenters, dim)
+	for c := 0; c < nCenters; c++ {
+		for j := 0; j < dim; j++ {
+			centers.Row(c)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	data := vec.NewMatrix(n, dim)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(nCenters)
+		truth[i] = c
+		for j := 0; j < dim; j++ {
+			data.Row(i)[j] = centers.Row(c)[j] + float32(rng.NormFloat64()*spread)
+		}
+	}
+	return data, truth
+}
+
+func quantizationError(metric vec.Metric, data, centroids *vec.Matrix) float64 {
+	dists := make([]float32, centroids.Rows)
+	var total float64
+	for i := 0; i < data.Rows; i++ {
+		vec.DistancesOneToMany(metric, data.Row(i), centroids, nil, dists)
+		best := dists[0]
+		for _, d := range dists[1:] {
+			if d < best {
+				best = d
+			}
+		}
+		total += float64(best)
+	}
+	return total / float64(data.Rows)
+}
+
+func TestMiniBatchFindsClusters(t *testing.T) {
+	data, _ := gaussianMixture(1, 2000, 16, 8, 0.5)
+	res, err := MiniBatchKMeans(Config{K: 8, BatchSize: 256, Iterations: 60, Seed: 7}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.Rows != 8 {
+		t.Fatalf("centroids = %d", res.Centroids.Rows)
+	}
+	// Quantization error should approach the intra-cluster variance
+	// (dim * spread^2 = 16 * 0.25 = 4), far below the random-centroid
+	// error for centers spread with sigma=10.
+	qe := quantizationError(vec.L2, data, res.Centroids)
+	if qe > 20 {
+		t.Errorf("quantization error = %v, want < 20", qe)
+	}
+}
+
+func TestMiniBatchMatchesFullKMeansQuality(t *testing.T) {
+	data, _ := gaussianMixture(2, 3000, 8, 10, 1.0)
+	mb, err := MiniBatchKMeans(Config{K: 10, BatchSize: 300, Iterations: 80, Seed: 3}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := FullKMeans(Config{K: 10, Seed: 3}, data, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qeMB := quantizationError(vec.L2, data, mb.Centroids)
+	qeFull := quantizationError(vec.L2, data, full.Centroids)
+	// The paper reports "similar index quality"; allow mini-batch to be
+	// within 2x of Lloyd on this easy mixture.
+	if qeMB > 2*qeFull+1 {
+		t.Errorf("mini-batch QE %v too far above full QE %v", qeMB, qeFull)
+	}
+}
+
+func TestBalancePenaltyReducesVariance(t *testing.T) {
+	// Heavily skewed data: one dense blob and a sparse halo.
+	rng := rand.New(rand.NewSource(5))
+	n, dim := 4000, 8
+	data := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		scale := 0.5
+		if i%10 == 0 {
+			scale = 20 // 10% of points scattered widely
+		}
+		for j := 0; j < dim; j++ {
+			data.Row(i)[j] = float32(rng.NormFloat64() * scale)
+		}
+	}
+	target := 200
+	k := n / target
+
+	run := func(penalty float32) float64 {
+		res, err := MiniBatchKMeans(Config{
+			K: k, TargetClusterSize: target, BatchSize: 500,
+			Iterations: 60, BalancePenalty: penalty, Seed: 11,
+		}, MatrixSource{M: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Final hard assignment, then measure partition size variance.
+		counts := make([]int, k)
+		scratch := make([]float32, k)
+		for i := 0; i < n; i++ {
+			counts[Assign(vec.L2, res.Centroids, data.Row(i), scratch)]++
+		}
+		mean := float64(n) / float64(k)
+		var variance float64
+		for _, c := range counts {
+			d := float64(c) - mean
+			variance += d * d
+		}
+		return math.Sqrt(variance / float64(k))
+	}
+
+	sdUnbalanced := run(0.000001) // effectively disabled (0 means default)
+	sdBalanced := run(0.5)
+	if sdBalanced >= sdUnbalanced {
+		t.Errorf("balance penalty did not reduce size stddev: %v -> %v", sdUnbalanced, sdBalanced)
+	}
+}
+
+func TestKDerivedFromTargetSize(t *testing.T) {
+	data, _ := gaussianMixture(3, 1000, 4, 4, 1)
+	res, err := MiniBatchKMeans(Config{TargetClusterSize: 100, BatchSize: 100, Iterations: 10, Seed: 1}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.Rows != 10 { // 1000/100
+		t.Errorf("derived K = %d, want 10", res.Centroids.Rows)
+	}
+}
+
+func TestSmallDatasets(t *testing.T) {
+	// Fewer vectors than the default target size: K clamps to >= 1.
+	data, _ := gaussianMixture(4, 7, 4, 2, 0.1)
+	res, err := MiniBatchKMeans(Config{BatchSize: 4, Iterations: 5, Seed: 1}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.Rows != 1 {
+		t.Errorf("K = %d, want 1", res.Centroids.Rows)
+	}
+	// K larger than n clamps to n.
+	res, err = MiniBatchKMeans(Config{K: 100, BatchSize: 4, Iterations: 5, Seed: 1}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.Rows != 7 {
+		t.Errorf("K = %d, want 7", res.Centroids.Rows)
+	}
+}
+
+func TestEmptySourceErrors(t *testing.T) {
+	data := vec.NewMatrix(0, 4)
+	if _, err := MiniBatchKMeans(Config{}, MatrixSource{M: data}); err == nil {
+		t.Error("expected error for empty source")
+	}
+	if _, err := FullKMeans(Config{}, data, 5); err == nil {
+		t.Error("expected error for empty data")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	data, _ := gaussianMixture(6, 500, 8, 4, 1)
+	r1, err := MiniBatchKMeans(Config{K: 4, BatchSize: 64, Iterations: 20, Seed: 42}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MiniBatchKMeans(Config{K: 4, BatchSize: 64, Iterations: 20, Seed: 42}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Centroids.Data {
+		if r1.Centroids.Data[i] != r2.Centroids.Data[i] {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+}
+
+func TestCosineMetricNormalizesCentroids(t *testing.T) {
+	data, _ := gaussianMixture(7, 600, 8, 4, 0.5)
+	for i := 0; i < data.Rows; i++ {
+		vec.Normalize(data.Row(i))
+	}
+	res, err := MiniBatchKMeans(Config{K: 4, BatchSize: 128, Iterations: 30, Metric: vec.Cosine, Seed: 1}, MatrixSource{M: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < res.Centroids.Rows; c++ {
+		n := vec.Norm(res.Centroids.Row(c))
+		if math.Abs(float64(n)-1) > 1e-5 {
+			t.Errorf("centroid %d norm = %v, want 1", c, n)
+		}
+	}
+}
+
+func TestAssignPicksNearest(t *testing.T) {
+	centroids := vec.NewMatrix(3, 2)
+	centroids.SetRow(0, []float32{0, 0})
+	centroids.SetRow(1, []float32{10, 0})
+	centroids.SetRow(2, []float32{0, 10})
+	scratch := make([]float32, 3)
+	cases := []struct {
+		x    []float32
+		want int
+	}{
+		{[]float32{1, 1}, 0},
+		{[]float32{9, 1}, 1},
+		{[]float32{1, 9}, 2},
+	}
+	for _, c := range cases {
+		if got := Assign(vec.L2, centroids, c.x, scratch); got != c.want {
+			t.Errorf("Assign(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFullKMeansConverges(t *testing.T) {
+	data, _ := gaussianMixture(8, 1500, 8, 6, 0.3)
+	res, err := FullKMeans(Config{K: 6, Seed: 2}, data, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := quantizationError(vec.L2, data, res.Centroids)
+	if qe > 10 {
+		t.Errorf("full k-means QE = %v", qe)
+	}
+}
+
+func BenchmarkMiniBatchIteration(b *testing.B) {
+	data, _ := gaussianMixture(9, 10000, 64, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := MiniBatchKMeans(Config{K: 32, BatchSize: 512, Iterations: 1, Seed: int64(i)}, MatrixSource{M: data})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

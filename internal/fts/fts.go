@@ -1,0 +1,275 @@
+// Package fts implements the full-text MATCH support MicroNN gets from
+// SQLite's FTS5 in the paper (§3.5): an inverted token index over a text
+// attribute, document-frequency statistics for selectivity estimation, and
+// conjunctive MATCH evaluation. The Big-ANN filtered-search benchmark
+// (Figure 7) stores each vector's tag bag as a whitespace-separated string
+// indexed through this package.
+package fts
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"unicode"
+
+	"micronn/internal/btree"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+)
+
+// docCountKey is the reserved stats key holding the total document count.
+// Tokens are lowercase alphanumeric runs, so "#docs" can never collide.
+const docCountKey = "#docs"
+
+// Tokenize lowercases s and splits it into maximal letter/digit runs.
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// UniqueTokens returns the deduplicated, sorted token set of s.
+func UniqueTokens(s string) []string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return nil
+	}
+	sort.Strings(toks)
+	out := toks[:1]
+	for _, t := range toks[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Match reports whether doc contains every token of query (the conjunctive
+// MATCH semantics used by hybrid post-filtering).
+func Match(doc, query string) bool {
+	queryToks := UniqueTokens(query)
+	if len(queryToks) == 0 {
+		return true // empty MATCH constrains nothing
+	}
+	docToks := Tokenize(doc)
+	set := make(map[string]struct{}, len(docToks))
+	for _, t := range docToks {
+		set[t] = struct{}{}
+	}
+	for _, q := range queryToks {
+		if _, ok := set[q]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Index is an inverted token index over int64 document ids.
+type Index struct {
+	postings *reldb.Table // (token TEXT, doc INTEGER) -> ()
+	stats    *reldb.Table // (token TEXT) -> (count INTEGER)
+}
+
+func tableNames(name string) (postings, stats string) {
+	return "__fts_" + name + "_postings", "__fts_" + name + "_stats"
+}
+
+// Create creates the index's tables inside wt.
+func Create(db *reldb.DB, wt *storage.WriteTxn, name string) (*Index, error) {
+	pName, sName := tableNames(name)
+	err := db.CreateTable(wt, &reldb.Schema{
+		Name: pName,
+		Key: []reldb.Column{
+			{Name: "token", Type: reldb.TypeText},
+			{Name: "doc", Type: reldb.TypeInt64},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = db.CreateTable(wt, &reldb.Schema{
+		Name: sName,
+		Key:  []reldb.Column{{Name: "token", Type: reldb.TypeText}},
+		Cols: []reldb.Column{{Name: "count", Type: reldb.TypeInt64}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Open(db, name)
+}
+
+// Open returns a handle to an existing index.
+func Open(db *reldb.DB, name string) (*Index, error) {
+	pName, sName := tableNames(name)
+	postings, err := db.Table(pName)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := db.Table(sName)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{postings: postings, stats: stats}, nil
+}
+
+// Exists reports whether the named index exists in db.
+func Exists(db *reldb.DB, name string) bool {
+	pName, _ := tableNames(name)
+	return db.HasTable(pName)
+}
+
+func (ix *Index) bumpStat(wt *storage.WriteTxn, token string, delta int64) error {
+	row, err := ix.stats.Get(wt, reldb.S(token))
+	var cur int64
+	switch {
+	case err == nil:
+		cur = row[1].Int
+	case errors.Is(err, reldb.ErrNotFound):
+	default:
+		return err
+	}
+	cur += delta
+	if cur <= 0 {
+		err := ix.stats.Delete(wt, reldb.S(token))
+		if errors.Is(err, reldb.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	return ix.stats.Put(wt, reldb.Row{reldb.S(token), reldb.I(cur)})
+}
+
+// Add indexes doc's text under id.
+func (ix *Index) Add(wt *storage.WriteTxn, id int64, text string) error {
+	for _, tok := range UniqueTokens(text) {
+		if err := ix.postings.Put(wt, reldb.Row{reldb.S(tok), reldb.I(id)}); err != nil {
+			return err
+		}
+		if err := ix.bumpStat(wt, tok, 1); err != nil {
+			return err
+		}
+	}
+	return ix.bumpStat(wt, docCountKey, 1)
+}
+
+// Remove un-indexes the document (text must be the text supplied to Add).
+func (ix *Index) Remove(wt *storage.WriteTxn, id int64, text string) error {
+	for _, tok := range UniqueTokens(text) {
+		err := ix.postings.Delete(wt, reldb.S(tok), reldb.I(id))
+		if errors.Is(err, reldb.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := ix.bumpStat(wt, tok, -1); err != nil {
+			return err
+		}
+	}
+	return ix.bumpStat(wt, docCountKey, -1)
+}
+
+// DocFreq returns the number of documents containing token.
+func (ix *Index) DocFreq(txn btree.ReadTxn, token string) (int64, error) {
+	row, err := ix.stats.Get(txn, reldb.S(strings.ToLower(token)))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return row[1].Int, nil
+}
+
+// TotalDocs returns the number of indexed documents.
+func (ix *Index) TotalDocs(txn btree.ReadTxn) (int64, error) {
+	return ix.DocFreq(txn, docCountKey)
+}
+
+// MatchScan streams, in ascending id order, the documents containing every
+// token of query. It drives the scan from the rarest token's posting list
+// and probes the others, so cost is proportional to the best selectivity.
+// An empty query matches nothing (callers treat it as no constraint).
+func (ix *Index) MatchScan(txn btree.ReadTxn, query string, fn func(id int64) error) error {
+	tokens := UniqueTokens(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	// Order tokens by ascending document frequency.
+	type tokDF struct {
+		tok string
+		df  int64
+	}
+	tds := make([]tokDF, len(tokens))
+	for i, tok := range tokens {
+		df, err := ix.DocFreq(txn, tok)
+		if err != nil {
+			return err
+		}
+		if df == 0 {
+			return nil // conjunction with an absent token is empty
+		}
+		tds[i] = tokDF{tok, df}
+	}
+	sort.Slice(tds, func(i, j int) bool { return tds[i].df < tds[j].df })
+
+	rare := tds[0].tok
+	probes := tds[1:]
+	return ix.postings.ScanKeys(txn, []reldb.Value{reldb.S(rare)}, func(key reldb.Row) error {
+		id := key[1].Int
+		for _, p := range probes {
+			_, err := ix.postings.Get(txn, reldb.S(p.tok), reldb.I(id))
+			if errors.Is(err, reldb.ErrNotFound) {
+				return nil // this doc lacks the token; keep scanning
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return fn(id)
+	})
+}
+
+// ContainsAll reports whether document id carries every token of query,
+// answered by direct posting probes — cheaper than refetching and
+// re-tokenizing the document text during post-filter partition scans.
+func (ix *Index) ContainsAll(txn btree.ReadTxn, id int64, query string) (bool, error) {
+	tokens := UniqueTokens(query)
+	if len(tokens) == 0 {
+		return true, nil
+	}
+	for _, tok := range tokens {
+		_, err := ix.postings.Get(txn, reldb.S(tok), reldb.I(id))
+		if errors.Is(err, reldb.ErrNotFound) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// MatchCount counts the documents matching query.
+func (ix *Index) MatchCount(txn btree.ReadTxn, query string) (int64, error) {
+	var n int64
+	err := ix.MatchScan(txn, query, func(int64) error {
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,311 @@
+package fts
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+)
+
+func testIndex(t *testing.T) (*reldb.DB, *Index) {
+	t.Helper()
+	s, err := storage.Open(filepath.Join(t.TempDir(), "t.db"), storage.Options{
+		Sync: storage.SyncOff, CheckpointFrames: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	db, err := reldb.Open(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix *Index
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		ix, err = Create(db, wt, "tags")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, ix
+}
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"Hello World":        {"hello", "world"},
+		"black-cat_playing!": {"black", "cat", "playing"},
+		"  spaces  ":         {"spaces"},
+		"":                   nil,
+		"123 abc123":         {"123", "abc123"},
+		"ÜNïcode Wörds":      {"ünïcode", "wörds"},
+	}
+	for in, want := range cases {
+		if got := Tokenize(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestUniqueTokens(t *testing.T) {
+	got := UniqueTokens("cat dog cat bird dog")
+	want := []string{"bird", "cat", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UniqueTokens = %v, want %v", got, want)
+	}
+	if UniqueTokens("") != nil {
+		t.Error("UniqueTokens(empty) should be nil")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		doc, query string
+		want       bool
+	}{
+		{"black cat playing yarn", "cat", true},
+		{"black cat playing yarn", "cat yarn", true},
+		{"black cat playing yarn", "cat dog", false},
+		{"black cat", "", true},
+		{"", "cat", false},
+		{"Cat", "CAT", true}, // case-insensitive
+	}
+	for _, c := range cases {
+		if got := Match(c.doc, c.query); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.doc, c.query, got, c.want)
+		}
+	}
+}
+
+func TestAddAndMatchScan(t *testing.T) {
+	db, ix := testIndex(t)
+	docs := map[int64]string{
+		1: "cat yarn indoor",
+		2: "cat outdoor",
+		3: "dog yarn",
+		4: "cat yarn outdoor",
+	}
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		for id, text := range docs {
+			if err := ix.Add(wt, id, text); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queryCases := []struct {
+		query string
+		want  []int64
+	}{
+		{"cat", []int64{1, 2, 4}},
+		{"cat yarn", []int64{1, 4}},
+		{"yarn", []int64{1, 3, 4}},
+		{"dog cat", nil},
+		{"absenttoken", nil},
+		{"cat yarn outdoor", []int64{4}},
+	}
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		for _, c := range queryCases {
+			var got []int64
+			err := ix.MatchScan(rt, c.query, func(id int64) error {
+				got = append(got, id)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("MatchScan(%q) = %v, want %v", c.query, got, c.want)
+			}
+		}
+		total, err := ix.TotalDocs(rt)
+		if err != nil {
+			return err
+		}
+		if total != 4 {
+			t.Errorf("TotalDocs = %d, want 4", total)
+		}
+		df, err := ix.DocFreq(rt, "cat")
+		if err != nil {
+			return err
+		}
+		if df != 3 {
+			t.Errorf("DocFreq(cat) = %d, want 3", df)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	db, ix := testIndex(t)
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		if err := ix.Add(wt, 1, "cat yarn"); err != nil {
+			return err
+		}
+		if err := ix.Add(wt, 2, "cat"); err != nil {
+			return err
+		}
+		return ix.Remove(wt, 1, "cat yarn")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		df, err := ix.DocFreq(rt, "cat")
+		if err != nil {
+			return err
+		}
+		if df != 1 {
+			t.Errorf("DocFreq(cat) = %d, want 1", df)
+		}
+		df, err = ix.DocFreq(rt, "yarn")
+		if err != nil {
+			return err
+		}
+		if df != 0 {
+			t.Errorf("DocFreq(yarn) = %d, want 0", df)
+		}
+		n, err := ix.MatchCount(rt, "cat")
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			t.Errorf("MatchCount(cat) = %d, want 1", n)
+		}
+		total, err := ix.TotalDocs(rt)
+		if err != nil {
+			return err
+		}
+		if total != 1 {
+			t.Errorf("TotalDocs = %d, want 1", total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchScanUsesRarestToken(t *testing.T) {
+	db, ix := testIndex(t)
+	// "common" appears in 500 docs, "rare" in 3; the scan should still
+	// return exactly the intersection.
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		for i := int64(0); i < 500; i++ {
+			text := "common"
+			if i%200 == 0 {
+				text = "common rare"
+			}
+			if err := ix.Add(wt, i, text); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		var got []int64
+		err := ix.MatchScan(rt, "common rare", func(id int64) error {
+			got = append(got, id)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		want := []int64{0, 200, 400}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("intersection = %v, want %v", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	db, ix := testIndex(t)
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		return ix.Add(wt, 42, "persisted token")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(db, "tags") {
+		t.Error("Exists(tags) = false")
+	}
+	if Exists(db, "other") {
+		t.Error("Exists(other) = true")
+	}
+	ix2, err := Open(db, "tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		n, err := ix2.MatchCount(rt, "persisted")
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			t.Errorf("MatchCount via reopened handle = %d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchScan(b *testing.B) {
+	s, err := storage.Open(filepath.Join(b.TempDir(), "t.db"), storage.Options{
+		Sync: storage.SyncOff, CheckpointFrames: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	db, err := reldb.Open(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ix *Index
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		ix, err = Create(db, wt, "bench")
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < 10000; i++ {
+			text := fmt.Sprintf("tag%d tag%d common", i%97, i%31)
+			if err := ix.Add(wt, i, text); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := s.BeginRead()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.MatchCount(rt, "tag13 common"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

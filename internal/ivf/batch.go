@@ -1,0 +1,188 @@
+package ivf
+
+import (
+	"fmt"
+	"sync"
+
+	"micronn/internal/btree"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+	"micronn/internal/topk"
+	"micronn/internal/vec"
+)
+
+// BatchOptions parameterizes BatchSearch.
+type BatchOptions struct {
+	// K is the number of neighbours per query.
+	K int
+	// NProbe is the per-query number of partitions to scan.
+	NProbe int
+}
+
+// BatchInfo reports batch execution statistics.
+type BatchInfo struct {
+	// PartitionScans is the number of (partition, scan) pairs actually
+	// executed — with MQO each needed partition is scanned exactly once.
+	PartitionScans int
+	// QueryPartitionPairs is what a query-at-a-time execution would have
+	// scanned: the sum over queries of their probe-set sizes.
+	QueryPartitionPairs int
+	// VectorsScanned counts vector rows read from storage.
+	VectorsScanned int64
+	// DistancePairs counts query-vector distance computations.
+	DistancePairs int64
+}
+
+// BatchSearch executes a batch of queries with multi-query optimization
+// (paper §3.4, after HQI): queries are grouped by the partitions they
+// probe, each needed partition is scanned exactly once, and the distances
+// between all interested queries and the partition's vectors are computed
+// as one blocked matrix product. Results preserve query order.
+func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchOptions) ([][]topk.Result, *BatchInfo, error) {
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("ivf: K must be positive")
+	}
+	if queries.Dim != ix.cfg.Dim {
+		return nil, nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, queries.Dim, ix.cfg.Dim)
+	}
+	if opts.NProbe <= 0 {
+		opts.NProbe = 8
+	}
+	nq := queries.Rows
+	if nq == 0 {
+		return nil, &BatchInfo{}, nil
+	}
+	info := &BatchInfo{}
+
+	cs, err := ix.loadCentroids(txn)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Group queries by partition (the MQO step).
+	groups := make(map[int64][]int) // partition -> query indices
+	for qi := 0; qi < nq; qi++ {
+		parts := ix.probeSet(cs, queries.Row(qi), opts.NProbe)
+		info.QueryPartitionPairs += len(parts)
+		for _, p := range parts {
+			groups[p] = append(groups[p], qi)
+		}
+	}
+	info.PartitionScans = len(groups)
+
+	heaps := make([]*topk.Heap, nq)
+	heapMus := make([]sync.Mutex, nq)
+	for i := range heaps {
+		heaps[i] = topk.New(opts.K)
+	}
+
+	work := make(chan partWork, len(groups))
+	for p, qs := range groups {
+		work <- partWork{part: p, queries: qs}
+	}
+	close(work)
+
+	workers := ix.cfg.Workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if _, parallel := txn.(*storage.ReadTxn); !parallel {
+		workers = 1
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	var statMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scanned, pairs, err := ix.batchWorker(txn, work, queries, heaps, heapMus)
+			statMu.Lock()
+			info.VectorsScanned += scanned
+			info.DistancePairs += pairs
+			statMu.Unlock()
+			if err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, nil, err
+	default:
+	}
+
+	out := make([][]topk.Result, nq)
+	for i := range heaps {
+		out[i] = heaps[i].Results()
+	}
+	return out, info, nil
+}
+
+// partWork is one partition scan plus the queries interested in it.
+type partWork struct {
+	part    int64
+	queries []int
+}
+
+// batchWorker scans whole partitions: for each, it streams the vectors in
+// tiles and computes the |interested queries| x |tile| distance matrix in
+// one kernel call, amortizing the scan over every query in the group.
+func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *vec.Matrix, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs int64, err error) {
+	dim := ix.cfg.Dim
+	tile := vec.NewMatrix(scanBatch, dim)
+	vidsB := make([]int64, 0, scanBatch)
+	assetsB := make([]string, 0, scanBatch)
+
+	for w := range work {
+		// Gather this partition's interested queries into a submatrix.
+		qm := vec.NewMatrix(len(w.queries), dim)
+		for i, qi := range w.queries {
+			qm.SetRow(i, queries.Row(qi))
+		}
+		qNorms := qm.Norms(make([]float32, 0, qm.Rows))
+		dists := make([]float32, qm.Rows*scanBatch)
+
+		flush := func() {
+			n := len(vidsB)
+			if n == 0 {
+				return
+			}
+			sub := &vec.Matrix{Data: tile.Data[:n*dim], Rows: n, Dim: dim}
+			vec.DistancesManyToMany(ix.cfg.Metric, qm, sub, l2Only(ix.cfg.Metric, qNorms), nil, dists[:qm.Rows*n])
+			for i, qi := range w.queries {
+				row := dists[i*n : (i+1)*n]
+				h := &heaps[qi]
+				heapMus[qi].Lock()
+				for j := 0; j < n; j++ {
+					(*h).Push(topk.Result{AssetID: assetsB[j], VectorID: vidsB[j], Distance: row[j]})
+				}
+				heapMus[qi].Unlock()
+			}
+			scanned += int64(n)
+			pairs += int64(qm.Rows * n)
+			vidsB = vidsB[:0]
+			assetsB = assetsB[:0]
+		}
+
+		perr := ix.vectors.Scan(txn, []reldb.Value{reldb.I(w.part)}, func(row reldb.Row) error {
+			tile.AppendRowBlob(len(vidsB), row[3].Bts)
+			vidsB = append(vidsB, row[1].Int)
+			assetsB = append(assetsB, row[2].Str)
+			if len(vidsB) == scanBatch {
+				flush()
+			}
+			return nil
+		})
+		if perr != nil {
+			return scanned, pairs, perr
+		}
+		flush()
+	}
+	return scanned, pairs, nil
+}

@@ -1,0 +1,332 @@
+package ivf
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"micronn/internal/btree"
+	"micronn/internal/clustering"
+	"micronn/internal/reldb"
+	"micronn/internal/stats"
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// ErrNotBuilt is returned by FlushDelta when the index has no partitions
+// yet; callers should run Rebuild first.
+var ErrNotBuilt = errors.New("ivf: index has no partitions; run Rebuild")
+
+// MaintenanceStats reports the cost of a maintenance operation. RowChanges
+// is the number of database row writes (inserts + deletes + updates) — the
+// I/O-footprint metric of Figure 10d.
+type MaintenanceStats struct {
+	Duration        time.Duration
+	RowChanges      int64
+	VectorsAssigned int64
+	Partitions      int
+}
+
+// partVid identifies a vector row by its clustered key.
+type partVid struct {
+	part int64
+	vid  int64
+}
+
+// collectKeys scans the clustered key of every vector (optionally limited
+// to one partition with havePrefix). Memory is 16 bytes per vector — the
+// same order as the paper's sampling infrastructure, far below buffering
+// the vectors themselves.
+func (ix *Index) collectKeys(txn btree.ReadTxn, prefix []reldb.Value) ([]partVid, error) {
+	var keys []partVid
+	err := ix.vectors.ScanKeys(txn, prefix, func(key reldb.Row) error {
+		keys = append(keys, partVid{part: key[0].Int, vid: key[1].Int})
+		return nil
+	})
+	return keys, err
+}
+
+// diskSource adapts the on-disk vector table to the clustering trainer:
+// batches are fetched by key through the buffer pool, so training memory
+// stays bounded by the mini-batch (Figure 8's property).
+type diskSource struct {
+	ix   *Index
+	txn  btree.ReadTxn
+	keys []partVid
+	dim  int
+}
+
+func (s *diskSource) Len() int { return len(s.keys) }
+func (s *diskSource) Dim() int { return s.dim }
+
+func (s *diskSource) Read(indices []int, dst *vec.Matrix) error {
+	for i, idx := range indices {
+		k := s.keys[idx]
+		row, err := s.ix.vectors.Get(s.txn, reldb.I(k.part), reldb.I(k.vid))
+		if err != nil {
+			return fmt.Errorf("ivf: training read (%d,%d): %w", k.part, k.vid, err)
+		}
+		dst.AppendRowBlob(i, row[3].Bts)
+	}
+	return nil
+}
+
+// assignChunk is the unit of the rewrite pass: enough rows to amortize the
+// batched distance kernel without holding many vectors in memory.
+const assignChunk = 256
+
+// Rebuild retrains the quantizer with mini-batch k-means and rewrites every
+// vector into its new partition (paper §3.1). It runs inside one write
+// transaction: readers keep a consistent pre-rebuild snapshot throughout,
+// and the writer's memory stays bounded by WAL spilling.
+func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
+	start := time.Now()
+	ms := &MaintenanceStats{}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return nil, err
+	}
+
+	keys, err := ix.collectKeys(wt, nil)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(keys)) != st.NumVectors {
+		return nil, fmt.Errorf("ivf: state count %d != scanned %d", st.NumVectors, len(keys))
+	}
+
+	if len(keys) == 0 {
+		if err := ix.centroids.Truncate(wt); err != nil {
+			return nil, err
+		}
+		st.DeltaCount, st.NumPartitions, st.AvgSizeAtBuild = 0, 0, 0
+		st.Generation++
+		if err := ix.putState(wt, st); err != nil {
+			return nil, err
+		}
+		ms.Duration = time.Since(start)
+		return ms, nil
+	}
+
+	// Train the quantizer on the disk-resident vectors.
+	src := &diskSource{ix: ix, txn: wt, keys: keys, dim: ix.cfg.Dim}
+	res, err := clustering.MiniBatchKMeans(clustering.Config{
+		TargetClusterSize: ix.cfg.TargetPartitionSize,
+		BatchSize:         ix.cfg.ClusterBatchSize,
+		Iterations:        ix.cfg.ClusterIterations,
+		BalancePenalty:    ix.cfg.BalancePenalty,
+		Metric:            ix.cfg.Metric,
+		Seed:              ix.cfg.Seed,
+	}, src)
+	if err != nil {
+		return nil, err
+	}
+	k := res.Centroids.Rows
+
+	// Rewrite pass: assign every vector to its nearest centroid and move
+	// the rows. Partition ids are 1..k (0 is the delta).
+	counts := make([]int64, k)
+	chunk := vec.NewMatrix(assignChunk, ix.cfg.Dim)
+	dists := make([]float32, assignChunk*k)
+	assetsInChunk := make([]string, assignChunk)
+	blobsInChunk := make([][]byte, assignChunk)
+	centNorms := res.Centroids.Norms(nil)
+
+	for base := 0; base < len(keys); base += assignChunk {
+		end := base + assignChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := end - base
+		sub := &vec.Matrix{Data: chunk.Data[:n*ix.cfg.Dim], Rows: n, Dim: ix.cfg.Dim}
+		for i := base; i < end; i++ {
+			row, err := ix.vectors.Get(wt, reldb.I(keys[i].part), reldb.I(keys[i].vid))
+			if err != nil {
+				return nil, err
+			}
+			sub.AppendRowBlob(i-base, row[3].Bts)
+			assetsInChunk[i-base] = row[2].Str
+			blobsInChunk[i-base] = row[3].Bts // decode copies; safe to retain
+		}
+		vec.DistancesManyToMany(ix.cfg.Metric, sub, res.Centroids, nil, l2Only(ix.cfg.Metric, centNorms), dists[:n*k])
+		for i := 0; i < n; i++ {
+			best := argminRange(dists[i*k : (i+1)*k])
+			newPart := int64(best + 1)
+			counts[best]++
+			ms.VectorsAssigned++
+			old := keys[base+i]
+			if old.part == newPart {
+				continue
+			}
+			if err := ix.vectors.Delete(wt, reldb.I(old.part), reldb.I(old.vid)); err != nil {
+				return nil, err
+			}
+			if err := ix.vectors.Put(wt, reldb.Row{reldb.I(newPart), reldb.I(old.vid), reldb.S(assetsInChunk[i]), reldb.B(blobsInChunk[i])}); err != nil {
+				return nil, err
+			}
+			if err := ix.assets.Put(wt, reldb.Row{reldb.S(assetsInChunk[i]), reldb.I(newPart), reldb.I(old.vid)}); err != nil {
+				return nil, err
+			}
+			if err := ix.vids.Put(wt, reldb.Row{reldb.I(old.vid), reldb.I(newPart), reldb.S(assetsInChunk[i])}); err != nil {
+				return nil, err
+			}
+			ms.RowChanges += 4
+		}
+		if err := wt.SpillIfNeeded(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rewrite the centroid table.
+	if err := ix.centroids.Truncate(wt); err != nil {
+		return nil, err
+	}
+	for c := 0; c < k; c++ {
+		blob := vec.ToBlob(make([]byte, 0, vec.BlobSize(ix.cfg.Dim)), res.Centroids.Row(c))
+		if err := ix.centroids.Put(wt, reldb.Row{reldb.I(int64(c + 1)), reldb.B(blob), reldb.I(counts[c])}); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
+	}
+
+	st.DeltaCount = 0
+	st.NumPartitions = int64(k)
+	st.AvgSizeAtBuild = float64(len(keys)) / float64(k)
+	st.Generation++
+	if err := ix.putState(wt, st); err != nil {
+		return nil, err
+	}
+
+	// Refresh optimizer statistics (the ANALYZE pass: per-column
+	// histograms rebuilt at index-build time, §4 highlights).
+	if err := ix.AnalyzeAttributes(wt); err != nil {
+		return nil, err
+	}
+
+	ms.Partitions = k
+	ms.Duration = time.Since(start)
+	return ms, nil
+}
+
+// FlushDelta incorporates the delta-store into the IVF index incrementally
+// (paper §3.6): each delta vector joins the partition with the nearest
+// centroid, and that centroid is updated to the running mean of its
+// content. Disk I/O is proportional to the delta size, not the index size.
+func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
+	start := time.Now()
+	ms := &MaintenanceStats{}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return nil, err
+	}
+	if st.NumPartitions == 0 {
+		return nil, ErrNotBuilt
+	}
+	deltaKeys, err := ix.collectKeys(wt, []reldb.Value{reldb.I(DeltaPartition)})
+	if err != nil {
+		return nil, err
+	}
+	if len(deltaKeys) == 0 {
+		ms.Duration = time.Since(start)
+		return ms, nil
+	}
+
+	// Private copy of the centroids: the cached set is shared with
+	// concurrent readers.
+	cs, err := ix.loadCentroids(wt)
+	if err != nil {
+		return nil, err
+	}
+	cents := vec.NewMatrix(cs.mat.Rows, cs.mat.Dim)
+	copy(cents.Data, cs.mat.Data)
+	counts := append([]int64(nil), cs.counts...)
+	touched := make(map[int]bool)
+
+	dists := make([]float32, cents.Rows)
+	x := make([]float32, ix.cfg.Dim)
+	for _, key := range deltaKeys {
+		row, err := ix.vectors.Get(wt, reldb.I(key.part), reldb.I(key.vid))
+		if err != nil {
+			return nil, err
+		}
+		vec.FromBlob(x, row[3].Bts)
+		vec.DistancesOneToMany(ix.cfg.Metric, x, cents, nil, dists)
+		best := argminRange(dists)
+		newPart := cs.ids[best]
+		asset := row[2].Str
+		blobCopy := append([]byte(nil), row[3].Bts...)
+
+		if err := ix.vectors.Delete(wt, reldb.I(key.part), reldb.I(key.vid)); err != nil {
+			return nil, err
+		}
+		if err := ix.vectors.Put(wt, reldb.Row{reldb.I(newPart), reldb.I(key.vid), reldb.S(asset), reldb.B(blobCopy)}); err != nil {
+			return nil, err
+		}
+		if err := ix.assets.Put(wt, reldb.Row{reldb.S(asset), reldb.I(newPart), reldb.I(key.vid)}); err != nil {
+			return nil, err
+		}
+		if err := ix.vids.Put(wt, reldb.Row{reldb.I(key.vid), reldb.I(newPart), reldb.S(asset)}); err != nil {
+			return nil, err
+		}
+		ms.RowChanges += 4
+		ms.VectorsAssigned++
+
+		// Running-mean centroid update (Arandjelovic & Zisserman '13).
+		counts[best]++
+		eta := float32(1) / float32(counts[best])
+		vec.Lerp(cents.Row(best), x, eta)
+		touched[best] = true
+
+		if err := wt.SpillIfNeeded(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Persist only the touched centroids: I/O stays proportional to the
+	// update, which is the whole point of the incremental path.
+	for c := range touched {
+		blob := vec.ToBlob(make([]byte, 0, vec.BlobSize(ix.cfg.Dim)), cents.Row(c))
+		if err := ix.centroids.Put(wt, reldb.Row{reldb.I(cs.ids[c]), reldb.B(blob), reldb.I(counts[c])}); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
+	}
+
+	st.DeltaCount = 0
+	st.Generation++
+	if err := ix.putState(wt, st); err != nil {
+		return nil, err
+	}
+	ms.Partitions = cents.Rows
+	ms.Duration = time.Since(start)
+	return ms, nil
+}
+
+// AnalyzeAttributes refreshes the optimizer's attribute statistics.
+func (ix *Index) AnalyzeAttributes(wt *storage.WriteTxn) error {
+	if len(ix.cfg.Attributes) == 0 {
+		return nil
+	}
+	ts, err := stats.Analyze(wt, ix.attrs, nil)
+	if err != nil {
+		return err
+	}
+	return stats.Save(ix.db, wt, tblAttrs, ts)
+}
+
+func l2Only(m vec.Metric, norms []float32) []float32 {
+	if m == vec.L2 {
+		return norms
+	}
+	return nil
+}
+
+func argminRange(xs []float32) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

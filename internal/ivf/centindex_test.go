@@ -1,0 +1,184 @@
+package ivf
+
+import (
+	"math/rand"
+	"testing"
+
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// TestCoarseIndexCandidatesCoverNearest verifies the two-level structure:
+// for a query near a known centroid, the candidate set must contain it.
+func TestCoarseIndexCandidatesCoverNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const k, dim = 900, 16
+	cents := vec.NewMatrix(k, dim)
+	for i := 0; i < k; i++ {
+		for j := 0; j < dim; j++ {
+			cents.Row(i)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	ci, err := buildCoarseIndex(vec.L2, cents, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every centroid must appear in exactly one member list.
+	seen := make(map[int32]bool)
+	for _, members := range ci.members {
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("centroid %d in two super-clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != k {
+		t.Fatalf("member lists cover %d of %d centroids", len(seen), k)
+	}
+
+	hits := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		target := rng.Intn(k)
+		q := make([]float32, dim)
+		for j := 0; j < dim; j++ {
+			q[j] = cents.Row(target)[j] + float32(rng.NormFloat64()*0.01)
+		}
+		cand := ci.candidates(vec.L2, q, 64)
+		for _, c := range cand {
+			if int(c) == target {
+				hits++
+				break
+			}
+		}
+	}
+	// The query sits essentially on the target centroid; the coarse
+	// index should almost never miss it.
+	if hits < trials*95/100 {
+		t.Errorf("coarse candidates contained the true centroid in %d/%d trials", hits, trials)
+	}
+}
+
+// TestCoarseProbeMatchesLinearRecall builds an index big enough to trip a
+// low coarse threshold and compares search recall with and without it.
+func TestCoarseProbeMatchesLinearRecall(t *testing.T) {
+	data := clusteredData(9, 3000, 12, 40)
+
+	build := func(threshold int) (*testEnv, []int64) {
+		env := newEnv(t, Config{
+			Dim: 12, TargetPartitionSize: 10, Seed: 4,
+			CentroidIndexThreshold: threshold,
+		})
+		env.upsertAll(t, data, nil)
+		env.rebuild(t)
+		return env, nil
+	}
+
+	linear, _ := build(-1) // disabled
+	coarse, _ := build(50) // 300 partitions >> 50: coarse path active
+
+	var linRecall, coarseRecall float64
+	const queries = 30
+	err := linear.store.View(func(rtL *storage.ReadTxn) error {
+		return coarse.store.View(func(rtC *storage.ReadTxn) error {
+			// Confirm the coarse index is actually in play.
+			csC, err := coarse.ix.loadCentroids(rtC)
+			if err != nil {
+				return err
+			}
+			if csC.coarse == nil {
+				t.Fatal("coarse index not built despite threshold")
+			}
+			csL, err := linear.ix.loadCentroids(rtL)
+			if err != nil {
+				return err
+			}
+			if csL.coarse != nil {
+				t.Fatal("coarse index built while disabled")
+			}
+
+			rng := rand.New(rand.NewSource(8))
+			for qi := 0; qi < queries; qi++ {
+				q := data.Row(rng.Intn(data.Rows))
+				want := bruteForce(vec.L2, data, q, 10)
+				gotL, _, err := linear.ix.Search(rtL, q, SearchOptions{K: 10, NProbe: 12})
+				if err != nil {
+					return err
+				}
+				gotC, _, err := coarse.ix.Search(rtC, q, SearchOptions{K: 10, NProbe: 12})
+				if err != nil {
+					return err
+				}
+				linRecall += recallOf(gotL, want)
+				coarseRecall += recallOf(gotC, want)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linRecall /= queries
+	coarseRecall /= queries
+	if coarseRecall < linRecall-0.08 {
+		t.Errorf("coarse recall %.3f too far below linear %.3f", coarseRecall, linRecall)
+	}
+	if coarseRecall < 0.85 {
+		t.Errorf("coarse recall %.3f too low", coarseRecall)
+	}
+}
+
+// TestCoarseIndexPersistsConfig verifies the threshold survives reopen.
+func TestCoarseIndexPersistsConfig(t *testing.T) {
+	env := newEnv(t, Config{Dim: 4, CentroidIndexThreshold: 123, Seed: 1})
+	err := env.store.Update(func(wt *storage.WriteTxn) error {
+		return env.ix.Upsert(wt, "a", []float32{1, 2, 3, 4}, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(env.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Config().CentroidIndexThreshold != 123 {
+		t.Errorf("threshold after reopen = %d", ix2.Config().CentroidIndexThreshold)
+	}
+}
+
+func BenchmarkProbeSetLinearVsCoarse(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const k, dim = 8000, 32
+	cents := vec.NewMatrix(k, dim)
+	ids := make([]int64, k)
+	counts := make([]int64, k)
+	for i := 0; i < k; i++ {
+		ids[i] = int64(i + 1)
+		for j := 0; j < dim; j++ {
+			cents.Row(i)[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	cs := &centroidSet{ids: ids, counts: counts, mat: cents, norms: cents.Norms(nil)}
+	ix := &Index{cfg: Config{Dim: dim, Metric: vec.L2}}
+	q := make([]float32, dim)
+
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q[0] = float32(i)
+			_ = ix.probeSet(cs, q, 16)
+		}
+	})
+
+	coarse, err := buildCoarseIndex(vec.L2, cents, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	csCoarse := &centroidSet{ids: ids, counts: counts, mat: cents, norms: cents.Norms(nil), coarse: coarse}
+	b.Run("two-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q[0] = float32(i)
+			_ = ix.probeSet(csCoarse, q, 16)
+		}
+	})
+}

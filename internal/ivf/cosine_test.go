@@ -1,0 +1,114 @@
+package ivf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// TestCosineEndToEnd exercises the full index lifecycle under the cosine
+// metric (several Table 2 datasets — NYTimes, DEEPImage, InternalA — use
+// it): build, search recall, flush, and ordering sanity.
+func TestCosineEndToEnd(t *testing.T) {
+	env := newEnv(t, Config{Dim: 16, Metric: vec.Cosine, TargetPartitionSize: 25, Seed: 31})
+	data := clusteredData(41, 1000, 16, 12)
+	for i := 0; i < data.Rows; i++ {
+		vec.Normalize(data.Row(i))
+	}
+	env.upsertAll(t, data, nil)
+	env.rebuild(t)
+
+	rng := rand.New(rand.NewSource(6))
+	err := env.store.View(func(rt *storage.ReadTxn) error {
+		var total float64
+		const queries = 20
+		for qi := 0; qi < queries; qi++ {
+			q := data.Row(rng.Intn(data.Rows))
+			got, _, err := env.ix.Search(rt, q, SearchOptions{K: 10, NProbe: 8})
+			if err != nil {
+				return err
+			}
+			// Distances must be ascending cosine distances in [0, 2].
+			for i, r := range got {
+				if r.Distance < -1e-5 || r.Distance > 2+1e-5 {
+					t.Errorf("cosine distance out of range: %v", r.Distance)
+				}
+				if i > 0 && r.Distance < got[i-1].Distance {
+					t.Errorf("results unsorted at %d", i)
+				}
+			}
+			total += recallOf(got, bruteForce(vec.Cosine, data, q, 10))
+		}
+		if avg := total / queries; avg < 0.9 {
+			t.Errorf("cosine recall = %v", avg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flush under cosine keeps centroids unit-normalized enough for
+	// meaningful assignment (running mean then renormalized lazily at
+	// next rebuild; assignments still work).
+	err = env.store.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < 50; i++ {
+			v := make([]float32, 16)
+			copy(v, data.Row(i))
+			if err := env.ix.Upsert(wt, fmt.Sprintf("dup-%d", i), v, nil); err != nil {
+				return err
+			}
+		}
+		_, err := env.ix.FlushDelta(wt)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = env.store.View(func(rt *storage.ReadTxn) error {
+		got, _, err := env.ix.Search(rt, data.Row(3), SearchOptions{K: 2, NProbe: 6})
+		if err != nil {
+			return err
+		}
+		// The duplicate of row 3 must be found at distance ~0.
+		found := false
+		for _, r := range got {
+			if r.AssetID == "dup-3" || r.AssetID == "asset-3" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("flushed duplicate missing: %+v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDotMetricSearch covers the inner-product metric path.
+func TestDotMetricSearch(t *testing.T) {
+	env := newEnv(t, Config{Dim: 8, Metric: vec.Dot, TargetPartitionSize: 20, Seed: 33})
+	data := clusteredData(43, 400, 8, 6)
+	env.upsertAll(t, data, nil)
+	env.rebuild(t)
+	err := env.store.View(func(rt *storage.ReadTxn) error {
+		q := data.Row(7)
+		got, _, err := env.ix.Search(rt, q, SearchOptions{K: 5, Exact: true})
+		if err != nil {
+			return err
+		}
+		want := bruteForce(vec.Dot, data, q, 5)
+		if r := recallOf(got, want); r != 1 {
+			t.Errorf("dot exact recall = %v", r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

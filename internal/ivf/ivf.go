@@ -1,0 +1,676 @@
+// Package ivf implements MicroNN's disk-resident IVF vector index (paper
+// §3): a partitioned vector table clustered on (partition id, vector id), a
+// centroid table, a delta-store for streaming updates (the reserved
+// partition 0), attribute storage with secondary and full-text indexes for
+// hybrid search, the Algorithm 2 ANN search with parallel partition scans,
+// multi-query-optimized batch search, a hybrid query optimizer, and full /
+// incremental index maintenance.
+package ivf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"micronn/internal/btree"
+	"micronn/internal/fts"
+	"micronn/internal/reldb"
+	"micronn/internal/stats"
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// DeltaPartition is the reserved partition id for the delta-store. Newly
+// inserted vectors stay here until maintenance assigns them to an IVF
+// partition; every search scans it in addition to the probed partitions.
+const DeltaPartition int64 = 0
+
+// Table names.
+const (
+	tblVectors   = "vectors"
+	tblCentroids = "centroids"
+	tblAssets    = "assets"
+	tblVIDs      = "vids"
+	tblAttrs     = "attributes"
+	tblMeta      = "meta"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound    = errors.New("ivf: asset not found")
+	ErrDimMismatch = errors.New("ivf: vector dimensionality mismatch")
+	ErrNoFilter    = errors.New("ivf: filter references unknown attribute")
+)
+
+// AttributeDef declares a filterable attribute (paper §3.5: clients define
+// attributes; indexed ones get a B-tree, full-text ones an FTS index).
+type AttributeDef struct {
+	Name string        `json:"name"`
+	Type reldb.ColType `json:"type"`
+	// Indexed builds a secondary B-tree index enabling pre-filter plans
+	// for =, <, >, <=, >= predicates on this attribute.
+	Indexed bool `json:"indexed"`
+	// FullText builds an inverted token index enabling MATCH predicates.
+	// Only valid for TypeText attributes.
+	FullText bool `json:"full_text"`
+}
+
+// Config parameterizes an index. It is persisted in the meta table at
+// Create time; Open restores it.
+type Config struct {
+	// Dim is the vector dimensionality.
+	Dim int `json:"dim"`
+	// Metric is the distance metric.
+	Metric vec.Metric `json:"metric"`
+	// TargetPartitionSize is the desired vectors per partition
+	// (default 100, the paper's default).
+	TargetPartitionSize int `json:"target_partition_size"`
+	// RebuildGrowthThreshold triggers a full rebuild when the average
+	// partition size exceeds the at-build average by this fraction
+	// (default 0.5, the 50% threshold used in the paper's §4.3.4).
+	RebuildGrowthThreshold float64 `json:"rebuild_growth_threshold"`
+	// Attributes declares the filterable attributes.
+	Attributes []AttributeDef `json:"attributes"`
+	// Workers bounds scan parallelism (default GOMAXPROCS).
+	Workers int `json:"workers"`
+	// ClusterBatchSize, ClusterIterations and BalancePenalty feed the
+	// mini-batch k-means trainer (zero values pick its defaults).
+	ClusterBatchSize  int     `json:"cluster_batch_size"`
+	ClusterIterations int     `json:"cluster_iterations"`
+	BalancePenalty    float32 `json:"balance_penalty"`
+	// CentroidIndexThreshold is the partition count above which a
+	// two-level coarse index accelerates centroid ranking (the extension
+	// the paper sketches in §3.2 for very large collections). 0 uses the
+	// default of 4096; negative disables the coarse index entirely.
+	CentroidIndexThreshold int `json:"centroid_index_threshold"`
+	// Seed makes clustering deterministic.
+	Seed int64 `json:"seed"`
+}
+
+func (c *Config) fillDefaults() {
+	if c.TargetPartitionSize == 0 {
+		c.TargetPartitionSize = 100
+	}
+	if c.RebuildGrowthThreshold == 0 {
+		c.RebuildGrowthThreshold = 0.5
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// state is the transactional index state, stored as a meta row and updated
+// inside every mutating transaction.
+type state struct {
+	NextVID        int64   `json:"next_vid"`
+	NumVectors     int64   `json:"num_vectors"`
+	DeltaCount     int64   `json:"delta_count"`
+	NumPartitions  int64   `json:"num_partitions"` // excluding the delta
+	AvgSizeAtBuild float64 `json:"avg_size_at_build"`
+	// Generation increments on every operation that changes centroids
+	// (rebuild, flush); it keys the in-memory centroid cache.
+	Generation int64 `json:"generation"`
+}
+
+// Index is the disk-resident IVF index.
+type Index struct {
+	db  *reldb.DB
+	cfg Config
+
+	vectors   *reldb.Table
+	centroids *reldb.Table
+	assets    *reldb.Table
+	vids      *reldb.Table
+	attrs     *reldb.Table
+	meta      *reldb.Table
+
+	attrIndexes map[string]*reldb.Index // attribute name -> secondary index
+	ftsIndexes  map[string]*fts.Index   // attribute name -> fts index
+	attrPos     map[string]int          // attribute name -> position in attrs row
+
+	// Cached centroids, keyed by state.Generation.
+	centMu    sync.Mutex
+	centCache *centroidSet
+
+	// Cached attribute statistics for the optimizer.
+	statsMu    sync.Mutex
+	statsCache *stats.TableStats
+	statsGen   int64
+
+	// scanPool recycles per-worker scan buffers across searches, keeping
+	// steady-state query memory flat (queries on a warm cache allocate
+	// almost nothing). probePool recycles the centroid-distance scratch.
+	scanPool  sync.Pool
+	probePool sync.Pool
+}
+
+// probeScratch is the centroid-distance scratch used by probeSet.
+type probeScratch struct {
+	dists []float32
+	order []int
+}
+
+func (ix *Index) getProbeScratch(n int) *probeScratch {
+	ps, ok := ix.probePool.Get().(*probeScratch)
+	if !ok {
+		ps = &probeScratch{}
+	}
+	if cap(ps.dists) < n {
+		ps.dists = make([]float32, n)
+		ps.order = make([]int, n)
+	}
+	return ps
+}
+
+// scanBuffers is the per-worker scratch for partition scans.
+type scanBuffers struct {
+	batch  *vec.Matrix
+	vids   []int64
+	assets []string
+	dists  []float32
+}
+
+func (ix *Index) getScanBuffers() *scanBuffers {
+	if b, ok := ix.scanPool.Get().(*scanBuffers); ok {
+		return b
+	}
+	return &scanBuffers{
+		batch:  vec.NewMatrix(scanBatch, ix.cfg.Dim),
+		vids:   make([]int64, 0, scanBatch),
+		assets: make([]string, 0, scanBatch),
+		dists:  make([]float32, scanBatch),
+	}
+}
+
+func (ix *Index) putScanBuffers(b *scanBuffers) {
+	b.vids = b.vids[:0]
+	b.assets = b.assets[:0]
+	ix.scanPool.Put(b)
+}
+
+// centroidSet is the decoded centroid table: partition ids, centroid
+// matrix, per-row squared norms and per-partition counts. For very large
+// partition counts a two-level coarse index accelerates centroid ranking
+// (see centindex.go).
+type centroidSet struct {
+	gen    int64
+	ids    []int64
+	counts []int64
+	mat    *vec.Matrix
+	norms  []float32
+	coarse *coarseIndex
+}
+
+// Create initializes the index tables inside wt and returns the handle.
+func Create(db *reldb.DB, wt *storage.WriteTxn, cfg Config) (*Index, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("ivf: Dim must be positive")
+	}
+	cfg.fillDefaults()
+
+	attrCols := make([]reldb.Column, 0, len(cfg.Attributes))
+	for _, a := range cfg.Attributes {
+		if a.FullText && a.Type != reldb.TypeText {
+			return nil, fmt.Errorf("ivf: attribute %s: FullText requires TypeText", a.Name)
+		}
+		attrCols = append(attrCols, reldb.Column{Name: a.Name, Type: a.Type})
+	}
+
+	schemas := []*reldb.Schema{
+		{
+			Name: tblVectors,
+			Key: []reldb.Column{
+				{Name: "part", Type: reldb.TypeInt64},
+				{Name: "vid", Type: reldb.TypeInt64},
+			},
+			Cols: []reldb.Column{
+				{Name: "asset", Type: reldb.TypeText},
+				{Name: "blob", Type: reldb.TypeBlob},
+			},
+		},
+		{
+			Name: tblCentroids,
+			Key:  []reldb.Column{{Name: "part", Type: reldb.TypeInt64}},
+			Cols: []reldb.Column{
+				{Name: "blob", Type: reldb.TypeBlob},
+				{Name: "count", Type: reldb.TypeInt64},
+			},
+		},
+		{
+			Name: tblAssets,
+			Key:  []reldb.Column{{Name: "asset", Type: reldb.TypeText}},
+			Cols: []reldb.Column{
+				{Name: "part", Type: reldb.TypeInt64},
+				{Name: "vid", Type: reldb.TypeInt64},
+			},
+		},
+		{
+			Name: tblVIDs,
+			Key:  []reldb.Column{{Name: "vid", Type: reldb.TypeInt64}},
+			Cols: []reldb.Column{
+				{Name: "part", Type: reldb.TypeInt64},
+				{Name: "asset", Type: reldb.TypeText},
+			},
+		},
+		{
+			Name: tblAttrs,
+			Key:  []reldb.Column{{Name: "vid", Type: reldb.TypeInt64}},
+			Cols: attrCols,
+		},
+		{
+			Name: tblMeta,
+			Key:  []reldb.Column{{Name: "key", Type: reldb.TypeText}},
+			Cols: []reldb.Column{{Name: "value", Type: reldb.TypeBlob}},
+		},
+	}
+	for _, s := range schemas {
+		if err := db.CreateTable(wt, s); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range cfg.Attributes {
+		if a.Indexed {
+			if err := db.CreateIndex(wt, "attr_"+a.Name, tblAttrs, a.Name); err != nil {
+				return nil, err
+			}
+		}
+		if a.FullText {
+			if _, err := fts.Create(db, wt, "attr_"+a.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ix, err := open(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfgBlob, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.meta.Put(wt, reldb.Row{reldb.S("config"), reldb.B(cfgBlob)}); err != nil {
+		return nil, err
+	}
+	if err := ix.putState(wt, state{}); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Open loads an existing index, restoring its configuration.
+func Open(db *reldb.DB) (*Index, error) {
+	meta, err := db.Table(tblMeta)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		row, err := meta.Get(rt, reldb.S("config"))
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(row[1].Bts, &cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: load config: %w", err)
+	}
+	cfg.fillDefaults()
+	return open(db, cfg)
+}
+
+func open(db *reldb.DB, cfg Config) (*Index, error) {
+	ix := &Index{
+		db:          db,
+		cfg:         cfg,
+		attrIndexes: make(map[string]*reldb.Index),
+		ftsIndexes:  make(map[string]*fts.Index),
+		attrPos:     make(map[string]int),
+	}
+	var err error
+	if ix.vectors, err = db.Table(tblVectors); err != nil {
+		return nil, err
+	}
+	if ix.centroids, err = db.Table(tblCentroids); err != nil {
+		return nil, err
+	}
+	if ix.assets, err = db.Table(tblAssets); err != nil {
+		return nil, err
+	}
+	if ix.vids, err = db.Table(tblVIDs); err != nil {
+		return nil, err
+	}
+	if ix.attrs, err = db.Table(tblAttrs); err != nil {
+		return nil, err
+	}
+	if ix.meta, err = db.Table(tblMeta); err != nil {
+		return nil, err
+	}
+	for i, a := range cfg.Attributes {
+		ix.attrPos[a.Name] = 1 + i // position in the attrs row (after vid)
+		if a.Indexed {
+			idx, err := db.Index("attr_" + a.Name)
+			if err != nil {
+				return nil, err
+			}
+			ix.attrIndexes[a.Name] = idx
+		}
+		if a.FullText {
+			f, err := fts.Open(db, "attr_"+a.Name)
+			if err != nil {
+				return nil, err
+			}
+			ix.ftsIndexes[a.Name] = f
+		}
+	}
+	return ix, nil
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// DB exposes the relational layer (used by the bench harness).
+func (ix *Index) DB() *reldb.DB { return ix.db }
+
+func (ix *Index) getState(txn btree.ReadTxn) (state, error) {
+	var st state
+	row, err := ix.meta.Get(txn, reldb.S("state"))
+	if err != nil {
+		return st, fmt.Errorf("ivf: load state: %w", err)
+	}
+	if err := json.Unmarshal(row[1].Bts, &st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func (ix *Index) putState(wt *storage.WriteTxn, st state) error {
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return ix.meta.Put(wt, reldb.Row{reldb.S("state"), reldb.B(blob)})
+}
+
+// Stats summarizes the index for monitoring (paper's index monitor).
+type Stats struct {
+	NumVectors    int64
+	DeltaCount    int64
+	NumPartitions int64
+	// AvgPartitionSize is vectors-per-partition over the IVF partitions
+	// (excluding the delta).
+	AvgPartitionSize float64
+	// AvgSizeAtBuild is the average partition size right after the last
+	// full build; the monitor compares growth against it.
+	AvgSizeAtBuild float64
+	Generation     int64
+}
+
+// Stats reads the monitor counters at the transaction's snapshot.
+func (ix *Index) Stats(txn btree.ReadTxn) (Stats, error) {
+	st, err := ix.getState(txn)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		NumVectors:     st.NumVectors,
+		DeltaCount:     st.DeltaCount,
+		NumPartitions:  st.NumPartitions,
+		AvgSizeAtBuild: st.AvgSizeAtBuild,
+		Generation:     st.Generation,
+	}
+	if st.NumPartitions > 0 {
+		s.AvgPartitionSize = float64(st.NumVectors-st.DeltaCount) / float64(st.NumPartitions)
+	}
+	return s, nil
+}
+
+// NeedsRebuild reports whether the index monitor's growth threshold is
+// exceeded (paper §3.6: unbounded partition growth is prevented by a full
+// rebuild once average size grows past the client threshold). An index
+// that has never been built needs a build once it holds any vectors.
+func (ix *Index) NeedsRebuild(txn btree.ReadTxn) (bool, error) {
+	st, err := ix.getState(txn)
+	if err != nil {
+		return false, err
+	}
+	if st.NumPartitions == 0 {
+		return st.NumVectors > 0, nil
+	}
+	if st.AvgSizeAtBuild == 0 {
+		return false, nil
+	}
+	avg := float64(st.NumVectors-st.DeltaCount) / float64(st.NumPartitions)
+	return avg > st.AvgSizeAtBuild*(1+ix.cfg.RebuildGrowthThreshold), nil
+}
+
+// Upsert inserts or replaces the vector for asset (upsert semantics keyed
+// on the client's asset id, §3.6). New vectors land in the delta-store.
+// attrValues supplies declared attributes; missing attributes are null.
+func (ix *Index) Upsert(wt *storage.WriteTxn, asset string, vector []float32, attrValues map[string]reldb.Value) error {
+	if len(vector) != ix.cfg.Dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vector), ix.cfg.Dim)
+	}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return err
+	}
+	// Upsert semantics: drop any existing vector for this asset.
+	removed, err := ix.removeAsset(wt, asset, &st)
+	if err != nil {
+		return err
+	}
+	_ = removed
+
+	vid := st.NextVID
+	st.NextVID++
+	blob := vec.ToBlob(make([]byte, 0, vec.BlobSize(ix.cfg.Dim)), vector)
+
+	if err := ix.vectors.Put(wt, reldb.Row{reldb.I(DeltaPartition), reldb.I(vid), reldb.S(asset), reldb.B(blob)}); err != nil {
+		return err
+	}
+	if err := ix.assets.Put(wt, reldb.Row{reldb.S(asset), reldb.I(DeltaPartition), reldb.I(vid)}); err != nil {
+		return err
+	}
+	if err := ix.vids.Put(wt, reldb.Row{reldb.I(vid), reldb.I(DeltaPartition), reldb.S(asset)}); err != nil {
+		return err
+	}
+
+	attrRow := make(reldb.Row, 1+len(ix.cfg.Attributes))
+	attrRow[0] = reldb.I(vid)
+	for i, a := range ix.cfg.Attributes {
+		v, ok := attrValues[a.Name]
+		if !ok {
+			v = reldb.Null()
+		}
+		attrRow[1+i] = v
+	}
+	for name := range attrValues {
+		if _, ok := ix.attrPos[name]; !ok {
+			return fmt.Errorf("ivf: undeclared attribute %q", name)
+		}
+	}
+	if err := ix.attrs.Put(wt, attrRow); err != nil {
+		return err
+	}
+	for name, f := range ix.ftsIndexes {
+		v := attrRow[ix.attrPos[name]]
+		if !v.IsNull() {
+			if err := f.Add(wt, vid, v.Str); err != nil {
+				return err
+			}
+		}
+	}
+
+	st.NumVectors++
+	st.DeltaCount++
+	if err := ix.putState(wt, st); err != nil {
+		return err
+	}
+	return wt.SpillIfNeeded()
+}
+
+// Delete removes the asset's vector, returning ErrNotFound if absent.
+func (ix *Index) Delete(wt *storage.WriteTxn, asset string) error {
+	st, err := ix.getState(wt)
+	if err != nil {
+		return err
+	}
+	removed, err := ix.removeAsset(wt, asset, &st)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return ErrNotFound
+	}
+	if err := ix.putState(wt, st); err != nil {
+		return err
+	}
+	return wt.SpillIfNeeded()
+}
+
+// removeAsset deletes all rows belonging to asset, adjusting st counters.
+func (ix *Index) removeAsset(wt *storage.WriteTxn, asset string, st *state) (bool, error) {
+	row, err := ix.assets.Get(wt, reldb.S(asset))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	part, vid := row[1].Int, row[2].Int
+
+	if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(vid)); err != nil {
+		return false, err
+	}
+	if err := ix.assets.Delete(wt, reldb.S(asset)); err != nil {
+		return false, err
+	}
+	if err := ix.vids.Delete(wt, reldb.I(vid)); err != nil {
+		return false, err
+	}
+	attrRow, err := ix.attrs.Get(wt, reldb.I(vid))
+	if err == nil {
+		for name, f := range ix.ftsIndexes {
+			v := attrRow[ix.attrPos[name]]
+			if !v.IsNull() {
+				if err := f.Remove(wt, vid, v.Str); err != nil {
+					return false, err
+				}
+			}
+		}
+		if err := ix.attrs.Delete(wt, reldb.I(vid)); err != nil {
+			return false, err
+		}
+	} else if !errors.Is(err, reldb.ErrNotFound) {
+		return false, err
+	}
+
+	st.NumVectors--
+	if part == DeltaPartition {
+		st.DeltaCount--
+	}
+	return true, nil
+}
+
+// GetVector returns the stored vector and attributes for asset.
+func (ix *Index) GetVector(txn btree.ReadTxn, asset string) ([]float32, map[string]reldb.Value, error) {
+	row, err := ix.assets.Get(txn, reldb.S(asset))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return nil, nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	part, vid := row[1].Int, row[2].Int
+	vrow, err := ix.vectors.Get(txn, reldb.I(part), reldb.I(vid))
+	if err != nil {
+		return nil, nil, err
+	}
+	vector := make([]float32, ix.cfg.Dim)
+	vec.FromBlob(vector, vrow[3].Bts)
+
+	attrs := make(map[string]reldb.Value)
+	arow, err := ix.attrs.Get(txn, reldb.I(vid))
+	if err == nil {
+		for name, pos := range ix.attrPos {
+			if !arow[pos].IsNull() {
+				attrs[name] = arow[pos]
+			}
+		}
+	} else if !errors.Is(err, reldb.ErrNotFound) {
+		return nil, nil, err
+	}
+	return vector, attrs, nil
+}
+
+// loadCentroids returns the centroid set visible at txn's snapshot, using
+// the in-memory cache when its generation matches. This cache is why the
+// paper's WarmCache scenario skips the centroid scan entirely.
+func (ix *Index) loadCentroids(txn btree.ReadTxn) (*centroidSet, error) {
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, err
+	}
+	ix.centMu.Lock()
+	if ix.centCache != nil && ix.centCache.gen == st.Generation {
+		cs := ix.centCache
+		ix.centMu.Unlock()
+		return cs, nil
+	}
+	ix.centMu.Unlock()
+
+	var ids []int64
+	var counts []int64
+	var blobs [][]byte
+	err = ix.centroids.Scan(txn, nil, func(row reldb.Row) error {
+		ids = append(ids, row[0].Int)
+		blobs = append(blobs, row[1].Bts)
+		counts = append(counts, row[2].Int)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mat := vec.NewMatrix(len(ids), ix.cfg.Dim)
+	for i, b := range blobs {
+		mat.AppendRowBlob(i, b)
+	}
+	cs := &centroidSet{
+		gen:    st.Generation,
+		ids:    ids,
+		counts: counts,
+		mat:    mat,
+		norms:  mat.Norms(make([]float32, 0, len(ids))),
+	}
+	threshold := ix.cfg.CentroidIndexThreshold
+	if threshold == 0 {
+		threshold = centroidIndexThreshold
+	}
+	if threshold > 0 && len(ids) >= threshold {
+		coarse, err := buildCoarseIndex(ix.cfg.Metric, mat, ix.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cs.coarse = coarse
+	}
+	ix.centMu.Lock()
+	if ix.centCache == nil || ix.centCache.gen <= cs.gen {
+		ix.centCache = cs
+	}
+	ix.centMu.Unlock()
+	return cs, nil
+}
+
+// DropCaches clears the in-memory centroid and statistics caches (the
+// ColdStart scenario, combined with storage.Store.DropCaches).
+func (ix *Index) DropCaches() {
+	ix.centMu.Lock()
+	ix.centCache = nil
+	ix.centMu.Unlock()
+	ix.statsMu.Lock()
+	ix.statsCache = nil
+	ix.statsGen = -1
+	ix.statsMu.Unlock()
+}

@@ -1,0 +1,61 @@
+package ivf
+
+import (
+	"errors"
+
+	"micronn/internal/btree"
+	"micronn/internal/reldb"
+)
+
+// Raw access helpers used by benchmarks and the CLI. They expose the
+// storage layout directly so experiments (e.g. the clustered-vs-shuffled
+// layout ablation) can compare access patterns without going through the
+// search path.
+
+// PartitionIDs returns every IVF partition id (excluding the delta) at the
+// transaction's snapshot.
+func (ix *Index) PartitionIDs(txn btree.ReadTxn) ([]int64, error) {
+	cs, err := ix.loadCentroids(txn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(cs.ids))
+	copy(out, cs.ids)
+	return out, nil
+}
+
+// ScanPartition streams the (vid, vector blob) pairs of one partition in
+// clustered order — a single contiguous B+tree range scan.
+func (ix *Index) ScanPartition(txn btree.ReadTxn, part int64, fn func(vid int64, blob []byte) error) error {
+	return ix.vectors.Scan(txn, []reldb.Value{reldb.I(part)}, func(row reldb.Row) error {
+		return fn(row[1].Int, row[3].Bts)
+	})
+}
+
+// FetchVector resolves a vector by vid through the vid mapping — the
+// random-access path an unclustered layout would force for every row.
+func (ix *Index) FetchVector(txn btree.ReadTxn, vid int64) ([]byte, error) {
+	vrow, err := ix.vids.Get(txn, reldb.I(vid))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	row, err := ix.vectors.Get(txn, reldb.I(vrow[1].Int), reldb.I(vid))
+	if err != nil {
+		return nil, err
+	}
+	return row[3].Bts, nil
+}
+
+// PartitionSizes returns the vector count of every partition including the
+// delta (index-monitor diagnostics; the balance ablation reports these).
+func (ix *Index) PartitionSizes(txn btree.ReadTxn) (map[int64]int, error) {
+	sizes := make(map[int64]int)
+	err := ix.vectors.ScanKeys(txn, nil, func(key reldb.Row) error {
+		sizes[key[0].Int]++
+		return nil
+	})
+	return sizes, err
+}

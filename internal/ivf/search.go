@@ -1,0 +1,566 @@
+package ivf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"micronn/internal/btree"
+	"micronn/internal/fts"
+	"micronn/internal/reldb"
+	"micronn/internal/stats"
+	"micronn/internal/storage"
+	"micronn/internal/topk"
+	"micronn/internal/vec"
+)
+
+// PlanType identifies a hybrid query execution plan (paper §3.5).
+type PlanType uint8
+
+const (
+	// PlanAuto lets the optimizer choose between pre- and post-filtering
+	// from selectivity estimates.
+	PlanAuto PlanType = iota
+	// PlanPreFilter evaluates the attribute filter first and brute-forces
+	// the qualifying vectors: 100% recall, latency proportional to the
+	// qualifying set.
+	PlanPreFilter
+	// PlanPostFilter runs the IVF scan with the filter applied to each
+	// candidate during the partition scan.
+	PlanPostFilter
+)
+
+// String names the plan.
+func (p PlanType) String() string {
+	switch p {
+	case PlanAuto:
+		return "auto"
+	case PlanPreFilter:
+		return "pre-filter"
+	case PlanPostFilter:
+		return "post-filter"
+	default:
+		return fmt.Sprintf("PlanType(%d)", uint8(p))
+	}
+}
+
+// SearchOptions parameterizes Search.
+type SearchOptions struct {
+	// K is the number of neighbours to return (required).
+	K int
+	// NProbe is the number of IVF partitions to scan (Algorithm 2's n);
+	// the delta partition is always scanned in addition. Defaults to 8.
+	NProbe int
+	// Filters is the CNF attribute filter set; nil means pure ANN.
+	Filters []stats.Filter
+	// Exact forces an exhaustive KNN scan (with filters applied row-wise
+	// when present).
+	Exact bool
+	// Plan overrides the optimizer's pre/post-filter choice.
+	Plan PlanType
+}
+
+// PlanInfo reports how a query executed.
+type PlanInfo struct {
+	Plan              PlanType
+	FilterSelectivity float64 // F̂_filters, when filters were present
+	IVFSelectivity    float64 // F̂_IVF = n·p/|R|
+	PartitionsScanned int
+	VectorsScanned    int64 // vectors whose distance was computed
+	RowsFiltered      int64 // candidates rejected by predicates pre-distance
+}
+
+// Search performs (approximate or exact) K-nearest-neighbour search with
+// optional hybrid attribute filters. It is safe for concurrent use with a
+// *storage.ReadTxn; partition scans then run on the configured worker pool
+// (Algorithm 2). With any other transaction type the scan is sequential.
+func (ix *Index) Search(txn btree.ReadTxn, q []float32, opts SearchOptions) ([]topk.Result, *PlanInfo, error) {
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("ivf: K must be positive")
+	}
+	if len(q) != ix.cfg.Dim {
+		return nil, nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), ix.cfg.Dim)
+	}
+	if opts.NProbe <= 0 {
+		opts.NProbe = 8
+	}
+	info := &PlanInfo{Plan: PlanPostFilter}
+
+	cs, err := ix.loadCentroids(txn)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if opts.Exact {
+		parts := append([]int64{DeltaPartition}, cs.ids...)
+		res, err := ix.scanPartitions(txn, parts, q, opts.K, opts.Filters, info)
+		return res, info, err
+	}
+
+	if len(opts.Filters) > 0 {
+		return ix.hybridSearch(txn, q, opts, cs, st, info)
+	}
+
+	parts := ix.probeSet(cs, q, opts.NProbe)
+	info.IVFSelectivity = ivfSelectivity(opts.NProbe, ix.cfg.TargetPartitionSize, st.NumVectors)
+	res, err := ix.scanPartitions(txn, parts, q, opts.K, nil, info)
+	return res, info, err
+}
+
+// probeSet returns the delta partition plus the NProbe partitions whose
+// centroids are nearest to q (Algorithm 2 line 3). Past the coarse-index
+// threshold the two-level centroid index replaces the linear scan.
+func (ix *Index) probeSet(cs *centroidSet, q []float32, nprobe int) []int64 {
+	if len(cs.ids) == 0 {
+		return []int64{DeltaPartition}
+	}
+	if nprobe > len(cs.ids) {
+		nprobe = len(cs.ids)
+	}
+	if parts := ix.probeSetCoarse(cs, q, nprobe); parts != nil {
+		return parts
+	}
+	ps := ix.getProbeScratch(cs.mat.Rows)
+	defer ix.probePool.Put(ps)
+	dists := ps.dists[:cs.mat.Rows]
+	vec.DistancesOneToMany(ix.cfg.Metric, q, cs.mat, l2Only(ix.cfg.Metric, cs.norms), dists)
+	order := ps.order[:cs.mat.Rows]
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	parts := make([]int64, 0, nprobe+1)
+	parts = append(parts, DeltaPartition)
+	for _, i := range order[:nprobe] {
+		parts = append(parts, cs.ids[i])
+	}
+	return parts
+}
+
+// ivfSelectivity implements F̂_IVF = n·p/|R| (paper Eq. 2).
+func ivfSelectivity(nprobe, targetSize int, numVectors int64) float64 {
+	if numVectors == 0 {
+		return 1
+	}
+	f := float64(nprobe) * float64(targetSize) / float64(numVectors)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// scanBatch is the number of candidate vectors gathered before one batched
+// distance-kernel call during partition scans.
+const scanBatch = 256
+
+// scanPartitions runs Algorithm 2's partition scans: each worker scans
+// whole partitions, maintains a private top-K heap, evaluates predicate
+// filters before distances (the paper's pre-distance filter join), and the
+// per-worker heaps are merged at the end.
+func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, k int, filters []stats.Filter, info *PlanInfo) ([]topk.Result, error) {
+	info.PartitionsScanned += len(parts)
+	workers := ix.cfg.Workers
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if _, parallel := txn.(*storage.ReadTxn); !parallel {
+		workers = 1
+	}
+
+	heaps := make([]*topk.Heap, workers)
+	scanned := make([]int64, workers)
+	filtered := make([]int64, workers)
+	partCh := make(chan int64, len(parts))
+	for _, p := range parts {
+		partCh <- p
+	}
+	close(partCh)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		heaps[w] = topk.New(k)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc, fl, err := ix.scanWorker(txn, partCh, q, heaps[w], filters)
+			scanned[w] += sc
+			filtered[w] += fl
+			if err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	for w := 0; w < workers; w++ {
+		info.VectorsScanned += scanned[w]
+		info.RowsFiltered += filtered[w]
+	}
+	return topk.Merge(k, heaps...), nil
+}
+
+// scanWorker drains partitions from partCh into its private heap.
+func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, q []float32, heap *topk.Heap, filters []stats.Filter) (scanned, filtered int64, err error) {
+	buf := ix.getScanBuffers()
+	defer ix.putScanBuffers(buf)
+
+	flush := func() {
+		n := len(buf.vids)
+		if n == 0 {
+			return
+		}
+		sub := &vec.Matrix{Data: buf.batch.Data[:n*ix.cfg.Dim], Rows: n, Dim: ix.cfg.Dim}
+		vec.DistancesOneToMany(ix.cfg.Metric, q, sub, nil, buf.dists[:n])
+		for i := 0; i < n; i++ {
+			heap.Push(topk.Result{AssetID: buf.assets[i], VectorID: buf.vids[i], Distance: buf.dists[i]})
+		}
+		scanned += int64(n)
+		buf.vids = buf.vids[:0]
+		buf.assets = buf.assets[:0]
+	}
+
+	for part := range partCh {
+		perr := ix.vectors.Scan(txn, []reldb.Value{reldb.I(part)}, func(row reldb.Row) error {
+			vid := row[1].Int
+			if len(filters) > 0 {
+				ok, ferr := ix.evalFilters(txn, vid, filters)
+				if ferr != nil {
+					return ferr
+				}
+				if !ok {
+					filtered++
+					return nil
+				}
+			}
+			buf.batch.AppendRowBlob(len(buf.vids), row[3].Bts)
+			buf.vids = append(buf.vids, vid)
+			buf.assets = append(buf.assets, row[2].Str)
+			if len(buf.vids) == scanBatch {
+				flush()
+			}
+			return nil
+		})
+		if perr != nil {
+			return scanned, filtered, perr
+		}
+		flush()
+	}
+	return scanned, filtered, nil
+}
+
+// evalFilters applies the CNF filter set to the vector identified by vid.
+// MATCH predicates on full-text attributes are answered by direct posting
+// probes; the attribute row is fetched lazily, only when a comparison
+// predicate needs it.
+func (ix *Index) evalFilters(txn btree.ReadTxn, vid int64, filters []stats.Filter) (bool, error) {
+	var row reldb.Row
+	var rowLoaded, rowMissing bool
+	loadRow := func() error {
+		if rowLoaded {
+			return nil
+		}
+		rowLoaded = true
+		var err error
+		row, err = ix.attrs.Get(txn, reldb.I(vid))
+		if errors.Is(err, reldb.ErrNotFound) {
+			rowMissing = true
+			return nil
+		}
+		return err
+	}
+	for _, group := range filters {
+		matched := false
+		for _, pred := range group.AnyOf {
+			pos, ok := ix.attrPos[pred.Column]
+			if !ok {
+				return false, fmt.Errorf("%w: %q", ErrNoFilter, pred.Column)
+			}
+			if pred.Op == reldb.OpMatch {
+				if f, ok := ix.ftsIndexes[pred.Column]; ok {
+					hit, err := f.ContainsAll(txn, vid, pred.Value.Str)
+					if err != nil {
+						return false, err
+					}
+					if hit {
+						matched = true
+						break
+					}
+					continue
+				}
+			}
+			if err := loadRow(); err != nil {
+				return false, err
+			}
+			if rowMissing {
+				continue
+			}
+			if pred.Eval(row[pos], fts.Match) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- hybrid search ---
+
+// hybridSearch chooses and executes a pre- or post-filter plan.
+func (ix *Index) hybridSearch(txn btree.ReadTxn, q []float32, opts SearchOptions, cs *centroidSet, st state, info *PlanInfo) ([]topk.Result, *PlanInfo, error) {
+	info.IVFSelectivity = ivfSelectivity(opts.NProbe, ix.cfg.TargetPartitionSize, st.NumVectors)
+
+	plan := opts.Plan
+	if plan == PlanAuto {
+		fsel, err := ix.estimateFilterSelectivity(txn, opts.Filters, st.Generation)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.FilterSelectivity = fsel
+		// The optimizer rule (§3.5.1): pre-filter iff the attribute
+		// filter narrows the search more than the IVF probe set would.
+		if fsel < info.IVFSelectivity {
+			plan = PlanPreFilter
+		} else {
+			plan = PlanPostFilter
+		}
+	}
+	info.Plan = plan
+
+	switch plan {
+	case PlanPreFilter:
+		res, err := ix.preFilterSearch(txn, q, opts, info)
+		return res, info, err
+	default:
+		parts := ix.probeSet(cs, q, opts.NProbe)
+		res, err := ix.scanPartitions(txn, parts, q, opts.K, opts.Filters, info)
+		return res, info, err
+	}
+}
+
+// estimateFilterSelectivity computes F̂_filters using cached attribute
+// statistics and FTS document frequencies.
+func (ix *Index) estimateFilterSelectivity(txn btree.ReadTxn, filters []stats.Filter, gen int64) (float64, error) {
+	ts, err := ix.attrStats(txn, gen)
+	if err != nil {
+		return 1, err
+	}
+	if ts == nil {
+		return 1, nil // never analyzed: assume non-selective
+	}
+	docFreq := func(column, token string) (int64, int64, error) {
+		f, ok := ix.ftsIndexes[column]
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: MATCH on %q without full-text index", ErrNoFilter, column)
+		}
+		df, err := f.DocFreq(txn, token)
+		if err != nil {
+			return 0, 0, err
+		}
+		total, err := f.TotalDocs(txn)
+		if err != nil {
+			return 0, 0, err
+		}
+		return df, total, nil
+	}
+	return ts.FilterSelectivity(filters, docFreq)
+}
+
+// attrStats returns cached attribute statistics, reloading when the index
+// generation changed.
+func (ix *Index) attrStats(txn btree.ReadTxn, gen int64) (*stats.TableStats, error) {
+	ix.statsMu.Lock()
+	if ix.statsCache != nil && ix.statsGen == gen {
+		ts := ix.statsCache
+		ix.statsMu.Unlock()
+		return ts, nil
+	}
+	ix.statsMu.Unlock()
+	ts, err := stats.Load(ix.db, txn, tblAttrs)
+	if err != nil {
+		return nil, err
+	}
+	ix.statsMu.Lock()
+	ix.statsCache = ts
+	ix.statsGen = gen
+	ix.statsMu.Unlock()
+	return ts, nil
+}
+
+// preFilterSearch evaluates the filters first, then brute-forces the
+// qualifying vectors — 100% recall over the filtered set (paper §3.5).
+// The driver is the most selective index-supported filter group; remaining
+// groups are verified against the attribute row.
+func (ix *Index) preFilterSearch(txn btree.ReadTxn, q []float32, opts SearchOptions, info *PlanInfo) ([]topk.Result, error) {
+	driver, rest, err := ix.chooseDriver(txn, opts.Filters)
+	if err != nil {
+		return nil, err
+	}
+	heap := topk.New(opts.K)
+	x := make([]float32, ix.cfg.Dim)
+
+	// process verifies the remaining filter groups (if any), fetches the
+	// vector and offers it to the heap.
+	process := func(vid int64, verify []stats.Filter) error {
+		if len(verify) > 0 {
+			ok, err := ix.evalFilters(txn, vid, verify)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				info.RowsFiltered++
+				return nil
+			}
+		}
+		vrow, err := ix.vids.Get(txn, reldb.I(vid))
+		if errors.Is(err, reldb.ErrNotFound) {
+			return nil // attr row without vector (shouldn't happen)
+		}
+		if err != nil {
+			return err
+		}
+		part, asset := vrow[1].Int, vrow[2].Str
+		row, err := ix.vectors.Get(txn, reldb.I(part), reldb.I(vid))
+		if err != nil {
+			return err
+		}
+		vec.FromBlob(x, row[3].Bts)
+		info.VectorsScanned++
+		heap.Push(topk.Result{AssetID: asset, VectorID: vid, Distance: vec.Distance(ix.cfg.Metric, q, x)})
+		return nil
+	}
+
+	if driver == nil {
+		// No index-supported group: brute-force the attribute table.
+		err = ix.attrs.ScanKeys(txn, nil, func(key reldb.Row) error {
+			vid := key[0].Int
+			ok, err := ix.evalFilters(txn, vid, opts.Filters)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				info.RowsFiltered++
+				return nil
+			}
+			return process(vid, nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return heap.Results(), nil
+	}
+
+	seen := make(map[int64]struct{})
+	err = ix.driveGroup(txn, *driver, func(vid int64) error {
+		if _, dup := seen[vid]; dup {
+			return nil
+		}
+		seen[vid] = struct{}{}
+		return process(vid, rest)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return heap.Results(), nil
+}
+
+// chooseDriver picks the filter group whose predicates can all be driven
+// from secondary/FTS indexes, preferring the most selective one. It returns
+// nil when no group qualifies.
+func (ix *Index) chooseDriver(txn btree.ReadTxn, filters []stats.Filter) (*stats.Filter, []stats.Filter, error) {
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := -1
+	var bestSel float64
+	for i, group := range filters {
+		drivable := true
+		for _, pred := range group.AnyOf {
+			if !ix.predDrivable(pred) {
+				drivable = false
+				break
+			}
+		}
+		if !drivable {
+			continue
+		}
+		sel, err := ix.estimateFilterSelectivity(txn, []stats.Filter{group}, st.Generation)
+		if err != nil {
+			return nil, nil, err
+		}
+		if best == -1 || sel < bestSel {
+			best, bestSel = i, sel
+		}
+	}
+	if best == -1 {
+		return nil, filters, nil
+	}
+	rest := make([]stats.Filter, 0, len(filters)-1)
+	rest = append(rest, filters[:best]...)
+	rest = append(rest, filters[best+1:]...)
+	return &filters[best], rest, nil
+}
+
+func (ix *Index) predDrivable(pred reldb.Predicate) bool {
+	switch pred.Op {
+	case reldb.OpMatch:
+		_, ok := ix.ftsIndexes[pred.Column]
+		return ok
+	case reldb.OpEq, reldb.OpLt, reldb.OpLe, reldb.OpGt, reldb.OpGe:
+		_, ok := ix.attrIndexes[pred.Column]
+		return ok
+	default: // != cannot use an index range
+		return false
+	}
+}
+
+// driveGroup streams the vids matching any predicate of the group from the
+// appropriate index structures.
+func (ix *Index) driveGroup(txn btree.ReadTxn, group stats.Filter, fn func(vid int64) error) error {
+	for _, pred := range group.AnyOf {
+		if pred.Op == reldb.OpMatch {
+			f := ix.ftsIndexes[pred.Column]
+			if err := f.MatchScan(txn, pred.Value.Str, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		idx := ix.attrIndexes[pred.Column]
+		emit := func(vals, pk reldb.Row) error { return fn(pk[0].Int) }
+		var err error
+		switch pred.Op {
+		case reldb.OpEq:
+			err = idx.Scan(txn, []reldb.Value{pred.Value}, emit)
+		case reldb.OpLt:
+			err = idx.ScanRange(txn, reldb.Null(), pred.Value, false, false, emit)
+		case reldb.OpLe:
+			err = idx.ScanRange(txn, reldb.Null(), pred.Value, false, true, emit)
+		case reldb.OpGt:
+			err = idx.ScanRange(txn, pred.Value, reldb.Null(), false, false, emit)
+		case reldb.OpGe:
+			err = idx.ScanRange(txn, pred.Value, reldb.Null(), true, false, emit)
+		default:
+			err = fmt.Errorf("ivf: cannot drive %v from an index", pred.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package memtrack measures peak memory during benchmark phases. The
+// paper's Figures 5, 6b and 8b report process memory; here the equivalent
+// is Go heap in use (sampled) plus the storage buffer-pool budget, which
+// captures the same order-of-magnitude contrast between the disk-resident
+// index and the in-memory baseline.
+package memtrack
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sampler polls runtime heap usage in the background and records the peak.
+type Sampler struct {
+	mu       sync.Mutex
+	peak     uint64
+	baseline uint64
+	forceGC  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Start begins sampling at the given interval. GC is forced first so the
+// baseline excludes garbage from earlier phases.
+func Start(interval time.Duration) *Sampler { return start(interval, false) }
+
+// StartGC is like Start but forces a garbage collection before every
+// sample, so the recorded peak reflects live memory rather than
+// not-yet-collected garbage. Use it around phases whose *algorithmic*
+// memory is being measured (index construction); the GC pressure slows the
+// measured phase, so do not time the same run.
+func StartGC(interval time.Duration) *Sampler { return start(interval, true) }
+
+func start(interval time.Duration, forceGC bool) *Sampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &Sampler{
+		baseline: ms.HeapInuse,
+		peak:     ms.HeapInuse,
+		forceGC:  forceGC,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *Sampler) sample() {
+	if s.forceGC {
+		runtime.GC()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if ms.HeapInuse > s.peak {
+		s.peak = ms.HeapInuse
+	}
+	s.mu.Unlock()
+}
+
+// Stop ends sampling and returns the peak heap-in-use delta over the
+// baseline, in bytes.
+func (s *Sampler) Stop() int64 {
+	s.sample()
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := int64(s.peak) - int64(s.baseline)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// PeakBytes returns the current peak delta without stopping.
+func (s *Sampler) PeakBytes() int64 {
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := int64(s.peak) - int64(s.baseline)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// HeapInUse returns the instantaneous heap usage in bytes.
+func HeapInUse() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse)
+}

@@ -1,0 +1,55 @@
+package memtrack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerObservesAllocation(t *testing.T) {
+	s := Start(time.Millisecond)
+	// Allocate ~32 MiB and keep it live until Stop.
+	buf := make([][]byte, 32)
+	for i := range buf {
+		buf[i] = make([]byte, 1<<20)
+		buf[i][0] = 1
+	}
+	time.Sleep(10 * time.Millisecond)
+	peak := s.Stop()
+	if peak < 16<<20 {
+		t.Errorf("peak = %d bytes, expected to observe ~32 MiB allocation", peak)
+	}
+	_ = buf[31][0]
+}
+
+func TestSamplerStopIdempotentValue(t *testing.T) {
+	s := Start(time.Millisecond)
+	v := s.PeakBytes()
+	if v < 0 {
+		t.Errorf("PeakBytes = %d", v)
+	}
+	if got := s.Stop(); got < 0 {
+		t.Errorf("Stop = %d", got)
+	}
+}
+
+func TestStartGCExcludesGarbage(t *testing.T) {
+	s := StartGC(2 * time.Millisecond)
+	// Churn 64 MiB of garbage that is dead immediately.
+	for i := 0; i < 64; i++ {
+		b := make([]byte, 1<<20)
+		b[0] = byte(i)
+		time.Sleep(200 * time.Microsecond)
+	}
+	peak := s.Stop()
+	// With forced GC before each sample, live peak should stay far below
+	// the total churn.
+	if peak > 32<<20 {
+		t.Errorf("GC sampler peak = %d, garbage not excluded", peak)
+	}
+}
+
+func TestHeapInUsePositive(t *testing.T) {
+	if HeapInUse() <= 0 {
+		t.Error("HeapInUse() <= 0")
+	}
+}

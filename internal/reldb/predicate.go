@@ -1,0 +1,101 @@
+package reldb
+
+import "fmt"
+
+// Op is a relational comparison operator. MicroNN supports the standard
+// operators over declared attributes (paper §3.5) plus MATCH, the
+// conjunctive full-text operator evaluated through the FTS index.
+type Op uint8
+
+const (
+	// OpEq is equality (=).
+	OpEq Op = iota
+	// OpNe is inequality (!=).
+	OpNe
+	// OpLt is less-than (<).
+	OpLt
+	// OpLe is less-or-equal (<=).
+	OpLe
+	// OpGt is greater-than (>).
+	OpGt
+	// OpGe is greater-or-equal (>=).
+	OpGe
+	// OpMatch is full-text match over a tokenized text column: the row
+	// matches when it contains every token of the operand string.
+	OpMatch
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpMatch:
+		return "MATCH"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Predicate is a single comparison: column op value.
+type Predicate struct {
+	Column string
+	Op     Op
+	Value  Value
+}
+
+// String renders the predicate for logs and plan explanations.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Value)
+}
+
+// Eval applies the predicate to a single value. Null never matches
+// (SQL three-valued logic collapsed to false). MATCH is evaluated by
+// tokenizing the text value; the fts package supplies the tokenizer via
+// MatchFunc to avoid an import cycle.
+func (p Predicate) Eval(v Value, match MatchFunc) bool {
+	if v.IsNull() {
+		return false
+	}
+	switch p.Op {
+	case OpMatch:
+		if v.Type != TypeText || match == nil {
+			return false
+		}
+		return match(v.Str, p.Value.Str)
+	default:
+		if v.Type != p.Value.Type {
+			return false
+		}
+	}
+	c := Compare(v, p.Value)
+	switch p.Op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// MatchFunc reports whether document text matches a MATCH query string.
+type MatchFunc func(doc, query string) bool

@@ -1,0 +1,139 @@
+// Package reldb is the relational layer between MicroNN's B+trees and its
+// vector index: typed schemas, order-preserving key encoding, tables
+// (clustered B+trees), secondary indexes, and predicate evaluation. It
+// stands in for the SQLite SQL layer the paper builds on — MicroNN only
+// needs point/range access on typed tuples, so this layer exposes exactly
+// that instead of SQL.
+package reldb
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// ColType enumerates column types.
+type ColType uint8
+
+const (
+	// TypeNull is the type of the null Value; columns cannot be declared
+	// with it but any nullable column may hold it.
+	TypeNull ColType = iota
+	// TypeInt64 is a signed 64-bit integer column.
+	TypeInt64
+	// TypeFloat64 is a 64-bit IEEE float column.
+	TypeFloat64
+	// TypeText is a UTF-8 string column.
+	TypeText
+	// TypeBlob is a raw byte-string column.
+	TypeBlob
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt64:
+		return "INTEGER"
+	case TypeFloat64:
+		return "REAL"
+	case TypeText:
+		return "TEXT"
+	case TypeBlob:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// Value is a dynamically typed column value.
+type Value struct {
+	Type ColType
+	Int  int64
+	Flt  float64
+	Str  string
+	Bts  []byte
+}
+
+// Null returns the null value.
+func Null() Value { return Value{Type: TypeNull} }
+
+// I wraps an int64.
+func I(v int64) Value { return Value{Type: TypeInt64, Int: v} }
+
+// F wraps a float64.
+func F(v float64) Value { return Value{Type: TypeFloat64, Flt: v} }
+
+// S wraps a string.
+func S(v string) Value { return Value{Type: TypeText, Str: v} }
+
+// B wraps a byte slice (retained, not copied).
+func B(v []byte) Value { return Value{Type: TypeBlob, Bts: v} }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.Type == TypeNull }
+
+// String renders the value for debugging and CLI output.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "NULL"
+	case TypeInt64:
+		return strconv.FormatInt(v.Int, 10)
+	case TypeFloat64:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	case TypeText:
+		return v.Str
+	case TypeBlob:
+		return fmt.Sprintf("x'%x'", v.Bts)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. Nulls sort first; comparing different non-null
+// types orders by type id (well-defined but normally prevented by schemas).
+func Compare(a, b Value) int {
+	if a.Type != b.Type {
+		if a.Type < b.Type {
+			return -1
+		}
+		return 1
+	}
+	switch a.Type {
+	case TypeNull:
+		return 0
+	case TypeInt64:
+		switch {
+		case a.Int < b.Int:
+			return -1
+		case a.Int > b.Int:
+			return 1
+		}
+		return 0
+	case TypeFloat64:
+		switch {
+		case a.Flt < b.Flt:
+			return -1
+		case a.Flt > b.Flt:
+			return 1
+		}
+		return 0
+	case TypeText:
+		switch {
+		case a.Str < b.Str:
+			return -1
+		case a.Str > b.Str:
+			return 1
+		}
+		return 0
+	case TypeBlob:
+		return bytes.Compare(a.Bts, b.Bts)
+	default:
+		return 0
+	}
+}
+
+// Row is a tuple of values in schema column order.
+type Row []Value

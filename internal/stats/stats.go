@@ -1,0 +1,428 @@
+// Package stats provides the cardinality statistics behind MicroNN's hybrid
+// query optimizer (paper §3.5.1): per-column equi-depth histograms, distinct
+// counts and most-common-value lists gathered by a full-table ANALYZE pass,
+// plus token document frequencies for MATCH predicates (delegated to the
+// FTS index). Selectivity factors combine as the paper prescribes —
+// predicates are assumed independent, conjunctions take the minimum and
+// disjunctions the sum of member selectivities.
+package stats
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+
+	"micronn/internal/btree"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+)
+
+// histogramBuckets is the equi-depth bucket count for numeric columns.
+const histogramBuckets = 64
+
+// mcvLimit bounds the most-common-values list per column.
+const mcvLimit = 32
+
+// distinctTrackLimit caps exact distinct counting; columns with more
+// distinct values record the cap as a lower bound (enough resolution for
+// plan choice, which only needs order-of-magnitude selectivities).
+const distinctTrackLimit = 1 << 16
+
+// ColumnStats summarizes one column's value distribution.
+type ColumnStats struct {
+	// NonNull is the number of non-null values observed.
+	NonNull int64 `json:"non_null"`
+	// Distinct is the (possibly capped) distinct value count.
+	Distinct int64 `json:"distinct"`
+	// Bounds holds equi-depth bucket upper bounds for numeric columns:
+	// roughly NonNull/len(Bounds) values fall at or below each bound and
+	// above the previous.
+	Bounds []float64 `json:"bounds,omitempty"`
+	// MCV lists the most common values with their exact counts.
+	MCV []ValueCount `json:"mcv,omitempty"`
+}
+
+// ValueCount is a value with its occurrence count. The value is stored in
+// rendered form (Value.String) since it is only compared for equality.
+type ValueCount struct {
+	Value string `json:"value"`
+	Count int64  `json:"count"`
+}
+
+// TableStats summarizes a table.
+type TableStats struct {
+	Rows    int64                   `json:"rows"`
+	Columns map[string]*ColumnStats `json:"columns"`
+}
+
+// DocFreqFunc resolves MATCH token document frequencies for a column: it
+// returns the document count containing the token and the total document
+// count in that column's full-text index.
+type DocFreqFunc func(column, token string) (df, total int64, err error)
+
+// Analyze performs a full scan of table, gathering statistics for the named
+// columns (all value columns if cols is nil).
+func Analyze(txn btree.ReadTxn, table *reldb.Table, cols []string) (*TableStats, error) {
+	schema := table.Schema()
+	if cols == nil {
+		for _, c := range schema.Cols {
+			cols = append(cols, c.Name)
+		}
+	}
+	type colAcc struct {
+		pos      int
+		stats    *ColumnStats
+		numeric  []float64
+		counts   map[string]int64
+		distinct map[string]struct{}
+	}
+	accs := make([]*colAcc, 0, len(cols))
+	ts := &TableStats{Columns: make(map[string]*ColumnStats, len(cols))}
+	for _, name := range cols {
+		pos, _, err := schema.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		cs := &ColumnStats{}
+		ts.Columns[name] = cs
+		accs = append(accs, &colAcc{
+			pos:      pos,
+			stats:    cs,
+			counts:   make(map[string]int64),
+			distinct: make(map[string]struct{}),
+		})
+	}
+
+	err := table.Scan(txn, nil, func(row reldb.Row) error {
+		ts.Rows++
+		for _, acc := range accs {
+			v := row[acc.pos]
+			if v.IsNull() {
+				continue
+			}
+			acc.stats.NonNull++
+			switch v.Type {
+			case reldb.TypeInt64:
+				acc.numeric = append(acc.numeric, float64(v.Int))
+			case reldb.TypeFloat64:
+				acc.numeric = append(acc.numeric, v.Flt)
+			}
+			key := v.String()
+			if len(acc.distinct) < distinctTrackLimit {
+				acc.distinct[key] = struct{}{}
+			}
+			acc.counts[key]++
+			// Bound accumulator memory: keep the heaviest entries when
+			// the map grows far past the MCV budget.
+			if len(acc.counts) > 8*distinctTrackLimit {
+				pruneCounts(acc.counts)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, acc := range accs {
+		acc.stats.Distinct = int64(len(acc.distinct))
+		if len(acc.numeric) > 0 {
+			sort.Float64s(acc.numeric)
+			acc.stats.Bounds = equiDepthBounds(acc.numeric, histogramBuckets)
+		}
+		acc.stats.MCV = topValues(acc.counts, mcvLimit)
+	}
+	return ts, nil
+}
+
+func pruneCounts(counts map[string]int64) {
+	vals := topValues(counts, 4*mcvLimit)
+	for k := range counts {
+		delete(counts, k)
+	}
+	for _, vc := range vals {
+		counts[vc.Value] = vc.Count
+	}
+}
+
+func topValues(counts map[string]int64, limit int) []ValueCount {
+	out := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func equiDepthBounds(sorted []float64, buckets int) []float64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	bounds := make([]float64, buckets)
+	for i := 0; i < buckets; i++ {
+		idx := (i + 1) * len(sorted) / buckets
+		if idx > 0 {
+			idx--
+		}
+		bounds[i] = sorted[idx]
+	}
+	return bounds
+}
+
+// Selectivity estimates the fraction of rows satisfying pred, in [0, 1].
+// MATCH predicates need docFreq; pass nil otherwise.
+func (ts *TableStats) Selectivity(pred reldb.Predicate, docFreq DocFreqFunc) (float64, error) {
+	if ts.Rows == 0 {
+		return 0, nil
+	}
+	if pred.Op == reldb.OpMatch {
+		// MATCH selectivity comes from token document frequencies, not
+		// column histograms (the column may be FTS-only).
+		if docFreq == nil {
+			return 1, errors.New("stats: MATCH selectivity requires a DocFreqFunc")
+		}
+		return matchSelectivity(pred.Column, pred.Value.Str, docFreq)
+	}
+	cs, ok := ts.Columns[pred.Column]
+	if !ok {
+		return 1, nil // unknown column: assume non-selective
+	}
+	nonNullFrac := float64(cs.NonNull) / float64(ts.Rows)
+	switch pred.Op {
+	case reldb.OpEq:
+		return ts.eqSelectivity(cs, pred.Value), nil
+	case reldb.OpNe:
+		eq := ts.eqSelectivity(cs, pred.Value)
+		s := nonNullFrac - eq
+		if s < 0 {
+			s = 0
+		}
+		return s, nil
+	case reldb.OpLt, reldb.OpLe, reldb.OpGt, reldb.OpGe:
+		return ts.rangeSelectivity(cs, pred, nonNullFrac), nil
+	default:
+		return 1, nil
+	}
+}
+
+func (ts *TableStats) eqSelectivity(cs *ColumnStats, v reldb.Value) float64 {
+	key := v.String()
+	for _, vc := range cs.MCV {
+		if vc.Value == key {
+			return float64(vc.Count) / float64(ts.Rows)
+		}
+	}
+	if cs.Distinct == 0 {
+		return 0
+	}
+	// Not a common value: assume the uniform share of the non-MCV mass.
+	var mcvMass int64
+	for _, vc := range cs.MCV {
+		mcvMass += vc.Count
+	}
+	rest := cs.NonNull - mcvMass
+	restDistinct := cs.Distinct - int64(len(cs.MCV))
+	if rest <= 0 || restDistinct <= 0 {
+		// Everything is in the MCV list; an unseen value is rare.
+		return 1 / float64(ts.Rows)
+	}
+	return float64(rest) / float64(restDistinct) / float64(ts.Rows)
+}
+
+func (ts *TableStats) rangeSelectivity(cs *ColumnStats, pred reldb.Predicate, nonNullFrac float64) float64 {
+	var x float64
+	switch pred.Value.Type {
+	case reldb.TypeInt64:
+		x = float64(pred.Value.Int)
+	case reldb.TypeFloat64:
+		x = pred.Value.Flt
+	default:
+		// Range over a non-numeric column: no histogram; fall back to a
+		// fixed guess scaled by the non-null fraction (Selinger's 1/3).
+		return nonNullFrac / 3
+	}
+	if len(cs.Bounds) == 0 {
+		return nonNullFrac / 3
+	}
+	// Fraction of values <= x from the equi-depth bounds.
+	idx := sort.SearchFloat64s(cs.Bounds, x)
+	le := float64(idx) / float64(len(cs.Bounds))
+	if idx < len(cs.Bounds) && cs.Bounds[idx] == x {
+		le = float64(idx+1) / float64(len(cs.Bounds))
+	}
+	var frac float64
+	switch pred.Op {
+	case reldb.OpLt, reldb.OpLe:
+		frac = le
+	case reldb.OpGt, reldb.OpGe:
+		frac = 1 - le
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac * nonNullFrac
+}
+
+func matchSelectivity(column, query string, docFreq DocFreqFunc) (float64, error) {
+	sel := 1.0
+	found := false
+	for _, tok := range tokenizeForStats(query) {
+		df, total, err := docFreq(column, tok)
+		if err != nil {
+			return 1, err
+		}
+		if total == 0 {
+			return 0, nil
+		}
+		s := float64(df) / float64(total)
+		// Conjunction of tokens: take the minimum (paper §3.5.1).
+		if !found || s < sel {
+			sel = s
+			found = true
+		}
+	}
+	if !found {
+		return 1, nil
+	}
+	return sel, nil
+}
+
+// Filter is a disjunction of predicates; a query's filter set is a
+// conjunction of Filters (CNF). The common single-predicate case is a
+// Filter with one member.
+type Filter struct {
+	AnyOf []reldb.Predicate
+}
+
+// And builds the conjunction filter set from plain predicates.
+func And(preds ...reldb.Predicate) []Filter {
+	fs := make([]Filter, len(preds))
+	for i, p := range preds {
+		fs[i] = Filter{AnyOf: []reldb.Predicate{p}}
+	}
+	return fs
+}
+
+// FilterSelectivity estimates the combined selectivity of the filter set:
+// sum within each disjunction, minimum across the conjunction, clamped to
+// [0, 1] — exactly the paper's estimator.
+func (ts *TableStats) FilterSelectivity(filters []Filter, docFreq DocFreqFunc) (float64, error) {
+	if len(filters) == 0 {
+		return 1, nil
+	}
+	minSel := 1.0
+	for _, f := range filters {
+		var sum float64
+		for _, p := range f.AnyOf {
+			s, err := ts.Selectivity(p, docFreq)
+			if err != nil {
+				return 1, err
+			}
+			sum += s
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		if sum < minSel {
+			minSel = sum
+		}
+	}
+	return minSel, nil
+}
+
+// tokenizeForStats mirrors fts.Tokenize without importing it (avoiding a
+// dependency for one loop): lowercase letter/digit runs.
+func tokenizeForStats(s string) []string {
+	var out []string
+	start := -1
+	lower := []rune(s)
+	for i, r := range lower {
+		isWord := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if isWord && start < 0 {
+			start = i
+		}
+		if !isWord && start >= 0 {
+			out = append(out, lowerASCII(string(lower[start:i])))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, lowerASCII(string(lower[start:])))
+	}
+	return out
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// --- persistence ---
+
+const statsTableName = "__table_stats"
+
+func ensureStatsTable(db *reldb.DB, wt *storage.WriteTxn) (*reldb.Table, error) {
+	if !db.HasTable(statsTableName) {
+		err := db.CreateTable(wt, &reldb.Schema{
+			Name: statsTableName,
+			Key:  []reldb.Column{{Name: "table", Type: reldb.TypeText}},
+			Cols: []reldb.Column{{Name: "json", Type: reldb.TypeBlob}},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db.Table(statsTableName)
+}
+
+// Save persists stats for tableName.
+func Save(db *reldb.DB, wt *storage.WriteTxn, tableName string, ts *TableStats) error {
+	tbl, err := ensureStatsTable(db, wt)
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(ts)
+	if err != nil {
+		return err
+	}
+	return tbl.Put(wt, reldb.Row{reldb.S(tableName), reldb.B(blob)})
+}
+
+// Load retrieves persisted stats, or nil if none exist.
+func Load(db *reldb.DB, txn btree.ReadTxn, tableName string) (*TableStats, error) {
+	if !db.HasTable(statsTableName) {
+		return nil, nil
+	}
+	tbl, err := db.Table(statsTableName)
+	if err != nil {
+		return nil, err
+	}
+	row, err := tbl.Get(txn, reldb.S(tableName))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ts TableStats
+	if err := json.Unmarshal(row[1].Bts, &ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}

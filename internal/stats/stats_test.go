@@ -1,0 +1,323 @@
+package stats
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+)
+
+func setup(t *testing.T) (*reldb.DB, *reldb.Table) {
+	t.Helper()
+	s, err := storage.Open(filepath.Join(t.TempDir(), "t.db"), storage.Options{
+		Sync: storage.SyncOff, CheckpointFrames: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	db, err := reldb.Open(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Update(func(wt *storage.WriteTxn) error {
+		return db.CreateTable(wt, &reldb.Schema{
+			Name: "photos",
+			Key:  []reldb.Column{{Name: "id", Type: reldb.TypeInt64}},
+			Cols: []reldb.Column{
+				{Name: "location", Type: reldb.TypeText},
+				{Name: "ts", Type: reldb.TypeInt64},
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("photos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// populate writes 1000 rows: 950 in Seattle, 15 in NewYork, 35 others;
+// ts uniform over [0, 1000).
+func populate(t *testing.T, db *reldb.DB, tbl *reldb.Table) {
+	t.Helper()
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		for i := int64(0); i < 1000; i++ {
+			loc := "Seattle"
+			switch {
+			case i < 15:
+				loc = "NewYork"
+			case i < 50:
+				loc = "Other" + string(rune('A'+i%5))
+			}
+			if err := tbl.Put(wt, reldb.Row{reldb.I(i), reldb.S(loc), reldb.I(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func analyze(t *testing.T, db *reldb.DB, tbl *reldb.Table) *TableStats {
+	t.Helper()
+	var ts *TableStats
+	err := db.Store().View(func(rt *storage.ReadTxn) error {
+		var err error
+		ts, err = Analyze(rt, tbl, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+	if ts.Rows != 1000 {
+		t.Errorf("Rows = %d", ts.Rows)
+	}
+	loc := ts.Columns["location"]
+	if loc.NonNull != 1000 {
+		t.Errorf("location NonNull = %d", loc.NonNull)
+	}
+	if loc.Distinct != 7 { // Seattle, NewYork, OtherA..E
+		t.Errorf("location Distinct = %d, want 7", loc.Distinct)
+	}
+	if len(loc.MCV) == 0 || loc.MCV[0].Value != "Seattle" || loc.MCV[0].Count != 950 {
+		t.Errorf("MCV[0] = %+v", loc.MCV)
+	}
+	tsCol := ts.Columns["ts"]
+	if len(tsCol.Bounds) == 0 {
+		t.Error("ts histogram missing")
+	}
+}
+
+func selOf(t *testing.T, ts *TableStats, pred reldb.Predicate) float64 {
+	t.Helper()
+	s, err := ts.Selectivity(pred, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEqSelectivity(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+
+	// High-frequency value: ~95%.
+	s := selOf(t, ts, reldb.Predicate{Column: "location", Op: reldb.OpEq, Value: reldb.S("Seattle")})
+	if math.Abs(s-0.95) > 0.01 {
+		t.Errorf("sel(=Seattle) = %v, want ~0.95", s)
+	}
+	// Rare value: 1.5%.
+	s = selOf(t, ts, reldb.Predicate{Column: "location", Op: reldb.OpEq, Value: reldb.S("NewYork")})
+	if math.Abs(s-0.015) > 0.005 {
+		t.Errorf("sel(=NewYork) = %v, want ~0.015", s)
+	}
+	// Absent value: near zero.
+	s = selOf(t, ts, reldb.Predicate{Column: "location", Op: reldb.OpEq, Value: reldb.S("Atlantis")})
+	if s > 0.01 {
+		t.Errorf("sel(=Atlantis) = %v, want ~0", s)
+	}
+	// !=
+	s = selOf(t, ts, reldb.Predicate{Column: "location", Op: reldb.OpNe, Value: reldb.S("Seattle")})
+	if math.Abs(s-0.05) > 0.01 {
+		t.Errorf("sel(!=Seattle) = %v, want ~0.05", s)
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+	cases := []struct {
+		pred reldb.Predicate
+		want float64
+		tol  float64
+	}{
+		{reldb.Predicate{Column: "ts", Op: reldb.OpLt, Value: reldb.I(500)}, 0.5, 0.05},
+		{reldb.Predicate{Column: "ts", Op: reldb.OpGt, Value: reldb.I(500)}, 0.5, 0.05},
+		{reldb.Predicate{Column: "ts", Op: reldb.OpLt, Value: reldb.I(100)}, 0.1, 0.05},
+		{reldb.Predicate{Column: "ts", Op: reldb.OpGt, Value: reldb.I(900)}, 0.1, 0.05},
+		{reldb.Predicate{Column: "ts", Op: reldb.OpLt, Value: reldb.I(-5)}, 0, 0.02},
+		{reldb.Predicate{Column: "ts", Op: reldb.OpGt, Value: reldb.I(5000)}, 0, 0.02},
+	}
+	for _, c := range cases {
+		s := selOf(t, ts, c.pred)
+		if math.Abs(s-c.want) > c.tol {
+			t.Errorf("sel(%v) = %v, want %v±%v", c.pred, s, c.want, c.tol)
+		}
+	}
+}
+
+func TestNullsReduceSelectivity(t *testing.T) {
+	db, tbl := setup(t)
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		for i := int64(0); i < 100; i++ {
+			v := reldb.Value(reldb.I(i))
+			if i%2 == 0 {
+				v = reldb.Null()
+			}
+			if err := tbl.Put(wt, reldb.Row{reldb.I(i), reldb.S("x"), v}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := analyze(t, db, tbl)
+	// Half the rows are null; ts < 1000 covers all non-null rows = 0.5.
+	s := selOf(t, ts, reldb.Predicate{Column: "ts", Op: reldb.OpLt, Value: reldb.I(1000)})
+	if math.Abs(s-0.5) > 0.05 {
+		t.Errorf("sel with 50%% nulls = %v, want ~0.5", s)
+	}
+}
+
+func TestMatchSelectivity(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+	df := func(column, token string) (int64, int64, error) {
+		if column != "tags" {
+			return 0, 1000, nil
+		}
+		switch token {
+		case "common":
+			return 800, 1000, nil
+		case "rare":
+			return 10, 1000, nil
+		default:
+			return 0, 1000, nil
+		}
+	}
+	s, err := ts.Selectivity(reldb.Predicate{Column: "tags", Op: reldb.OpMatch, Value: reldb.S("common rare")}, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min(0.8, 0.01) = 0.01
+	if math.Abs(s-0.01) > 1e-9 {
+		t.Errorf("MATCH sel = %v, want 0.01", s)
+	}
+	if _, err := ts.Selectivity(reldb.Predicate{Column: "tags", Op: reldb.OpMatch, Value: reldb.S("x")}, nil); err == nil {
+		t.Error("MATCH without DocFreqFunc should error")
+	}
+}
+
+func TestFilterSelectivityCombination(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+
+	seattle := reldb.Predicate{Column: "location", Op: reldb.OpEq, Value: reldb.S("Seattle")}
+	newyork := reldb.Predicate{Column: "location", Op: reldb.OpEq, Value: reldb.S("NewYork")}
+	early := reldb.Predicate{Column: "ts", Op: reldb.OpLt, Value: reldb.I(100)}
+
+	// Conjunction: min(0.95, 0.1) = ~0.1
+	s, err := ts.FilterSelectivity(And(seattle, early), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.1) > 0.05 {
+		t.Errorf("AND sel = %v, want ~0.1", s)
+	}
+	// Disjunction: 0.95 + 0.015
+	s, err = ts.FilterSelectivity([]Filter{{AnyOf: []reldb.Predicate{seattle, newyork}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.965) > 0.02 {
+		t.Errorf("OR sel = %v, want ~0.965", s)
+	}
+	// Empty filters: selectivity 1.
+	s, err = ts.FilterSelectivity(nil, nil)
+	if err != nil || s != 1 {
+		t.Errorf("empty filters = %v, %v", s, err)
+	}
+	// Disjunction clamps at 1.
+	s, err = ts.FilterSelectivity([]Filter{{AnyOf: []reldb.Predicate{seattle, seattle, seattle}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 1 {
+		t.Errorf("OR sel exceeds 1: %v", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+	err := db.Store().Update(func(wt *storage.WriteTxn) error {
+		return Save(db, wt, "photos", ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded *TableStats
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		var err error
+		loaded, err = Load(db, rt, "photos")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("Load returned nil")
+	}
+	if loaded.Rows != ts.Rows || !reflect.DeepEqual(loaded.Columns["location"].MCV, ts.Columns["location"].MCV) {
+		t.Errorf("round trip mismatch: %+v vs %+v", loaded, ts)
+	}
+	// Missing table: nil, no error.
+	err = db.Store().View(func(rt *storage.ReadTxn) error {
+		got, err := Load(db, rt, "nonexistent")
+		if err != nil {
+			return err
+		}
+		if got != nil {
+			t.Error("Load(nonexistent) should be nil")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownColumnSelectivity(t *testing.T) {
+	db, tbl := setup(t)
+	populate(t, db, tbl)
+	ts := analyze(t, db, tbl)
+	s := selOf(t, ts, reldb.Predicate{Column: "bogus", Op: reldb.OpEq, Value: reldb.I(1)})
+	if s != 1 {
+		t.Errorf("unknown column sel = %v, want 1 (non-selective)", s)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	db, tbl := setup(t)
+	ts := analyze(t, db, tbl)
+	if ts.Rows != 0 {
+		t.Errorf("Rows = %d", ts.Rows)
+	}
+	s := selOf(t, ts, reldb.Predicate{Column: "location", Op: reldb.OpEq, Value: reldb.S("x")})
+	if s != 0 {
+		t.Errorf("empty table sel = %v", s)
+	}
+}

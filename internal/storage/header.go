@@ -1,0 +1,58 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The database file is an array of fixed-size pages. Page 0 is the header
+// page; it travels through the WAL like any other page, which makes the
+// page count, freelist head and catalog root transactional for free.
+const (
+	// DefaultPageSize matches SQLite's default page size.
+	DefaultPageSize = 4096
+
+	headerMagic = "MNNDB001"
+
+	offMagic        = 0  // 8 bytes
+	offPageSize     = 8  // u32
+	offPageCount    = 12 // u32, number of pages including the header
+	offFreelistHead = 16 // u32, first free page or 0
+	offFreelistLen  = 20 // u32, number of pages on the freelist
+	offCatalogRoot  = 24 // u32, root page of the client catalog or 0
+	offHeaderEnd    = 28
+)
+
+// header is the decoded form of page 0.
+type header struct {
+	pageSize     uint32
+	pageCount    uint32
+	freelistHead uint32
+	freelistLen  uint32
+	catalogRoot  uint32
+}
+
+func decodeHeader(p []byte) (header, error) {
+	var h header
+	if len(p) < offHeaderEnd {
+		return h, fmt.Errorf("storage: header page too small (%d bytes)", len(p))
+	}
+	if string(p[:8]) != headerMagic {
+		return h, fmt.Errorf("storage: bad magic %q", p[:8])
+	}
+	h.pageSize = binary.LittleEndian.Uint32(p[offPageSize:])
+	h.pageCount = binary.LittleEndian.Uint32(p[offPageCount:])
+	h.freelistHead = binary.LittleEndian.Uint32(p[offFreelistHead:])
+	h.freelistLen = binary.LittleEndian.Uint32(p[offFreelistLen:])
+	h.catalogRoot = binary.LittleEndian.Uint32(p[offCatalogRoot:])
+	return h, nil
+}
+
+func encodeHeader(p []byte, h header) {
+	copy(p[:8], headerMagic)
+	binary.LittleEndian.PutUint32(p[offPageSize:], h.pageSize)
+	binary.LittleEndian.PutUint32(p[offPageCount:], h.pageCount)
+	binary.LittleEndian.PutUint32(p[offFreelistHead:], h.freelistHead)
+	binary.LittleEndian.PutUint32(p[offFreelistLen:], h.freelistLen)
+	binary.LittleEndian.PutUint32(p[offCatalogRoot:], h.catalogRoot)
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package storage
+
+// On platforms without flock the advisory lock is a no-op; MicroNN is an
+// embedded single-process library, so this only loses protection against a
+// second process opening the same files concurrently.
+type fileLock struct{}
+
+func acquireFileLock(path string) (*fileLock, error) { return &fileLock{}, nil }
+
+func (l *fileLock) release() {}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// fileLock is an OS advisory lock guarding the database against concurrent
+// processes. flock locks are released automatically when the process dies,
+// so a crash can never leave the database permanently locked.
+type fileLock struct {
+	f *os.File
+}
+
+func acquireFileLock(path string) (*fileLock, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, ErrLocked
+	}
+	return &fileLock{f: f}, nil
+}
+
+func (l *fileLock) release() {
+	if l.f == nil {
+		return
+	}
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	l.f.Close()
+	l.f = nil
+}

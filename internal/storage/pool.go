@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// bufferPool is a byte-budgeted LRU cache of page images shared by all
+// readers. Entries are keyed by (page number, WAL frame): frame 0 means the
+// image came from the base database file, any other value is the WAL frame
+// that produced it. Because a given (page, frame) pair is immutable, cached
+// images never need invalidation while the WAL grows — only checkpoints
+// re-key entries (the newest WAL image becomes the new base image).
+//
+// The pool's byte budget is MicroNN's main memory knob: the "Small DUT" and
+// "Large DUT" device profiles in the paper's evaluation are reproduced by
+// configuring this budget.
+type bufferPool struct {
+	mu       sync.Mutex
+	budget   int64
+	pageSize int64
+	lru      *list.List // front = most recently used
+	entries  map[poolKey]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type poolKey struct {
+	pageNo uint32
+	frame  uint32 // 0 = base file; else WAL frame number + 1
+}
+
+type poolEntry struct {
+	key  poolKey
+	data []byte
+}
+
+func newBufferPool(budget int64, pageSize uint32) *bufferPool {
+	return &bufferPool{
+		budget:   budget,
+		pageSize: int64(pageSize),
+		lru:      list.New(),
+		entries:  make(map[poolKey]*list.Element),
+	}
+}
+
+// get returns the cached image for key, or nil. The returned slice must be
+// treated as read-only; writers copy pages before mutating them.
+func (p *bufferPool) get(key poolKey) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[key]
+	if !ok {
+		p.misses++
+		return nil
+	}
+	p.hits++
+	p.lru.MoveToFront(el)
+	return el.Value.(*poolEntry).data
+}
+
+// put caches a page image, evicting least-recently-used entries to stay
+// within budget. data is retained; callers must not mutate it afterwards.
+func (p *bufferPool) put(key poolKey, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		el.Value.(*poolEntry).data = data
+		p.lru.MoveToFront(el)
+		return
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, data: data})
+	p.entries[key] = el
+	for int64(len(p.entries))*p.pageSize > p.budget && p.lru.Len() > 1 {
+		back := p.lru.Back()
+		if back == nil {
+			break
+		}
+		be := back.Value.(*poolEntry)
+		delete(p.entries, be.key)
+		p.lru.Remove(back)
+	}
+}
+
+// checkpointRekey is called after a checkpoint copied the newest WAL image
+// of each page into the base file. For every checkpointed page, the entry
+// holding its newest frame is re-keyed to the base key (keeping the cache
+// warm across checkpoints) and all other versions are dropped.
+func (p *bufferPool) checkpointRekey(latest map[uint32]uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Snapshot the elements first: promotion displaces other entries of
+	// the same page, and a displaced element visited later must not
+	// delete the entry that took its key.
+	els := make([]*list.Element, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		els = append(els, el)
+	}
+	for _, el := range els {
+		e := el.Value.(*poolEntry)
+		newest, involved := latest[e.key.pageNo]
+		if !involved {
+			continue
+		}
+		if cur, ok := p.entries[e.key]; !ok || cur != el {
+			continue // already displaced by a promotion
+		}
+		delete(p.entries, e.key)
+		if e.key.frame == newest+1 {
+			// Promote to base image unless a base entry already exists
+			// (it would be stale; replace it).
+			baseKey := poolKey{pageNo: e.key.pageNo}
+			if old, ok := p.entries[baseKey]; ok && old != el {
+				p.lru.Remove(old)
+				delete(p.entries, baseKey)
+			}
+			e.key = baseKey
+			p.entries[baseKey] = el
+		} else {
+			p.lru.Remove(el)
+		}
+	}
+}
+
+// drop removes every cached entry. Used to simulate a cold start.
+func (p *bufferPool) drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lru.Init()
+	p.entries = make(map[poolKey]*list.Element)
+}
+
+// bytes returns the memory currently held by the pool.
+func (p *bufferPool) bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.entries)) * p.pageSize
+}
+
+// stats returns cumulative hit/miss counters.
+func (p *bufferPool) stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}

@@ -1,0 +1,763 @@
+// Package storage implements the disk substrate MicroNN delegates to SQLite
+// in the paper: a single-file page store with a write-ahead log, a
+// byte-budgeted buffer pool, snapshot-isolated readers and one serialized
+// writer. All durable state lives in two files: <path> (the page array) and
+// <path>-wal (the log). Commits append page images to the WAL; checkpoints
+// fold them back into the base file when no reader depends on older
+// versions.
+//
+// Consistency contract (matches the paper's §3.6): readers observe the
+// commit horizon captured when their transaction began, writers are fully
+// serialized, and a crash at any point preserves the last committed state
+// (frames after a torn write fail CRC validation and are discarded on
+// recovery).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SyncMode controls when files are fsync'd.
+type SyncMode int
+
+const (
+	// SyncNormal fsyncs the WAL on every commit and the base file on every
+	// checkpoint. Survives process and OS crashes.
+	SyncNormal SyncMode = iota
+	// SyncOff never fsyncs. Survives process crashes (the OS page cache
+	// still holds the writes) but not power loss. Used by benchmarks.
+	SyncOff
+)
+
+// Options configures a Store.
+type Options struct {
+	// PageSize in bytes. Must match the file if it already exists.
+	// Defaults to DefaultPageSize.
+	PageSize uint32
+	// PoolBytes is the buffer-pool budget. This is the main memory knob:
+	// the paper's Small/Large device profiles differ chiefly here.
+	// Defaults to 32 MiB.
+	PoolBytes int64
+	// Sync selects the durability mode. Defaults to SyncNormal.
+	Sync SyncMode
+	// MaxDirtyPages bounds writer memory: transactions exceeding it spill
+	// uncommitted frames to the WAL. Defaults to 4096 pages (16 MiB).
+	MaxDirtyPages int
+	// CheckpointFrames triggers an automatic checkpoint attempt after a
+	// commit leaves at least this many frames in the WAL. Defaults to
+	// 16384. Set negative to disable auto-checkpointing.
+	CheckpointFrames int
+	// DisableLock skips the advisory file lock (useful for read-only
+	// inspection tooling).
+	DisableLock bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PoolBytes == 0 {
+		o.PoolBytes = 32 << 20
+	}
+	if o.MaxDirtyPages == 0 {
+		o.MaxDirtyPages = 4096
+	}
+	if o.CheckpointFrames == 0 {
+		o.CheckpointFrames = 16384
+	}
+}
+
+// Sentinel errors.
+var (
+	ErrClosed     = errors.New("storage: store is closed")
+	ErrTxnDone    = errors.New("storage: transaction already finished")
+	ErrReadOnly   = errors.New("storage: mutation in read-only transaction")
+	ErrBusy       = errors.New("storage: checkpoint blocked by active readers")
+	ErrLocked     = errors.New("storage: database is locked by another process")
+	ErrBadPage    = errors.New("storage: page out of range")
+	ErrCorrupt    = errors.New("storage: file corrupt")
+	errPageZeroRW = errors.New("storage: header page is managed by the store")
+)
+
+// Store is a page store with WAL-based transactions.
+type Store struct {
+	path string
+	opts Options
+
+	db   *os.File
+	wal  *wal
+	pool *bufferPool
+	lock *fileLock
+
+	// mu guards idx, commitSeq, nextTxnID, readers, pageCount and closed.
+	mu        sync.Mutex
+	idx       *walIndex
+	commitSeq uint64
+	nextTxnID uint64
+	readers   map[uint64]int // snapshot seq -> refcount
+	pageCount uint32         // committed page count
+	closed    bool
+
+	// writeMu serializes write transactions and checkpoints.
+	writeMu sync.Mutex
+
+	// resolveMu lets page reads (lookup + file pread) run concurrently
+	// while excluding checkpoint truncation.
+	resolveMu sync.RWMutex
+
+	statCommits     uint64
+	statCheckpoints uint64
+	statPagesOut    uint64 // page images appended to WAL
+}
+
+// Open opens or creates the store at path.
+func Open(path string, opts Options) (*Store, error) {
+	opts.fillDefaults()
+	s := &Store{
+		path:    path,
+		opts:    opts,
+		readers: make(map[uint64]int),
+	}
+	if !opts.DisableLock {
+		l, err := acquireFileLock(path + ".lock")
+		if err != nil {
+			return nil, err
+		}
+		s.lock = l
+	}
+	db, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		s.release()
+		return nil, fmt.Errorf("storage: open db: %w", err)
+	}
+	s.db = db
+	st, err := db.Stat()
+	if err != nil {
+		s.release()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh database: write the header page directly.
+		page := make([]byte, opts.PageSize)
+		encodeHeader(page, header{pageSize: opts.PageSize, pageCount: 1})
+		if _, err := db.WriteAt(page, 0); err != nil {
+			s.release()
+			return nil, fmt.Errorf("storage: init db: %w", err)
+		}
+		if opts.Sync == SyncNormal {
+			if err := db.Sync(); err != nil {
+				s.release()
+				return nil, err
+			}
+		}
+		s.pageCount = 1
+	} else {
+		page := make([]byte, opts.PageSize)
+		if _, err := db.ReadAt(page, 0); err != nil {
+			s.release()
+			return nil, fmt.Errorf("storage: read header: %w", err)
+		}
+		h, err := decodeHeader(page)
+		if err != nil {
+			s.release()
+			return nil, err
+		}
+		if h.pageSize != opts.PageSize {
+			s.release()
+			return nil, fmt.Errorf("storage: page size mismatch: file=%d opts=%d", h.pageSize, opts.PageSize)
+		}
+		s.pageCount = h.pageCount
+	}
+
+	w, err := openWAL(path+"-wal", opts.PageSize)
+	if err != nil {
+		s.release()
+		return nil, err
+	}
+	s.wal = w
+	idx, commits, walPageCount, maxTxnID, err := w.recover()
+	if err != nil {
+		s.release()
+		return nil, err
+	}
+	s.idx = idx
+	s.commitSeq = commits
+	s.nextTxnID = maxTxnID + 1
+	if walPageCount != 0 {
+		s.pageCount = walPageCount
+	}
+	s.pool = newBufferPool(opts.PoolBytes, opts.PageSize)
+	return s, nil
+}
+
+func (s *Store) release() {
+	if s.db != nil {
+		s.db.Close()
+	}
+	if s.wal != nil {
+		s.wal.close()
+	}
+	if s.lock != nil {
+		s.lock.release()
+	}
+}
+
+// PageSize returns the store's page size.
+func (s *Store) PageSize() uint32 { return s.opts.PageSize }
+
+// Path returns the base file path.
+func (s *Store) Path() string { return s.path }
+
+// Close checkpoints if possible and closes the files.
+func (s *Store) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	// Best-effort checkpoint; ErrBusy just means a reader is still open.
+	if err := s.checkpointLocked(); err != nil && !errors.Is(err, ErrBusy) {
+		return err
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.release()
+	return nil
+}
+
+// CloseWithoutCheckpoint closes the files leaving the WAL in place, exactly
+// as a crash would. Used by recovery tests and the cold-start benchmarks.
+func (s *Store) CloseWithoutCheckpoint() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.release()
+	return nil
+}
+
+// DropCaches empties the buffer pool, simulating the paper's ColdStart
+// scenario (purged database caches).
+func (s *Store) DropCaches() { s.pool.drop() }
+
+// Stats reports operational counters.
+type Stats struct {
+	PoolBytes    int64
+	PoolHits     uint64
+	PoolMisses   uint64
+	WALFrames    uint32
+	WALBytes     int64
+	PageCount    uint32
+	Commits      uint64
+	Checkpoints  uint64
+	PagesWritten uint64
+}
+
+// Stats returns a snapshot of operational counters.
+func (s *Store) Stats() Stats {
+	hits, misses := s.pool.stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		PoolBytes:    s.pool.bytes(),
+		PoolHits:     hits,
+		PoolMisses:   misses,
+		WALFrames:    s.wal.frames.Load(),
+		WALBytes:     s.wal.size(),
+		PageCount:    s.pageCount,
+		Commits:      s.statCommits,
+		Checkpoints:  s.statCheckpoints,
+		PagesWritten: s.statPagesOut,
+	}
+}
+
+// PoolBudget returns the configured buffer-pool byte budget.
+func (s *Store) PoolBudget() int64 { return s.opts.PoolBytes }
+
+// readPage resolves pageNo at the given snapshot through WAL index, buffer
+// pool and base file. The returned buffer is shared and read-only.
+func (s *Store) readPage(pageNo uint32, snapshot uint64) ([]byte, error) {
+	s.resolveMu.RLock()
+	defer s.resolveMu.RUnlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	frame, inWAL := s.idx.lookup(pageNo, snapshot)
+	s.mu.Unlock()
+
+	key := poolKey{pageNo: pageNo}
+	if inWAL {
+		key.frame = frame + 1
+	}
+	if data := s.pool.get(key); data != nil {
+		return data, nil
+	}
+	buf := make([]byte, s.opts.PageSize)
+	if inWAL {
+		if err := s.wal.readFrame(frame, buf); err != nil {
+			return nil, err
+		}
+	} else {
+		off := int64(pageNo) * int64(s.opts.PageSize)
+		if _, err := s.db.ReadAt(buf, off); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("%w: page %d beyond end of file", ErrBadPage, pageNo)
+			}
+			return nil, fmt.Errorf("storage: read page %d: %w", pageNo, err)
+		}
+	}
+	s.pool.put(key, buf)
+	return buf, nil
+}
+
+// --- read transactions ---
+
+// ReadTxn is a snapshot-isolated read transaction. It is safe for use by a
+// single goroutine; open as many concurrent ReadTxns as needed.
+type ReadTxn struct {
+	s    *Store
+	seq  uint64
+	done bool
+}
+
+// BeginRead starts a read transaction pinned to the current commit horizon.
+func (s *Store) BeginRead() (*ReadTxn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.readers[s.commitSeq]++
+	return &ReadTxn{s: s, seq: s.commitSeq}, nil
+}
+
+// Get returns the content of pageNo as of the transaction's snapshot.
+// The buffer is shared: callers must not modify it.
+func (t *ReadTxn) Get(pageNo uint32) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	return t.s.readPage(pageNo, t.seq)
+}
+
+// Header returns the decoded header as of the snapshot.
+func (t *ReadTxn) Header() (header, error) {
+	p, err := t.Get(0)
+	if err != nil {
+		return header{}, err
+	}
+	return decodeHeader(p)
+}
+
+// CatalogRoot returns the catalog root page recorded in the header.
+func (t *ReadTxn) CatalogRoot() (uint32, error) {
+	h, err := t.Header()
+	if err != nil {
+		return 0, err
+	}
+	return h.catalogRoot, nil
+}
+
+// Close releases the snapshot. It is idempotent.
+func (t *ReadTxn) Close() {
+	if t.done {
+		return
+	}
+	t.done = true
+	s := t.s
+	s.mu.Lock()
+	if n := s.readers[t.seq]; n <= 1 {
+		delete(s.readers, t.seq)
+	} else {
+		s.readers[t.seq] = n - 1
+	}
+	s.mu.Unlock()
+}
+
+// View runs fn inside a read transaction.
+func (s *Store) View(fn func(*ReadTxn) error) error {
+	t, err := s.BeginRead()
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	return fn(t)
+}
+
+// --- write transactions ---
+
+// WriteTxn is the single writer. Mutations stay private (in memory or as
+// uncommitted WAL frames) until Commit.
+type WriteTxn struct {
+	s       *Store
+	txnID   uint64
+	dirty   map[uint32][]byte
+	pending map[uint32]uint32 // spilled page -> WAL frame
+	hdr     header
+	done    bool
+}
+
+// BeginWrite starts a write transaction, blocking until any other writer
+// finishes.
+func (s *Store) BeginWrite() (*WriteTxn, error) {
+	s.writeMu.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.writeMu.Unlock()
+		return nil, ErrClosed
+	}
+	txnID := s.nextTxnID
+	s.nextTxnID++
+	seq := s.commitSeq
+	s.mu.Unlock()
+
+	t := &WriteTxn{
+		s:       s,
+		txnID:   txnID,
+		dirty:   make(map[uint32][]byte),
+		pending: make(map[uint32]uint32),
+	}
+	p, err := s.readPage(0, seq)
+	if err != nil {
+		s.writeMu.Unlock()
+		return nil, err
+	}
+	h, err := decodeHeader(p)
+	if err != nil {
+		s.writeMu.Unlock()
+		return nil, err
+	}
+	t.hdr = h
+	return t, nil
+}
+
+// Update runs fn in a write transaction, committing on success and rolling
+// back if fn returns an error.
+func (s *Store) Update(fn func(*WriteTxn) error) error {
+	t, err := s.BeginWrite()
+	if err != nil {
+		return err
+	}
+	if err := fn(t); err != nil {
+		t.Rollback()
+		return err
+	}
+	return t.Commit()
+}
+
+func (t *WriteTxn) snapshot() uint64 {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.s.commitSeq
+}
+
+// Get returns a read-only view of pageNo including this transaction's own
+// uncommitted writes.
+func (t *WriteTxn) Get(pageNo uint32) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if pageNo == 0 {
+		return nil, errPageZeroRW
+	}
+	if buf, ok := t.dirty[pageNo]; ok {
+		return buf, nil
+	}
+	if frame, ok := t.pending[pageNo]; ok {
+		buf := make([]byte, t.s.opts.PageSize)
+		if err := t.s.wal.readFrame(frame, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return t.s.readPage(pageNo, t.snapshot())
+}
+
+// GetMut returns a writable copy of pageNo registered in the dirty set.
+func (t *WriteTxn) GetMut(pageNo uint32) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if pageNo == 0 {
+		return nil, errPageZeroRW
+	}
+	if buf, ok := t.dirty[pageNo]; ok {
+		return buf, nil
+	}
+	src, err := t.Get(pageNo)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(src))
+	copy(buf, src)
+	t.dirty[pageNo] = buf
+	delete(t.pending, pageNo) // dirty copy supersedes the spilled frame
+	return buf, nil
+}
+
+// Allocate returns a fresh zeroed page, reusing the freelist when possible.
+func (t *WriteTxn) Allocate() (uint32, []byte, error) {
+	if t.done {
+		return 0, nil, ErrTxnDone
+	}
+	var pageNo uint32
+	if t.hdr.freelistHead != 0 {
+		pageNo = t.hdr.freelistHead
+		next, err := t.Get(pageNo)
+		if err != nil {
+			return 0, nil, err
+		}
+		t.hdr.freelistHead = leU32(next)
+		t.hdr.freelistLen--
+	} else {
+		pageNo = t.hdr.pageCount
+		t.hdr.pageCount++
+	}
+	buf := make([]byte, t.s.opts.PageSize)
+	t.dirty[pageNo] = buf
+	delete(t.pending, pageNo)
+	return pageNo, buf, nil
+}
+
+// Free returns pageNo to the freelist.
+func (t *WriteTxn) Free(pageNo uint32) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if pageNo == 0 || pageNo >= t.hdr.pageCount {
+		return fmt.Errorf("%w: free page %d", ErrBadPage, pageNo)
+	}
+	buf, err := t.GetMut(pageNo)
+	if err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	putLEU32(buf, t.hdr.freelistHead)
+	t.hdr.freelistHead = pageNo
+	t.hdr.freelistLen++
+	return nil
+}
+
+// PageCount returns the transaction's view of the page count.
+func (t *WriteTxn) PageCount() uint32 { return t.hdr.pageCount }
+
+// FreePages returns the freelist length.
+func (t *WriteTxn) FreePages() uint32 { return t.hdr.freelistLen }
+
+// CatalogRoot returns the catalog root page number (0 if unset).
+func (t *WriteTxn) CatalogRoot() (uint32, error) { return t.hdr.catalogRoot, nil }
+
+// SetCatalogRoot records the catalog root page in the header.
+func (t *WriteTxn) SetCatalogRoot(pageNo uint32) { t.hdr.catalogRoot = pageNo }
+
+// SpillIfNeeded bounds writer memory by flushing the dirty set to
+// uncommitted WAL frames once it exceeds MaxDirtyPages. Spilling detaches
+// the page buffers previously returned by GetMut/Allocate, so callers must
+// only invoke it at safe points where no such buffer is still held —
+// typically between row-level operations.
+func (t *WriteTxn) SpillIfNeeded() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if len(t.dirty) <= t.s.opts.MaxDirtyPages {
+		return nil
+	}
+	return t.spill()
+}
+
+// DirtyPages returns the number of in-memory dirty pages.
+func (t *WriteTxn) DirtyPages() int { return len(t.dirty) }
+
+func (t *WriteTxn) spill() error {
+	for pageNo, buf := range t.dirty {
+		frame, err := t.s.wal.appendFrame(pageNo, buf, t.txnID, false, 0)
+		if err != nil {
+			return err
+		}
+		t.pending[pageNo] = frame
+		t.s.mu.Lock()
+		t.s.statPagesOut++
+		t.s.mu.Unlock()
+		delete(t.dirty, pageNo)
+	}
+	return nil
+}
+
+// Commit appends the dirty set and a commit frame to the WAL, fsyncs per
+// the sync mode, and publishes the transaction atomically.
+func (t *WriteTxn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	s := t.s
+	defer func() {
+		t.done = true
+		s.writeMu.Unlock()
+	}()
+
+	// The header page always travels with the commit so page count,
+	// freelist and catalog root stay transactional; it doubles as the
+	// commit frame.
+	hdrPage := make([]byte, s.opts.PageSize)
+	encodeHeader(hdrPage, header{
+		pageSize:     s.opts.PageSize,
+		pageCount:    t.hdr.pageCount,
+		freelistHead: t.hdr.freelistHead,
+		freelistLen:  t.hdr.freelistLen,
+		catalogRoot:  t.hdr.catalogRoot,
+	})
+
+	type cached struct {
+		pageNo uint32
+		frame  uint32
+		data   []byte
+	}
+	var toCache []cached
+	for pageNo, buf := range t.dirty {
+		frame, err := s.wal.appendFrame(pageNo, buf, t.txnID, false, 0)
+		if err != nil {
+			return err
+		}
+		t.pending[pageNo] = frame
+		toCache = append(toCache, cached{pageNo, frame, buf})
+	}
+	commitFrame, err := s.wal.appendFrame(0, hdrPage, t.txnID, true, t.hdr.pageCount)
+	if err != nil {
+		return err
+	}
+	t.pending[0] = commitFrame
+	toCache = append(toCache, cached{0, commitFrame, hdrPage})
+
+	if s.opts.Sync == SyncNormal {
+		if err := s.wal.sync(); err != nil {
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	s.commitSeq++
+	s.idx.publish(t.pending, s.commitSeq)
+	s.pageCount = t.hdr.pageCount
+	s.statCommits++
+	s.statPagesOut += uint64(len(toCache))
+	frames := s.wal.frames.Load()
+	s.mu.Unlock()
+
+	// Write-through cache so re-reads of just-committed pages hit memory.
+	for _, c := range toCache {
+		s.pool.put(poolKey{pageNo: c.pageNo, frame: c.frame + 1}, c.data)
+	}
+
+	if s.opts.CheckpointFrames >= 0 && int(frames) >= s.opts.CheckpointFrames {
+		// Best effort: skipped when readers pin older snapshots.
+		_ = s.checkpointLocked()
+	}
+	return nil
+}
+
+// Rollback abandons the transaction. Spilled frames become garbage that the
+// next checkpoint reclaims; they are never published so no reader or
+// recovery pass can observe them.
+func (t *WriteTxn) Rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.s.writeMu.Unlock()
+}
+
+// --- checkpoint ---
+
+// Checkpoint folds the newest committed version of every WAL page into the
+// base file and truncates the WAL. It fails with ErrBusy if a reader is
+// pinned to a snapshot older than the commit horizon.
+func (s *Store) Checkpoint() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked requires writeMu held.
+func (s *Store) checkpointLocked() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	for seq, n := range s.readers {
+		if n > 0 && seq < s.commitSeq {
+			s.mu.Unlock()
+			return ErrBusy
+		}
+	}
+	latest := s.idx.latest()
+	s.mu.Unlock()
+	if len(latest) == 0 {
+		return nil
+	}
+
+	buf := make([]byte, s.opts.PageSize)
+	for pageNo, frame := range latest {
+		var data []byte
+		if cached := s.pool.get(poolKey{pageNo: pageNo, frame: frame + 1}); cached != nil {
+			data = cached
+		} else {
+			if err := s.wal.readFrame(frame, buf); err != nil {
+				return err
+			}
+			data = buf
+		}
+		off := int64(pageNo) * int64(s.opts.PageSize)
+		if _, err := s.db.WriteAt(data, off); err != nil {
+			return fmt.Errorf("storage: checkpoint page %d: %w", pageNo, err)
+		}
+	}
+	if s.opts.Sync == SyncNormal {
+		if err := s.db.Sync(); err != nil {
+			return err
+		}
+	}
+
+	// Exclude concurrent page resolution while the WAL disappears.
+	s.resolveMu.Lock()
+	defer s.resolveMu.Unlock()
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.pool.checkpointRekey(latest)
+	s.mu.Lock()
+	s.idx = newWALIndex()
+	s.statCheckpoints++
+	s.mu.Unlock()
+	return nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLEU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

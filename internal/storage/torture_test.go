@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestTortureRandomOpsWithReopen drives the store through randomized
+// sequences of commits, rollbacks, spills, checkpoints and crash-reopens,
+// checking after every step that committed state matches an in-memory
+// reference model. This is the storage engine's main durability property
+// test.
+func TestTortureRandomOpsWithReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torture.db")
+	opts := Options{Sync: SyncOff, MaxDirtyPages: 4, CheckpointFrames: -1}
+
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { s.Close() }()
+
+	// Reference model: page -> last committed 8-byte value.
+	ref := map[uint32]uint64{}
+	var pages []uint32
+	rng := rand.New(rand.NewSource(1234))
+
+	verify := func(step int) {
+		t.Helper()
+		err := s.View(func(rt *ReadTxn) error {
+			for _, pg := range pages {
+				buf, err := rt.Get(pg)
+				if err != nil {
+					return fmt.Errorf("step %d page %d: %w", step, pg, err)
+				}
+				got := binary.LittleEndian.Uint64(buf)
+				if got != ref[pg] {
+					return fmt.Errorf("step %d page %d = %d, want %d", step, pg, got, ref[pg])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // committed write txn
+			staged := map[uint32]uint64{}
+			err := s.Update(func(wt *WriteTxn) error {
+				nOps := 1 + rng.Intn(8)
+				for i := 0; i < nOps; i++ {
+					var pg uint32
+					if len(pages) == 0 || rng.Intn(3) == 0 {
+						n, buf, err := wt.Allocate()
+						if err != nil {
+							return err
+						}
+						pg = n
+						pages = append(pages, pg)
+						v := rng.Uint64()
+						binary.LittleEndian.PutUint64(buf, v)
+						staged[pg] = v
+					} else {
+						pg = pages[rng.Intn(len(pages))]
+						buf, err := wt.GetMut(pg)
+						if err != nil {
+							return err
+						}
+						v := rng.Uint64()
+						binary.LittleEndian.PutUint64(buf, v)
+						staged[pg] = v
+					}
+					if err := wt.SpillIfNeeded(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("step %d commit: %v", step, err)
+			}
+			for pg, v := range staged {
+				ref[pg] = v
+			}
+		case op < 7: // rolled-back txn (must leave no trace)
+			wt, err := s.BeginWrite()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				if len(pages) > 0 && rng.Intn(2) == 0 {
+					pg := pages[rng.Intn(len(pages))]
+					buf, err := wt.GetMut(pg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					binary.LittleEndian.PutUint64(buf, rng.Uint64())
+				} else {
+					if _, _, err := wt.Allocate(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := wt.SpillIfNeeded(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wt.Rollback()
+		case op < 8: // checkpoint (may be busy; fine)
+			if err := s.Checkpoint(); err != nil && err != ErrBusy {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+		case op < 9: // crash + recover
+			if err := s.CloseWithoutCheckpoint(); err != nil {
+				t.Fatal(err)
+			}
+			s, err = Open(path, opts)
+			if err != nil {
+				t.Fatalf("step %d reopen after crash: %v", step, err)
+			}
+		default: // clean close + reopen
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s, err = Open(path, opts)
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", step, err)
+			}
+		}
+		if step%20 == 0 || step == 399 {
+			verify(step)
+		}
+	}
+	verify(400)
+}
+
+// TestFreelistSurvivesCrash checks that freelist state (kept in the header
+// page) recovers consistently: pages freed before a crash stay reusable and
+// no page is handed out twice.
+func TestFreelistSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fl.db")
+	opts := Options{Sync: SyncOff, CheckpointFrames: -1}
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var allocated []uint32
+	if err := s.Update(func(wt *WriteTxn) error {
+		for i := 0; i < 20; i++ {
+			pg, _, err := wt.Allocate()
+			if err != nil {
+				return err
+			}
+			allocated = append(allocated, pg)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(wt *WriteTxn) error {
+		for _, pg := range allocated[:10] {
+			if err := wt.Free(pg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseWithoutCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	seen := map[uint32]bool{}
+	for _, pg := range allocated[10:] {
+		seen[pg] = true // still-live pages must not be re-issued
+	}
+	if err := s2.Update(func(wt *WriteTxn) error {
+		if wt.FreePages() != 10 {
+			t.Errorf("free pages after crash = %d, want 10", wt.FreePages())
+		}
+		for i := 0; i < 15; i++ {
+			pg, _, err := wt.Allocate()
+			if err != nil {
+				return err
+			}
+			if seen[pg] {
+				t.Errorf("page %d double-allocated", pg)
+			}
+			seen[pg] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

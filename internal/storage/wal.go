@@ -1,0 +1,305 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Write-ahead log. Committed page images are appended to a side file; the
+// main database file is only rewritten during checkpoints. Readers resolve
+// pages through an in-memory index of the WAL (pageNo -> frames), pinned to
+// the commit horizon captured when their transaction began — this provides
+// SQLite-WAL-style snapshot isolation with a single writer and any number
+// of concurrent readers.
+//
+// Large write transactions spill uncommitted frames into the WAL before
+// commit (bounding writer memory). Uncommitted frames are invisible: a
+// transaction's frames enter the shared index only when its commit frame is
+// durably appended. Each frame carries the transaction id that wrote it, so
+// recovery can tell spilled-then-rolled-back frames from committed ones.
+
+const (
+	walMagic          = "MNNWAL01"
+	walHeaderSize     = 16 // magic(8) + salt(4) + pageSize(4)
+	walFrameHeaderLen = 24 // pageNo(4) + pageCount(4) + txnID(8) + flags(4) + crc(4)
+
+	frameFlagCommit = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameLoc records one committed version of a page.
+type frameLoc struct {
+	seq   uint64 // commit sequence that made this version visible
+	frame uint32 // frame number in the WAL file (0-based)
+}
+
+// walIndex maps each page to its committed WAL versions in ascending seq
+// order. Within one commit the last write wins, so each seq appears at most
+// once per page.
+type walIndex struct {
+	pages  map[uint32][]frameLoc
+	frames uint32 // total frames in the WAL file (committed or not)
+}
+
+func newWALIndex() *walIndex {
+	return &walIndex{pages: make(map[uint32][]frameLoc)}
+}
+
+// lookup returns the frame holding the newest version of pageNo visible at
+// snapshot seq, or ok=false if the page must be read from the base file.
+func (idx *walIndex) lookup(pageNo uint32, seq uint64) (uint32, bool) {
+	locs := idx.pages[pageNo]
+	// Binary search for the greatest entry with loc.seq <= seq.
+	i := sort.Search(len(locs), func(i int) bool { return locs[i].seq > seq })
+	if i == 0 {
+		return 0, false
+	}
+	return locs[i-1].frame, true
+}
+
+// publish makes a committed transaction's frames visible at seq.
+// pending maps pageNo -> frame (the last frame written for that page).
+func (idx *walIndex) publish(pending map[uint32]uint32, seq uint64) {
+	for pageNo, frame := range pending {
+		idx.pages[pageNo] = append(idx.pages[pageNo], frameLoc{seq: seq, frame: frame})
+	}
+}
+
+// latest returns, for every page present in the WAL, the frame of its newest
+// committed version. Used by checkpointing.
+func (idx *walIndex) latest() map[uint32]uint32 {
+	out := make(map[uint32]uint32, len(idx.pages))
+	for pageNo, locs := range idx.pages {
+		if len(locs) > 0 {
+			out[pageNo] = locs[len(locs)-1].frame
+		}
+	}
+	return out
+}
+
+// wal wraps the WAL file. It is not internally synchronized; the Store
+// serializes writers and guards the index with its own mutex.
+type wal struct {
+	f        *os.File
+	salt     uint32
+	pageSize uint32
+	// frames is the frame count in the file; atomic because Stats reads
+	// it without holding the writer lock.
+	frames atomic.Uint32
+}
+
+func openWAL(path string, pageSize uint32) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	w := &wal{f: f, pageSize: pageSize}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return w, nil
+	}
+	hdr := make([]byte, walHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read wal header: %w", err)
+	}
+	if string(hdr[:8]) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: bad wal magic")
+	}
+	w.salt = binary.LittleEndian.Uint32(hdr[8:])
+	ps := binary.LittleEndian.Uint32(hdr[12:])
+	if ps != pageSize {
+		f.Close()
+		return nil, fmt.Errorf("storage: wal page size %d != db page size %d", ps, pageSize)
+	}
+	return w, nil
+}
+
+func (w *wal) writeHeader() error {
+	w.salt++
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], w.salt)
+	binary.LittleEndian.PutUint32(hdr[12:], w.pageSize)
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("storage: write wal header: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) frameOffset(frame uint32) int64 {
+	return walHeaderSize + int64(frame)*int64(walFrameHeaderLen+w.pageSize)
+}
+
+func (w *wal) frameCRC(hdr []byte, data []byte) uint32 {
+	crc := crc32.Update(0, crcTable, hdr[:walFrameHeaderLen-4])
+	var salt [4]byte
+	binary.LittleEndian.PutUint32(salt[:], w.salt)
+	crc = crc32.Update(crc, crcTable, salt[:])
+	return crc32.Update(crc, crcTable, data)
+}
+
+// appendFrame writes one frame and returns its frame number. pageCount is
+// only meaningful on commit frames (flagged with frameFlagCommit).
+func (w *wal) appendFrame(pageNo uint32, data []byte, txnID uint64, commit bool, pageCount uint32) (uint32, error) {
+	if uint32(len(data)) != w.pageSize {
+		return 0, fmt.Errorf("storage: frame data %d bytes, want %d", len(data), w.pageSize)
+	}
+	hdr := make([]byte, walFrameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pageNo)
+	binary.LittleEndian.PutUint32(hdr[4:], pageCount)
+	binary.LittleEndian.PutUint64(hdr[8:], txnID)
+	flags := uint32(0)
+	if commit {
+		flags = frameFlagCommit
+	}
+	binary.LittleEndian.PutUint32(hdr[16:], flags)
+	binary.LittleEndian.PutUint32(hdr[20:], w.frameCRC(hdr, data))
+
+	frame := w.frames.Load()
+	off := w.frameOffset(frame)
+	if _, err := w.f.WriteAt(hdr, off); err != nil {
+		return 0, fmt.Errorf("storage: append wal frame: %w", err)
+	}
+	if _, err := w.f.WriteAt(data, off+walFrameHeaderLen); err != nil {
+		return 0, fmt.Errorf("storage: append wal frame data: %w", err)
+	}
+	w.frames.Add(1)
+	return frame, nil
+}
+
+// readFrame reads the page image stored in the given frame into buf.
+func (w *wal) readFrame(frame uint32, buf []byte) error {
+	off := w.frameOffset(frame) + walFrameHeaderLen
+	if _, err := w.f.ReadAt(buf[:w.pageSize], off); err != nil {
+		return fmt.Errorf("storage: read wal frame %d: %w", frame, err)
+	}
+	return nil
+}
+
+func (w *wal) sync() error { return w.f.Sync() }
+
+// reset truncates the WAL after a checkpoint and bumps the salt so any
+// stale bytes from the old log can never pass CRC validation.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: truncate wal: %w", err)
+	}
+	w.frames.Store(0)
+	return w.writeHeader()
+}
+
+// recoveredTxn groups the frames of one transaction seen during recovery.
+type recoveredTxn struct {
+	pages     map[uint32]uint32
+	committed bool
+	order     int // commit order in the file
+	pageCount uint32
+}
+
+// recover scans the WAL, validates frames, and rebuilds the committed
+// index. It returns the index, the number of commits (the recovered commit
+// horizon), the page count declared by the newest commit frame (0 if none),
+// and the largest txn id observed. Scanning stops at the first frame that
+// fails validation: everything after a torn write is discarded, exactly the
+// crash-recovery contract of a WAL.
+func (w *wal) recover() (idx *walIndex, commits uint64, pageCount uint32, maxTxnID uint64, err error) {
+	idx = newWALIndex()
+	st, err := w.f.Stat()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	frameSize := int64(walFrameHeaderLen) + int64(w.pageSize)
+	avail := st.Size() - walHeaderSize
+	if avail < 0 {
+		avail = 0
+	}
+	maxFrames := uint32(avail / frameSize)
+
+	txns := make(map[uint64]*recoveredTxn)
+	commitOrder := 0
+	hdr := make([]byte, walFrameHeaderLen)
+	data := make([]byte, w.pageSize)
+	var lastValid uint32
+	for frame := uint32(0); frame < maxFrames; frame++ {
+		off := w.frameOffset(frame)
+		if _, err := w.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		if _, err := w.f.ReadAt(data, off+walFrameHeaderLen); err != nil {
+			break
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[20:])
+		if w.frameCRC(hdr, data) != wantCRC {
+			break
+		}
+		pageNo := binary.LittleEndian.Uint32(hdr[0:])
+		framePC := binary.LittleEndian.Uint32(hdr[4:])
+		txnID := binary.LittleEndian.Uint64(hdr[8:])
+		flags := binary.LittleEndian.Uint32(hdr[16:])
+		if txnID > maxTxnID {
+			maxTxnID = txnID
+		}
+		t := txns[txnID]
+		if t == nil {
+			t = &recoveredTxn{pages: make(map[uint32]uint32)}
+			txns[txnID] = t
+		}
+		t.pages[pageNo] = frame
+		if flags&frameFlagCommit != 0 {
+			t.committed = true
+			t.order = commitOrder
+			t.pageCount = framePC
+			commitOrder++
+		}
+		lastValid = frame + 1
+	}
+	w.frames.Store(lastValid)
+
+	// Publish committed transactions in commit order.
+	committed := make([]*recoveredTxn, 0, len(txns))
+	for _, t := range txns {
+		if t.committed {
+			committed = append(committed, t)
+		}
+	}
+	sort.Slice(committed, func(i, j int) bool { return committed[i].order < committed[j].order })
+	for i, t := range committed {
+		idx.publish(t.pages, uint64(i+1))
+		pageCount = t.pageCount
+	}
+	idx.frames = lastValid
+	return idx, uint64(len(committed)), pageCount, maxTxnID, nil
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// size returns the WAL file size in bytes.
+func (w *wal) size() int64 {
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}

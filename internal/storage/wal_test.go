@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWALIndexLookup(t *testing.T) {
+	idx := newWALIndex()
+	idx.publish(map[uint32]uint32{5: 10, 7: 11}, 1)
+	idx.publish(map[uint32]uint32{5: 20}, 2)
+	idx.publish(map[uint32]uint32{5: 30, 9: 31}, 3)
+
+	cases := []struct {
+		pageNo    uint32
+		snapshot  uint64
+		wantFrame uint32
+		wantOK    bool
+	}{
+		{5, 0, 0, false}, // before any commit
+		{5, 1, 10, true},
+		{5, 2, 20, true},
+		{5, 3, 30, true},
+		{5, 99, 30, true}, // future snapshot sees newest
+		{7, 1, 11, true},
+		{7, 3, 11, true},
+		{9, 2, 0, false}, // page committed later than snapshot
+		{9, 3, 31, true},
+		{42, 3, 0, false}, // never written
+	}
+	for _, c := range cases {
+		frame, ok := idx.lookup(c.pageNo, c.snapshot)
+		if ok != c.wantOK || (ok && frame != c.wantFrame) {
+			t.Errorf("lookup(%d, %d) = %d,%v want %d,%v",
+				c.pageNo, c.snapshot, frame, ok, c.wantFrame, c.wantOK)
+		}
+	}
+
+	latest := idx.latest()
+	if latest[5] != 30 || latest[7] != 11 || latest[9] != 31 {
+		t.Errorf("latest = %v", latest)
+	}
+}
+
+func TestWALAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, "x-wal"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	frame, err := w.appendFrame(7, data, 1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame != 0 {
+		t.Errorf("first frame = %d", frame)
+	}
+	got := make([]byte, 4096)
+	if err := w.readFrame(frame, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("frame data mismatch at %d", i)
+		}
+	}
+	// Wrong-size frame rejected.
+	if _, err := w.appendFrame(8, data[:100], 1, false, 0); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestWALRecoverCommittedOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "y-wal")
+	w, err := openWAL(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	// Txn 1: two frames + commit.
+	if _, err := w.appendFrame(1, data, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.appendFrame(0, data, 1, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 2: spilled frames, never committed (rollback / crash).
+	if _, err := w.appendFrame(2, data, 2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.appendFrame(3, data, 2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 3: one frame + commit.
+	if _, err := w.appendFrame(4, data, 3, true, 9); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	w2, err := openWAL(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	idx, commits, pageCount, maxTxnID, err := w2.recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commits != 2 {
+		t.Errorf("commits = %d, want 2", commits)
+	}
+	if pageCount != 9 {
+		t.Errorf("pageCount = %d, want 9 (newest commit)", pageCount)
+	}
+	if maxTxnID != 3 {
+		t.Errorf("maxTxnID = %d", maxTxnID)
+	}
+	// Uncommitted txn 2 pages invisible.
+	if _, ok := idx.lookup(2, 99); ok {
+		t.Error("rolled-back frame visible after recovery")
+	}
+	if _, ok := idx.lookup(3, 99); ok {
+		t.Error("rolled-back frame visible after recovery")
+	}
+	if _, ok := idx.lookup(1, 1); !ok {
+		t.Error("committed txn 1 frame missing")
+	}
+	if _, ok := idx.lookup(4, 2); !ok {
+		t.Error("committed txn 3 frame missing")
+	}
+}
+
+func TestBufferPoolLRUAndRekey(t *testing.T) {
+	p := newBufferPool(4*4096, 4096) // room for 4 pages
+	mk := func(tag byte) []byte {
+		b := make([]byte, 4096)
+		b[0] = tag
+		return b
+	}
+	p.put(poolKey{pageNo: 1}, mk(1))
+	p.put(poolKey{pageNo: 2}, mk(2))
+	p.put(poolKey{pageNo: 3}, mk(3))
+	p.put(poolKey{pageNo: 4}, mk(4))
+	// Touch page 1 so page 2 is the LRU victim.
+	if p.get(poolKey{pageNo: 1}) == nil {
+		t.Fatal("page 1 missing")
+	}
+	p.put(poolKey{pageNo: 5}, mk(5))
+	if p.get(poolKey{pageNo: 2}) != nil {
+		t.Error("LRU page 2 not evicted")
+	}
+	if p.get(poolKey{pageNo: 1}) == nil {
+		t.Error("recently used page 1 evicted")
+	}
+
+	// Rekey: page 6 has a base image and a newer WAL image; after a
+	// checkpoint the WAL image must become the base image.
+	p.put(poolKey{pageNo: 6, frame: 0}, mk(60))
+	p.put(poolKey{pageNo: 6, frame: 9}, mk(69)) // frame 8 + 1
+	p.checkpointRekey(map[uint32]uint32{6: 8})
+	got := p.get(poolKey{pageNo: 6, frame: 0})
+	if got == nil || got[0] != 69 {
+		t.Errorf("rekeyed base image = %v", got)
+	}
+	if p.get(poolKey{pageNo: 6, frame: 9}) != nil {
+		t.Error("stale WAL-keyed entry survived rekey")
+	}
+
+	hits, misses := p.stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats = %d, %d", hits, misses)
+	}
+	p.drop()
+	if p.bytes() != 0 {
+		t.Errorf("bytes after drop = %d", p.bytes())
+	}
+}

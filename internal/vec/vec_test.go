@@ -1,0 +1,407 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, eps float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := float32(1)
+	if aa := float32(math.Abs(float64(a))); aa > scale {
+		scale = aa
+	}
+	return d <= eps*scale
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	v := []float32{1.5, -2.25, 0, 3.14159, float32(math.Inf(1)), -0}
+	blob := ToBlob(nil, v)
+	if len(blob) != BlobSize(len(v)) {
+		t.Fatalf("blob size = %d, want %d", len(blob), BlobSize(len(v)))
+	}
+	got := FromBlob(make([]float32, len(v)), blob)
+	for i := range v {
+		if got[i] != v[i] && !(math.IsNaN(float64(got[i])) && math.IsNaN(float64(v[i]))) {
+			t.Errorf("round trip [%d] = %v, want %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestBlobRoundTripProperty(t *testing.T) {
+	f := func(v []float32) bool {
+		blob := ToBlob(nil, v)
+		if len(v) == 0 {
+			return len(blob) == 0
+		}
+		got := FromBlob(make([]float32, len(v)), blob)
+		for i := range v {
+			a, b := got[i], v[i]
+			if math.IsNaN(float64(a)) && math.IsNaN(float64(b)) {
+				continue
+			}
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendFromBlob(t *testing.T) {
+	v := []float32{1, 2, 3}
+	blob := ToBlob(nil, v)
+	out := AppendFromBlob([]float32{9}, blob)
+	want := []float32{9, 1, 2, 3}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestL2Squared(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{2, 2, 1, 4, 0}
+	// diffs: -1,0,2,0,5 -> 1+0+4+0+25 = 30
+	if got := L2Squared(a, b); got != 30 {
+		t.Errorf("L2Squared = %v, want 30", got)
+	}
+	if got := L2Squared(a, a); got != 0 {
+		t.Errorf("L2Squared(a,a) = %v, want 0", got)
+	}
+}
+
+func TestL2SquaredMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(300)
+		a, b := make([]float32, dim), make([]float32, dim)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		var want float32
+		for i := range a {
+			d := a[i] - b[i]
+			want += d * d
+		}
+		if got := L2Squared(a, b); !approxEq(got, want, 1e-4) {
+			t.Fatalf("dim %d: got %v want %v", dim, got, want)
+		}
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := DotProduct(a, b); got != 32 {
+		t.Errorf("DotProduct = %v, want 32", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"l2":  func() { L2Squared([]float32{1}, []float32{1, 2}) },
+		"dot": func() { DotProduct([]float32{1}, []float32{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on dimension mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	Normalize(v)
+	if got := Norm(v); !approxEq(got, 1, 1e-6) {
+		t.Errorf("after Normalize, norm = %v, want 1", got)
+	}
+	zero := []float32{0, 0}
+	Normalize(zero) // must not NaN
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("Normalize(zero) changed vector: %v", zero)
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := CosineDistance(a, b); !approxEq(got, 1, 1e-6) {
+		t.Errorf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance(a, a); !approxEq(got, 0, 1e-6) {
+		t.Errorf("identical cosine distance = %v, want 0", got)
+	}
+	c := []float32{-1, 0}
+	if got := CosineDistance(a, c); !approxEq(got, 2, 1e-6) {
+		t.Errorf("opposite cosine distance = %v, want 2", got)
+	}
+	if got := CosineDistance(a, []float32{0, 0}); got != 1 {
+		t.Errorf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestDistanceMetricDispatch(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 4}
+	if got, want := Distance(L2, a, b), L2Squared(a, b); got != want {
+		t.Errorf("Distance(L2) = %v, want %v", got, want)
+	}
+	if got, want := Distance(Cosine, a, b), CosineDistance(a, b); got != want {
+		t.Errorf("Distance(Cosine) = %v, want %v", got, want)
+	}
+	if got, want := Distance(Dot, a, b), -DotProduct(a, b); got != want {
+		t.Errorf("Distance(Dot) = %v, want %v", got, want)
+	}
+}
+
+func TestMetricStringParse(t *testing.T) {
+	for _, m := range []Metric{L2, Cosine, Dot} {
+		got, err := ParseMetric(m.String())
+		if err != nil {
+			t.Fatalf("ParseMetric(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("ParseMetric(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if _, err := ParseMetric("nonsense"); err == nil {
+		t.Error("ParseMetric(nonsense) should fail")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	c := []float32{0, 10}
+	x := []float32{10, 0}
+	Lerp(c, x, 0.25)
+	if !approxEq(c[0], 2.5, 1e-6) || !approxEq(c[1], 7.5, 1e-6) {
+		t.Errorf("Lerp = %v, want [2.5 7.5]", c)
+	}
+	// eta=1 replaces the centroid entirely (first assignment).
+	Lerp(c, x, 1)
+	if c[0] != 10 || c[1] != 0 {
+		t.Errorf("Lerp eta=1 = %v, want [10 0]", c)
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := []float32{1, 2}
+	Add(a, []float32{3, 4})
+	if a[0] != 4 || a[1] != 6 {
+		t.Errorf("Add = %v", a)
+	}
+	Scale(a, 0.5)
+	if a[0] != 2 || a[1] != 3 {
+		t.Errorf("Scale = %v", a)
+	}
+}
+
+func TestMatrixRows(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetRow(0, []float32{1, 2})
+	m.SetRow(2, []float32{5, 6})
+	if r := m.Row(0); r[0] != 1 || r[1] != 2 {
+		t.Errorf("Row(0) = %v", r)
+	}
+	if r := m.Row(1); r[0] != 0 || r[1] != 0 {
+		t.Errorf("Row(1) = %v, want zeros", r)
+	}
+	blob := ToBlob(nil, []float32{7, 8})
+	m.AppendRowBlob(1, blob)
+	if r := m.Row(1); r[0] != 7 || r[1] != 8 {
+		t.Errorf("Row(1) after blob = %v", r)
+	}
+}
+
+func TestMatrixNorms(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.SetRow(0, []float32{3, 4})
+	m.SetRow(1, []float32{1, 0})
+	norms := m.Norms(nil)
+	if norms[0] != 25 || norms[1] != 1 {
+		t.Errorf("Norms = %v, want [25 1]", norms)
+	}
+}
+
+func TestDistancesOneToManyL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 33
+	m := NewMatrix(100, dim)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = rng.Float32()
+		}
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = rng.Float32()
+	}
+	norms := m.Norms(nil)
+
+	outNorm := make([]float32, m.Rows)
+	outPlain := make([]float32, m.Rows)
+	DistancesOneToMany(L2, q, m, norms, outNorm)
+	DistancesOneToMany(L2, q, m, nil, outPlain)
+	for i := range outNorm {
+		want := L2Squared(q, m.Row(i))
+		if !approxEq(outNorm[i], want, 1e-3) {
+			t.Fatalf("norm-path [%d] = %v, want %v", i, outNorm[i], want)
+		}
+		if !approxEq(outPlain[i], want, 1e-4) {
+			t.Fatalf("plain-path [%d] = %v, want %v", i, outPlain[i], want)
+		}
+	}
+}
+
+func TestDistancesOneToManyOtherMetrics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.SetRow(0, []float32{1, 0, 0})
+	m.SetRow(1, []float32{0, 2, 0})
+	q := []float32{1, 1, 0}
+	out := make([]float32, 2)
+
+	DistancesOneToMany(Cosine, q, m, nil, out)
+	for i := range out {
+		want := CosineDistance(q, m.Row(i))
+		if !approxEq(out[i], want, 1e-6) {
+			t.Errorf("cosine [%d] = %v, want %v", i, out[i], want)
+		}
+	}
+	DistancesOneToMany(Dot, q, m, nil, out)
+	for i := range out {
+		want := -DotProduct(q, m.Row(i))
+		if out[i] != want {
+			t.Errorf("dot [%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestDistancesManyToManyMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dim := 17
+	for _, metric := range []Metric{L2, Cosine, Dot} {
+		queries := NewMatrix(7, dim)
+		data := NewMatrix(129, dim) // >1 tile to exercise blocking
+		for i := 0; i < queries.Rows; i++ {
+			for j := 0; j < dim; j++ {
+				queries.Row(i)[j] = rng.Float32()*2 - 1
+			}
+		}
+		for i := 0; i < data.Rows; i++ {
+			for j := 0; j < dim; j++ {
+				data.Row(i)[j] = rng.Float32()*2 - 1
+			}
+		}
+		out := make([]float32, queries.Rows*data.Rows)
+		DistancesManyToMany(metric, queries, data, nil, nil, out)
+		for qi := 0; qi < queries.Rows; qi++ {
+			for di := 0; di < data.Rows; di++ {
+				want := Distance(metric, queries.Row(qi), data.Row(di))
+				got := out[qi*data.Rows+di]
+				if !approxEq(got, want, 1e-3) {
+					t.Fatalf("metric %v [%d,%d] = %v, want %v", metric, qi, di, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDistancesManyToManyWithPrecomputedNorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dim := 8
+	queries := NewMatrix(3, dim)
+	data := NewMatrix(5, dim)
+	for i := 0; i < queries.Rows; i++ {
+		for j := 0; j < dim; j++ {
+			queries.Row(i)[j] = rng.Float32()
+		}
+	}
+	for i := 0; i < data.Rows; i++ {
+		for j := 0; j < dim; j++ {
+			data.Row(i)[j] = rng.Float32()
+		}
+	}
+	qn := queries.Norms(nil)
+	rn := data.Norms(nil)
+	out := make([]float32, queries.Rows*data.Rows)
+	DistancesManyToMany(L2, queries, data, qn, rn, out)
+	for qi := 0; qi < queries.Rows; qi++ {
+		for di := 0; di < data.Rows; di++ {
+			want := L2Squared(queries.Row(qi), data.Row(di))
+			if !approxEq(out[qi*data.Rows+di], want, 1e-3) {
+				t.Fatalf("[%d,%d] = %v, want %v", qi, di, out[qi*data.Rows+di], want)
+			}
+		}
+	}
+}
+
+func TestL2NonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(64)
+		a, b := make([]float32, dim), make([]float32, dim)
+		for i := range a {
+			a[i] = rng.Float32()*200 - 100
+			b[i] = a[i] + rng.Float32()*1e-3 // near-identical: cancellation risk
+		}
+		m := NewMatrix(1, dim)
+		m.SetRow(0, b)
+		out := make([]float32, 1)
+		DistancesOneToMany(L2, a, m, m.Norms(nil), out)
+		return out[0] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkL2Squared128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(i) * 0.5
+	}
+	b.SetBytes(int64(len(x) * 4 * 2))
+	for i := 0; i < b.N; i++ {
+		_ = L2Squared(x, y)
+	}
+}
+
+func BenchmarkDistancesOneToMany128x1000(b *testing.B) {
+	dim := 128
+	m := NewMatrix(1000, dim)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = rng.Float32()
+		}
+	}
+	q := make([]float32, dim)
+	norms := m.Norms(nil)
+	out := make([]float32, m.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistancesOneToMany(L2, q, m, norms, out)
+	}
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"micronn/internal/vec"
+)
+
+// FilteredSpec describes the Big-ANN-style filtered-search workload used by
+// the hybrid-optimizer evaluation (paper §4.3.1): CLIP-like embeddings,
+// each carrying a bag of tags drawn from a Zipf distribution, and queries
+// that conjoin one or more tags so true selectivities span many orders of
+// magnitude.
+type FilteredSpec struct {
+	Dim        int
+	NumVectors int
+	NumQueries int
+	// Vocab is the tag vocabulary size (default NumVectors/25, min 100).
+	Vocab int
+	// TagsPerDoc is the mean tag-bag size (default 4).
+	TagsPerDoc int
+	// ZipfS is the Zipf skew parameter (default 1.2).
+	ZipfS float64
+	Seed  int64
+}
+
+func (s FilteredSpec) fill() FilteredSpec {
+	if s.Vocab == 0 {
+		s.Vocab = s.NumVectors / 25
+		if s.Vocab < 100 {
+			s.Vocab = 100
+		}
+	}
+	if s.TagsPerDoc == 0 {
+		s.TagsPerDoc = 4
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.2
+	}
+	return s
+}
+
+// FilteredDataset is the generated filtered-search workload.
+type FilteredDataset struct {
+	Spec FilteredSpec
+	// Train vectors with Tags[i] the tag string of vector i.
+	Train *vec.Matrix
+	Tags  []string
+	// Queries with QueryTags[i] the conjunctive tag filter of query i.
+	Queries   *vec.Matrix
+	QueryTags []string
+}
+
+// tagName renders tag rank r as a token.
+func tagName(r int) string {
+	return "tag" + intToString(r)
+}
+
+func intToString(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// GenerateFiltered materializes the workload. Tag frequency follows a Zipf
+// law over the vocabulary; query filters combine one or two tags sampled
+// from the same law, so popular-tag queries qualify ~10% of the corpus and
+// rare-tag conjunctions qualify only a handful of rows — the selectivity
+// spectrum Figure 7 sweeps.
+func GenerateFiltered(spec FilteredSpec) *FilteredDataset {
+	spec = spec.fill()
+	base := Spec{
+		Name: "BigANN-Filtered", Dim: spec.Dim,
+		NumVectors: spec.NumVectors, NumQueries: spec.NumQueries,
+		Metric: vec.Cosine, Seed: spec.Seed,
+	}
+	ds := base.Generate()
+
+	rng := rand.New(rand.NewSource(spec.Seed + 1000))
+	zipf := rand.NewZipf(rng, spec.ZipfS, 1, uint64(spec.Vocab-1))
+
+	tags := make([]string, spec.NumVectors)
+	var sb strings.Builder
+	for i := range tags {
+		n := 1 + rng.Intn(2*spec.TagsPerDoc-1) // mean ≈ TagsPerDoc
+		seen := map[uint64]struct{}{}
+		sb.Reset()
+		for len(seen) < n {
+			t := zipf.Uint64()
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(tagName(int(t)))
+		}
+		tags[i] = sb.String()
+	}
+
+	queryTags := make([]string, spec.NumQueries)
+	for i := range queryTags {
+		if rng.Intn(2) == 0 {
+			queryTags[i] = tagName(int(zipf.Uint64()))
+		} else {
+			a, b := zipf.Uint64(), zipf.Uint64()
+			queryTags[i] = tagName(int(a)) + " " + tagName(int(b))
+		}
+	}
+	return &FilteredDataset{
+		Spec: spec, Train: ds.Train, Tags: tags,
+		Queries: ds.Queries, QueryTags: queryTags,
+	}
+}
+
+// TrueSelectivity computes the exact fraction of vectors whose tag bag
+// contains every token of query (the paper measures true selectivities the
+// same way: by executing the filters).
+func (fd *FilteredDataset) TrueSelectivity(query string) float64 {
+	toks := strings.Fields(query)
+	match := 0
+	for _, bag := range fd.Tags {
+		have := map[string]struct{}{}
+		for _, t := range strings.Fields(bag) {
+			have[t] = struct{}{}
+		}
+		ok := true
+		for _, q := range toks {
+			if _, in := have[q]; !in {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match++
+		}
+	}
+	return float64(match) / float64(len(fd.Tags))
+}
+
+// SelectivityBin groups queries by order of magnitude of true selectivity.
+type SelectivityBin struct {
+	// Exp is the bin's order of magnitude: selectivity in [10^Exp, 10^(Exp+1)).
+	Exp int
+	// Queries holds indices into fd.Queries.
+	Queries []int
+	// Selectivities holds each query's true selectivity factor.
+	Selectivities []float64
+}
+
+// BinBySelectivity measures every query's true selectivity, bins them by
+// order of magnitude and samples up to perBin queries per bin (the paper
+// samples 10 per bin). Queries with zero matches are dropped.
+func (fd *FilteredDataset) BinBySelectivity(perBin int, seed int64) []SelectivityBin {
+	// Precompute tag -> doc count for fast selectivity of 1-2 token
+	// queries via inverted counting.
+	tagDocs := map[string]map[int]struct{}{}
+	for i, bag := range fd.Tags {
+		for _, t := range strings.Fields(bag) {
+			m, ok := tagDocs[t]
+			if !ok {
+				m = map[int]struct{}{}
+				tagDocs[t] = m
+			}
+			m[i] = struct{}{}
+		}
+	}
+	selOf := func(query string) float64 {
+		toks := strings.Fields(query)
+		if len(toks) == 0 {
+			return 1
+		}
+		// Intersect the smallest posting set.
+		sets := make([]map[int]struct{}, 0, len(toks))
+		for _, t := range toks {
+			s, ok := tagDocs[t]
+			if !ok {
+				return 0
+			}
+			sets = append(sets, s)
+		}
+		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+		n := 0
+		for doc := range sets[0] {
+			ok := true
+			for _, s := range sets[1:] {
+				if _, in := s[doc]; !in {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+			}
+		}
+		return float64(n) / float64(len(fd.Tags))
+	}
+
+	byExp := map[int]*SelectivityBin{}
+	for qi, qt := range fd.QueryTags {
+		sel := selOf(qt)
+		if sel == 0 {
+			continue
+		}
+		exp := 0
+		for s := sel; s < 1 && exp > -9; s *= 10 {
+			exp--
+		}
+		b, ok := byExp[exp]
+		if !ok {
+			b = &SelectivityBin{Exp: exp}
+			byExp[exp] = b
+		}
+		b.Queries = append(b.Queries, qi)
+		b.Selectivities = append(b.Selectivities, sel)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SelectivityBin, 0, len(byExp))
+	for _, b := range byExp {
+		if len(b.Queries) > perBin {
+			perm := rng.Perm(len(b.Queries))[:perBin]
+			sort.Ints(perm)
+			qs := make([]int, perBin)
+			ss := make([]float64, perBin)
+			for i, p := range perm {
+				qs[i] = b.Queries[p]
+				ss[i] = b.Selectivities[p]
+			}
+			b.Queries, b.Selectivities = qs, ss
+		}
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Exp < out[j].Exp })
+	return out
+}

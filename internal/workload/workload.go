@@ -1,0 +1,240 @@
+// Package workload generates the synthetic stand-ins for the paper's
+// benchmark datasets (Table 2) and the Big-ANN filtered-search workload
+// (Figure 7). The execution environment is offline, so real SIFT/GIST/...
+// files are unavailable; each generator matches its dataset's
+// dimensionality, cardinality, query count and metric, and draws vectors
+// from a seeded Gaussian mixture so that IVF clustering, recall/latency
+// trade-offs and partition locality behave like natural data. A --scale
+// flag shrinks cardinalities proportionally for time-budgeted runs;
+// EXPERIMENTS.md records the scale used for every reported number.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"micronn/internal/topk"
+	"micronn/internal/vec"
+)
+
+// Spec describes a dataset's shape (one row of the paper's Table 2).
+type Spec struct {
+	Name       string
+	Dim        int
+	NumVectors int
+	NumQueries int
+	Metric     vec.Metric
+	// Centers is the number of mixture components; defaults to
+	// NumVectors/250 (clamped) so clusters are a few hundred wide.
+	Centers int
+	// Spread is the intra-cluster standard deviation relative to the
+	// inter-cluster spread of 10 (default 1.5).
+	Spread float64
+	Seed   int64
+}
+
+// Registry mirrors Table 2 of the paper.
+var Registry = []Spec{
+	{Name: "MNIST", Dim: 784, NumVectors: 60_000, NumQueries: 10_000, Metric: vec.L2, Seed: 101},
+	{Name: "NYTIMES", Dim: 256, NumVectors: 290_000, NumQueries: 10_000, Metric: vec.Cosine, Seed: 102},
+	{Name: "SIFT", Dim: 128, NumVectors: 1_000_000, NumQueries: 10_000, Metric: vec.L2, Seed: 103},
+	{Name: "GLOVE", Dim: 200, NumVectors: 1_180_000, NumQueries: 10_000, Metric: vec.L2, Seed: 104},
+	{Name: "GIST", Dim: 960, NumVectors: 1_000_000, NumQueries: 1_000, Metric: vec.L2, Seed: 105},
+	{Name: "DEEPImage", Dim: 96, NumVectors: 10_000_000, NumQueries: 10_000, Metric: vec.Cosine, Seed: 106},
+	{Name: "InternalA", Dim: 512, NumVectors: 150_000, NumQueries: 1_000, Metric: vec.Cosine, Seed: 107},
+}
+
+// ByName returns the registry spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Scaled returns a copy with cardinalities multiplied by scale (vector
+// count floored at 1000, queries at 20).
+func (s Spec) Scaled(scale float64) Spec {
+	if scale <= 0 || scale == 1 {
+		return s
+	}
+	out := s
+	out.NumVectors = int(float64(s.NumVectors) * scale)
+	if out.NumVectors < 1000 {
+		out.NumVectors = 1000
+	}
+	out.NumQueries = int(float64(s.NumQueries) * scale)
+	if out.NumQueries < 20 {
+		out.NumQueries = 20
+	}
+	return out
+}
+
+func (s Spec) fill() Spec {
+	if s.Centers == 0 {
+		s.Centers = s.NumVectors / 250
+		if s.Centers < 16 {
+			s.Centers = 16
+		}
+		if s.Centers > 4096 {
+			s.Centers = 4096
+		}
+	}
+	if s.Spread == 0 {
+		s.Spread = 1.5
+	}
+	return s
+}
+
+// Dataset holds generated train and query vectors.
+type Dataset struct {
+	Spec    Spec
+	Train   *vec.Matrix
+	Queries *vec.Matrix
+}
+
+// Generate materializes the dataset: a seeded Gaussian mixture with
+// cluster centers drawn from N(0, 10·I) and points from N(center,
+// Spread·I). Queries are drawn from the same mixture (the standard ANN
+// benchmark setup where queries resemble the corpus). Cosine-metric
+// datasets are normalized to the unit sphere, as embedding vectors are.
+func (s Spec) Generate() *Dataset {
+	s = s.fill()
+	rng := rand.New(rand.NewSource(s.Seed))
+	centers := vec.NewMatrix(s.Centers, s.Dim)
+	for c := 0; c < s.Centers; c++ {
+		row := centers.Row(c)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64() * 10)
+		}
+	}
+	sample := func(dst []float32, r *rand.Rand) {
+		c := centers.Row(r.Intn(s.Centers))
+		for j := range dst {
+			dst[j] = c[j] + float32(r.NormFloat64()*s.Spread)
+		}
+		if s.Metric == vec.Cosine {
+			vec.Normalize(dst)
+		}
+	}
+
+	train := vec.NewMatrix(s.NumVectors, s.Dim)
+	fillParallel(train, s.Seed+1, sample)
+	queries := vec.NewMatrix(s.NumQueries, s.Dim)
+	fillParallel(queries, s.Seed+2, sample)
+	return &Dataset{Spec: s, Train: train, Queries: queries}
+}
+
+// fillParallel generates rows on all cores with per-shard deterministic
+// RNGs (generation dominates setup time at million scale otherwise).
+func fillParallel(m *vec.Matrix, seed int64, sample func([]float32, *rand.Rand)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.Rows {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(w)*7919))
+			for i := lo; i < hi; i++ {
+				sample(m.Row(i), r)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// GroundTruth computes exact top-k neighbours for every query by parallel
+// brute force. Cost is O(queries · vectors · dim); intended for scaled-down
+// datasets.
+func GroundTruth(metric vec.Metric, train, queries *vec.Matrix, k int) [][]topk.Result {
+	out := make([][]topk.Result, queries.Rows)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	qCh := make(chan int, queries.Rows)
+	for qi := 0; qi < queries.Rows; qi++ {
+		qCh <- qi
+	}
+	close(qCh)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dists := make([]float32, train.Rows)
+			norms := train.Norms(make([]float32, 0, train.Rows))
+			for qi := range qCh {
+				h := topk.New(k)
+				vec.DistancesOneToMany(metric, queries.Row(qi), train, l2Norms(metric, norms), dists)
+				for i, d := range dists {
+					h.Push(topk.Result{AssetID: AssetID(i), VectorID: int64(i), Distance: d})
+				}
+				out[qi] = h.Results()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func l2Norms(m vec.Metric, norms []float32) []float32 {
+	if m == vec.L2 {
+		return norms
+	}
+	return nil
+}
+
+// AssetID renders the canonical asset id for train row i; generators and
+// harnesses share it so ground truth can be compared by id.
+func AssetID(i int) string { return fmt.Sprintf("v%08d", i) }
+
+// Recall returns |got ∩ want| / |want| comparing result ids.
+func Recall(got, want []topk.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[int64]struct{}, len(want))
+	for _, r := range want {
+		set[r.VectorID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range got {
+		if _, ok := set[r.VectorID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// RecallByID compares by asset id (for results coming through the public
+// API, which does not expose internal vector ids).
+func RecallByID(gotIDs []string, want []topk.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[string]struct{}, len(want))
+	for _, r := range want {
+		set[r.AssetID] = struct{}{}
+	}
+	hit := 0
+	for _, id := range gotIDs {
+		if _, ok := set[id]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"micronn/internal/topk"
+	"micronn/internal/vec"
+)
+
+func TestRegistryMatchesTable2(t *testing.T) {
+	want := map[string]struct {
+		dim, n, q int
+		metric    vec.Metric
+	}{
+		"MNIST":     {784, 60_000, 10_000, vec.L2},
+		"NYTIMES":   {256, 290_000, 10_000, vec.Cosine},
+		"SIFT":      {128, 1_000_000, 10_000, vec.L2},
+		"GLOVE":     {200, 1_180_000, 10_000, vec.L2},
+		"GIST":      {960, 1_000_000, 1_000, vec.L2},
+		"DEEPImage": {96, 10_000_000, 10_000, vec.Cosine},
+		"InternalA": {512, 150_000, 1_000, vec.Cosine},
+	}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for _, s := range Registry {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected dataset %s", s.Name)
+			continue
+		}
+		if s.Dim != w.dim || s.NumVectors != w.n || s.NumQueries != w.q || s.Metric != w.metric {
+			t.Errorf("%s = %+v, want %+v", s.Name, s, w)
+		}
+	}
+	if _, err := ByName("SIFT"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s, _ := ByName("SIFT")
+	sc := s.Scaled(0.01)
+	if sc.NumVectors != 10_000 || sc.NumQueries != 100 {
+		t.Errorf("scaled = %+v", sc)
+	}
+	tiny := s.Scaled(0.000001)
+	if tiny.NumVectors != 1000 || tiny.NumQueries != 20 {
+		t.Errorf("floors not applied: %+v", tiny)
+	}
+	if same := s.Scaled(1); same.NumVectors != s.NumVectors {
+		t.Errorf("scale 1 changed the spec")
+	}
+}
+
+func TestGenerateDeterministicAndShaped(t *testing.T) {
+	spec := Spec{Name: "t", Dim: 16, NumVectors: 500, NumQueries: 50, Metric: vec.L2, Seed: 9}
+	a := spec.Generate()
+	b := spec.Generate()
+	if a.Train.Rows != 500 || a.Queries.Rows != 50 || a.Train.Dim != 16 {
+		t.Fatalf("shape = %d x %d, queries %d", a.Train.Rows, a.Train.Dim, a.Queries.Rows)
+	}
+	for i := range a.Train.Data {
+		if a.Train.Data[i] != b.Train.Data[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestCosineDatasetsNormalized(t *testing.T) {
+	spec := Spec{Name: "t", Dim: 8, NumVectors: 200, NumQueries: 10, Metric: vec.Cosine, Seed: 3}
+	ds := spec.Generate()
+	for i := 0; i < ds.Train.Rows; i++ {
+		if n := vec.Norm(ds.Train.Row(i)); math.Abs(float64(n)-1) > 1e-5 {
+			t.Fatalf("row %d norm = %v", i, n)
+		}
+	}
+}
+
+func TestGroundTruthAndRecall(t *testing.T) {
+	spec := Spec{Name: "t", Dim: 8, NumVectors: 300, NumQueries: 5, Metric: vec.L2, Seed: 4}
+	ds := spec.Generate()
+	gt := GroundTruth(vec.L2, ds.Train, ds.Queries, 10)
+	if len(gt) != 5 {
+		t.Fatalf("gt queries = %d", len(gt))
+	}
+	for qi, res := range gt {
+		if len(res) != 10 {
+			t.Fatalf("gt[%d] has %d results", qi, len(res))
+		}
+		// Results must be sorted ascending and match naive recompute of
+		// the nearest distance.
+		for i := 1; i < len(res); i++ {
+			if res[i].Distance < res[i-1].Distance {
+				t.Errorf("gt[%d] unsorted", qi)
+			}
+		}
+		var best float32 = math.MaxFloat32
+		for i := 0; i < ds.Train.Rows; i++ {
+			if d := vec.L2Squared(ds.Queries.Row(qi), ds.Train.Row(i)); d < best {
+				best = d
+			}
+		}
+		// The kernel uses the norms identity, which differs from the
+		// direct loop in the last float bits.
+		if rel := math.Abs(float64(res[0].Distance-best)) / math.Max(float64(best), 1); rel > 1e-4 {
+			t.Errorf("gt[%d] best = %v, naive %v", qi, res[0].Distance, best)
+		}
+	}
+
+	// Recall of ground truth against itself is 1; against disjoint is 0.
+	if r := Recall(gt[0], gt[0]); r != 1 {
+		t.Errorf("self recall = %v", r)
+	}
+	other := []topk.Result{{VectorID: -1}, {VectorID: -2}}
+	if r := Recall(other, gt[0]); r != 0 {
+		t.Errorf("disjoint recall = %v", r)
+	}
+	ids := make([]string, len(gt[0]))
+	for i, r := range gt[0] {
+		ids[i] = r.AssetID
+	}
+	if r := RecallByID(ids, gt[0]); r != 1 {
+		t.Errorf("RecallByID = %v", r)
+	}
+}
+
+func TestGenerateFiltered(t *testing.T) {
+	fd := GenerateFiltered(FilteredSpec{Dim: 8, NumVectors: 2000, NumQueries: 100, Seed: 5})
+	if fd.Train.Rows != 2000 || len(fd.Tags) != 2000 || len(fd.QueryTags) != 100 {
+		t.Fatalf("shapes: train %d tags %d queries %d", fd.Train.Rows, len(fd.Tags), len(fd.QueryTags))
+	}
+	for i, bag := range fd.Tags {
+		if bag == "" {
+			t.Fatalf("vector %d has no tags", i)
+		}
+	}
+	// Zipf skew: the most common tag should cover far more docs than the
+	// median tag.
+	counts := map[string]int{}
+	for _, bag := range fd.Tags {
+		for _, tok := range strings.Fields(bag) {
+			counts[tok]++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < 200 { // top tag should be common
+		t.Errorf("top tag count = %d, want Zipf head", maxCount)
+	}
+}
+
+func TestTrueSelectivityMatchesBins(t *testing.T) {
+	fd := GenerateFiltered(FilteredSpec{Dim: 4, NumVectors: 3000, NumQueries: 200, Seed: 7})
+	bins := fd.BinBySelectivity(10, 1)
+	if len(bins) < 2 {
+		t.Fatalf("bins = %d, want a selectivity spread", len(bins))
+	}
+	for _, b := range bins {
+		if len(b.Queries) == 0 || len(b.Queries) > 10 {
+			t.Errorf("bin %d has %d queries", b.Exp, len(b.Queries))
+		}
+		lo := math.Pow(10, float64(b.Exp))
+		hi := math.Pow(10, float64(b.Exp+1))
+		for i, qi := range b.Queries {
+			s := b.Selectivities[i]
+			if s < lo-1e-12 || s >= hi+1e-12 {
+				t.Errorf("bin %d query %d selectivity %v outside [%v, %v)", b.Exp, qi, s, lo, hi)
+			}
+			// Cross-check the fast inverted computation against the
+			// naive one.
+			if naive := fd.TrueSelectivity(fd.QueryTags[qi]); math.Abs(naive-s) > 1e-12 {
+				t.Errorf("selectivity mismatch: %v vs %v", s, naive)
+			}
+		}
+	}
+}

@@ -1,0 +1,707 @@
+// Package micronn is an embedded, disk-resident, updatable vector database
+// — a from-scratch reproduction of "MicroNN: An On-device Disk-resident
+// Updatable Vector Database" (Pound et al., SIGMOD 2025).
+//
+// MicroNN stores vectors in an IVF (inverted-file) index laid out over a
+// transactional page store: vectors are clustered on disk by partition,
+// centroids live in a small side table, and new vectors stream into a
+// delta-store that every query scans. Memory is bounded by a configurable
+// buffer-pool budget, so million-scale collections can be searched with a
+// few megabytes of RAM. Hybrid queries combine nearest-neighbour search
+// with relational attribute filters, chosen between pre- and post-filter
+// plans by a selectivity-based optimizer, and batches of queries execute
+// with multi-query optimization.
+//
+// # Quick start
+//
+//	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	db.Upsert(micronn.Item{ID: "img1", Vector: v1})
+//	db.Rebuild() // train the IVF index
+//
+//	res, err := db.Search(micronn.SearchRequest{Vector: q, K: 10})
+package micronn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"micronn/internal/ivf"
+	"micronn/internal/reldb"
+	"micronn/internal/stats"
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// Metric is the vector distance metric.
+type Metric = vec.Metric
+
+// Supported metrics.
+const (
+	L2     = vec.L2
+	Cosine = vec.Cosine
+	Dot    = vec.Dot
+)
+
+// AttrType is the declared type of a filterable attribute.
+type AttrType uint8
+
+// Attribute types.
+const (
+	AttrInt AttrType = iota
+	AttrFloat
+	AttrText
+	AttrBlob
+)
+
+func (t AttrType) colType() reldb.ColType {
+	switch t {
+	case AttrInt:
+		return reldb.TypeInt64
+	case AttrFloat:
+		return reldb.TypeFloat64
+	case AttrText:
+		return reldb.TypeText
+	default:
+		return reldb.TypeBlob
+	}
+}
+
+// AttributeDef declares a filterable attribute. Indexed attributes support
+// efficient pre-filter plans for comparison predicates; FullText (text
+// only) attributes support MATCH predicates through an inverted index.
+type AttributeDef struct {
+	Name     string
+	Type     AttrType
+	Indexed  bool
+	FullText bool
+}
+
+// DeviceProfile bundles the resource knobs that distinguish the paper's
+// device classes.
+type DeviceProfile struct {
+	// CacheBytes is the storage buffer-pool budget.
+	CacheBytes int64
+	// WriteBufferBytes bounds a write transaction's in-memory dirty
+	// pages; larger transactions spill to the WAL. 0 picks a default of
+	// a quarter of CacheBytes.
+	WriteBufferBytes int64
+	// Workers bounds query-time scan parallelism.
+	Workers int
+}
+
+// Predefined profiles: the paper evaluates on a "Small DUT" (single-digit
+// GiB of RAM, strict multi-tenant budgets) and a "Large DUT". The profile
+// sets the database cache budget, the main determinant of MicroNN memory.
+var (
+	DeviceSmall = DeviceProfile{CacheBytes: 8 << 20, WriteBufferBytes: 2 << 20, Workers: 2}
+	DeviceLarge = DeviceProfile{CacheBytes: 64 << 20, WriteBufferBytes: 16 << 20, Workers: 0} // 0 = all cores
+)
+
+// Options configures Open.
+type Options struct {
+	// Dim is the vector dimensionality (required when creating).
+	Dim int
+	// Metric is the distance metric (default L2).
+	Metric Metric
+	// TargetPartitionSize is the IVF target cluster size (default 100).
+	TargetPartitionSize int
+	// RebuildGrowthThreshold triggers Maintain's full rebuild once the
+	// average partition has grown by this fraction since the last build
+	// (default 0.5).
+	RebuildGrowthThreshold float64
+	// FlushThreshold makes Maintain flush the delta-store once it holds
+	// at least this many vectors (default: TargetPartitionSize).
+	FlushThreshold int
+	// Attributes declares filterable attributes (create time only).
+	Attributes []AttributeDef
+	// Device selects a resource profile (default DeviceLarge).
+	Device DeviceProfile
+	// Durable enables fsync on commit (off by default: embedded indexes
+	// are derived data; enable for primary storage).
+	Durable bool
+	// ClusterBatchSize / ClusterIterations / BalancePenalty tune the
+	// mini-batch k-means trainer; zero values pick defaults.
+	ClusterBatchSize  int
+	ClusterIterations int
+	BalancePenalty    float32
+	// CentroidIndexThreshold is the partition count above which a
+	// two-level coarse centroid index accelerates probe selection
+	// (0 = default 4096, negative = disabled).
+	CentroidIndexThreshold int
+	// Seed makes index construction deterministic.
+	Seed int64
+}
+
+// DB is an embedded MicroNN database. All methods are safe for concurrent
+// use: reads run against consistent snapshots, writes are serialized.
+type DB struct {
+	store *storage.Store
+	rdb   *reldb.DB
+	ix    *ivf.Index
+	opts  Options
+}
+
+// Item is a vector with its client-assigned id and optional attributes.
+// Attribute values may be int/int64, float64, string or []byte.
+type Item struct {
+	ID         string
+	Vector     []float32
+	Attributes map[string]any
+}
+
+// Result is one search hit.
+type Result struct {
+	ID       string
+	Distance float32
+}
+
+// Open opens or creates a MicroNN database at path.
+func Open(path string, opts Options) (*DB, error) {
+	sync := storage.SyncOff
+	if opts.Durable {
+		sync = storage.SyncNormal
+	}
+	device := opts.Device
+	if device.CacheBytes == 0 {
+		device = DeviceLarge
+	}
+	writeBuf := device.WriteBufferBytes
+	if writeBuf == 0 {
+		writeBuf = device.CacheBytes / 4
+	}
+	maxDirty := int(writeBuf / storage.DefaultPageSize)
+	if maxDirty < 64 {
+		maxDirty = 64
+	}
+	store, err := storage.Open(path, storage.Options{
+		PoolBytes:     device.CacheBytes,
+		Sync:          sync,
+		MaxDirtyPages: maxDirty,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rdb, err := reldb.Open(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+
+	var ix *ivf.Index
+	if rdb.HasTable("meta") {
+		ix, err = ivf.Open(rdb)
+	} else {
+		if opts.Dim <= 0 {
+			store.Close()
+			return nil, fmt.Errorf("micronn: Dim required to create a new database")
+		}
+		attrs := make([]ivf.AttributeDef, len(opts.Attributes))
+		for i, a := range opts.Attributes {
+			attrs[i] = ivf.AttributeDef{
+				Name: a.Name, Type: a.Type.colType(),
+				Indexed: a.Indexed, FullText: a.FullText,
+			}
+		}
+		err = store.Update(func(wt *storage.WriteTxn) error {
+			var cerr error
+			ix, cerr = ivf.Create(rdb, wt, ivf.Config{
+				Dim:                    opts.Dim,
+				Metric:                 opts.Metric,
+				TargetPartitionSize:    opts.TargetPartitionSize,
+				RebuildGrowthThreshold: opts.RebuildGrowthThreshold,
+				Attributes:             attrs,
+				Workers:                device.Workers,
+				ClusterBatchSize:       opts.ClusterBatchSize,
+				ClusterIterations:      opts.ClusterIterations,
+				BalancePenalty:         opts.BalancePenalty,
+				CentroidIndexThreshold: opts.CentroidIndexThreshold,
+				Seed:                   opts.Seed,
+			})
+			return cerr
+		})
+	}
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if opts.FlushThreshold == 0 {
+		opts.FlushThreshold = ix.Config().TargetPartitionSize
+	}
+	return &DB{store: store, rdb: rdb, ix: ix, opts: opts}, nil
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error { return db.store.Close() }
+
+// Dim returns the configured vector dimensionality.
+func (db *DB) Dim() int { return db.ix.Config().Dim }
+
+// Upsert inserts or replaces one item (keyed by Item.ID).
+func (db *DB) Upsert(item Item) error {
+	return db.UpsertBatch([]Item{item})
+}
+
+// UpsertBatch inserts or replaces items in one atomic transaction.
+func (db *DB) UpsertBatch(items []Item) error {
+	return db.store.Update(func(wt *storage.WriteTxn) error {
+		for _, item := range items {
+			attrs, err := convertAttrs(item.Attributes)
+			if err != nil {
+				return err
+			}
+			if err := db.ix.Upsert(wt, item.ID, item.Vector, attrs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ErrNotFound is returned when an id is absent.
+var ErrNotFound = errors.New("micronn: not found")
+
+// Delete removes the item with the given id.
+func (db *DB) Delete(id string) error {
+	err := db.store.Update(func(wt *storage.WriteTxn) error {
+		return db.ix.Delete(wt, id)
+	})
+	if errors.Is(err, ivf.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// DeleteBatch removes several items atomically; absent ids are ignored.
+func (db *DB) DeleteBatch(ids []string) error {
+	return db.store.Update(func(wt *storage.WriteTxn) error {
+		for _, id := range ids {
+			if err := db.ix.Delete(wt, id); err != nil && !errors.Is(err, ivf.ErrNotFound) {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Get returns the stored item.
+func (db *DB) Get(id string) (*Item, error) {
+	var item *Item
+	err := db.store.View(func(rt *storage.ReadTxn) error {
+		v, attrs, err := db.ix.GetVector(rt, id)
+		if errors.Is(err, ivf.ErrNotFound) {
+			return ErrNotFound
+		}
+		if err != nil {
+			return err
+		}
+		out := make(map[string]any, len(attrs))
+		for k, val := range attrs {
+			out[k] = valueToAny(val)
+		}
+		item = &Item{ID: id, Vector: v, Attributes: out}
+		return nil
+	})
+	return item, err
+}
+
+func convertAttrs(in map[string]any) (map[string]reldb.Value, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]reldb.Value, len(in))
+	for k, v := range in {
+		val, err := anyToValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("micronn: attribute %q: %w", k, err)
+		}
+		out[k] = val
+	}
+	return out, nil
+}
+
+func anyToValue(v any) (reldb.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return reldb.Null(), nil
+	case int:
+		return reldb.I(int64(x)), nil
+	case int32:
+		return reldb.I(int64(x)), nil
+	case int64:
+		return reldb.I(x), nil
+	case float32:
+		return reldb.F(float64(x)), nil
+	case float64:
+		return reldb.F(x), nil
+	case string:
+		return reldb.S(x), nil
+	case []byte:
+		return reldb.B(x), nil
+	default:
+		return reldb.Value{}, fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+func valueToAny(v reldb.Value) any {
+	switch v.Type {
+	case reldb.TypeInt64:
+		return v.Int
+	case reldb.TypeFloat64:
+		return v.Flt
+	case reldb.TypeText:
+		return v.Str
+	case reldb.TypeBlob:
+		return v.Bts
+	default:
+		return nil
+	}
+}
+
+// Checkpoint folds the write-ahead log into the main file (also done
+// automatically as the WAL grows and at Close).
+func (db *DB) Checkpoint() error {
+	err := db.store.Checkpoint()
+	if errors.Is(err, storage.ErrBusy) {
+		return nil // readers pinned; the next opportunity will fold it
+	}
+	return err
+}
+
+// DropCaches empties the buffer pool and in-memory centroid cache,
+// simulating a cold start (used by benchmarks).
+func (db *DB) DropCaches() {
+	db.store.DropCaches()
+	db.ix.DropCaches()
+}
+
+// Internal accessors for the bench harness.
+
+// InternalIndex exposes the underlying IVF index for benchmarks and tools.
+func (db *DB) InternalIndex() *ivf.Index { return db.ix }
+
+// InternalStore exposes the underlying page store for benchmarks and tools.
+func (db *DB) InternalStore() *storage.Store { return db.store }
+
+// --- filters ---
+
+// Filter is a disjunction of predicates; a SearchRequest's Filters slice is
+// a conjunction of Filters. The helpers Eq/Ne/Lt/Le/Gt/Ge/Match build
+// single-predicate filters; Any builds a disjunction.
+type Filter = stats.Filter
+
+func pred(col string, op reldb.Op, v any) reldb.Predicate {
+	val, err := anyToValue(v)
+	if err != nil {
+		// Deferred error: an invalid operand becomes a null predicate,
+		// which never matches and is surfaced by validation in Search.
+		val = reldb.Null()
+	}
+	return reldb.Predicate{Column: col, Op: op, Value: val}
+}
+
+// Eq builds the filter column = value.
+func Eq(col string, v any) Filter { return Filter{AnyOf: []reldb.Predicate{pred(col, reldb.OpEq, v)}} }
+
+// Ne builds the filter column != value.
+func Ne(col string, v any) Filter { return Filter{AnyOf: []reldb.Predicate{pred(col, reldb.OpNe, v)}} }
+
+// Lt builds the filter column < value.
+func Lt(col string, v any) Filter { return Filter{AnyOf: []reldb.Predicate{pred(col, reldb.OpLt, v)}} }
+
+// Le builds the filter column <= value.
+func Le(col string, v any) Filter { return Filter{AnyOf: []reldb.Predicate{pred(col, reldb.OpLe, v)}} }
+
+// Gt builds the filter column > value.
+func Gt(col string, v any) Filter { return Filter{AnyOf: []reldb.Predicate{pred(col, reldb.OpGt, v)}} }
+
+// Ge builds the filter column >= value.
+func Ge(col string, v any) Filter { return Filter{AnyOf: []reldb.Predicate{pred(col, reldb.OpGe, v)}} }
+
+// Match builds a full-text filter: the attribute must contain every token
+// of query (requires a FullText attribute).
+func Match(col, query string) Filter {
+	return Filter{AnyOf: []reldb.Predicate{{Column: col, Op: reldb.OpMatch, Value: reldb.S(query)}}}
+}
+
+// Any combines the predicates of several single-predicate filters into one
+// disjunction (OR group).
+func Any(filters ...Filter) Filter {
+	var out Filter
+	for _, f := range filters {
+		out.AnyOf = append(out.AnyOf, f.AnyOf...)
+	}
+	return out
+}
+
+// --- search ---
+
+// PlanType re-exports the hybrid plan identifiers.
+type PlanType = ivf.PlanType
+
+// Plan choices for SearchRequest.Plan.
+const (
+	PlanAuto       = ivf.PlanAuto
+	PlanPreFilter  = ivf.PlanPreFilter
+	PlanPostFilter = ivf.PlanPostFilter
+)
+
+// SearchRequest parameterizes Search.
+type SearchRequest struct {
+	// Vector is the query embedding (required).
+	Vector []float32
+	// K is the number of neighbours (default 10).
+	K int
+	// NProbe is the number of IVF partitions to scan; higher values
+	// trade latency for recall (default 8).
+	NProbe int
+	// Filters is the conjunctive attribute filter set (optional).
+	Filters []Filter
+	// Exact forces exhaustive KNN.
+	Exact bool
+	// Plan overrides the hybrid optimizer (default PlanAuto).
+	Plan PlanType
+}
+
+// PlanInfo describes how a query was executed.
+type PlanInfo = ivf.PlanInfo
+
+// SearchResponse carries results plus execution details.
+type SearchResponse struct {
+	Results []Result
+	Plan    PlanInfo
+}
+
+// Search runs a K-nearest-neighbour query.
+func (db *DB) Search(req SearchRequest) (*SearchResponse, error) {
+	if req.K == 0 {
+		req.K = 10
+	}
+	var resp *SearchResponse
+	err := db.store.View(func(rt *storage.ReadTxn) error {
+		res, info, err := db.ix.Search(rt, req.Vector, ivf.SearchOptions{
+			K: req.K, NProbe: req.NProbe, Filters: req.Filters,
+			Exact: req.Exact, Plan: req.Plan,
+		})
+		if err != nil {
+			return err
+		}
+		out := make([]Result, len(res))
+		for i, r := range res {
+			out[i] = Result{ID: r.AssetID, Distance: r.Distance}
+		}
+		resp = &SearchResponse{Results: out, Plan: *info}
+		return nil
+	})
+	return resp, err
+}
+
+// BatchSearchRequest parameterizes BatchSearch.
+type BatchSearchRequest struct {
+	// Vectors holds the query embeddings.
+	Vectors [][]float32
+	// K is the number of neighbours per query (default 10).
+	K int
+	// NProbe is the per-query partition probe count (default 8).
+	NProbe int
+}
+
+// BatchInfo re-exports batch execution statistics.
+type BatchInfo = ivf.BatchInfo
+
+// BatchSearchResponse carries per-query results in request order.
+type BatchSearchResponse struct {
+	Results [][]Result
+	Info    BatchInfo
+}
+
+// BatchSearch executes many queries with multi-query optimization: each
+// needed IVF partition is scanned once and shared across all queries that
+// probe it, which cuts amortized per-query latency substantially for large
+// batches (paper §3.4).
+func (db *DB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
+	if req.K == 0 {
+		req.K = 10
+	}
+	if len(req.Vectors) == 0 {
+		return &BatchSearchResponse{}, nil
+	}
+	dim := db.ix.Config().Dim
+	queries := vec.NewMatrix(len(req.Vectors), dim)
+	for i, q := range req.Vectors {
+		if len(q) != dim {
+			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
+		}
+		queries.SetRow(i, q)
+	}
+	var resp *BatchSearchResponse
+	err := db.store.View(func(rt *storage.ReadTxn) error {
+		res, info, err := db.ix.BatchSearch(rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe})
+		if err != nil {
+			return err
+		}
+		out := make([][]Result, len(res))
+		for qi, rs := range res {
+			out[qi] = make([]Result, len(rs))
+			for i, r := range rs {
+				out[qi][i] = Result{ID: r.AssetID, Distance: r.Distance}
+			}
+		}
+		resp = &BatchSearchResponse{Results: out, Info: *info}
+		return nil
+	})
+	return resp, err
+}
+
+// --- maintenance ---
+
+// MaintenanceReport describes what a maintenance call did.
+type MaintenanceReport struct {
+	// Action is "none", "flush" or "rebuild".
+	Action string
+	// Duration of the maintenance work.
+	Duration time.Duration
+	// RowChanges is the number of database row writes performed — the
+	// I/O footprint the incremental path minimizes.
+	RowChanges int64
+	// VectorsAssigned counts vectors (re)assigned to partitions.
+	VectorsAssigned int64
+	// Partitions is the resulting partition count.
+	Partitions int
+}
+
+func report(action string, ms *ivf.MaintenanceStats) *MaintenanceReport {
+	return &MaintenanceReport{
+		Action:          action,
+		Duration:        ms.Duration,
+		RowChanges:      ms.RowChanges,
+		VectorsAssigned: ms.VectorsAssigned,
+		Partitions:      ms.Partitions,
+	}
+}
+
+// Rebuild retrains the IVF quantizer and rewrites all partitions. Queries
+// proceed on consistent snapshots while it runs; writes queue behind it.
+func (db *DB) Rebuild() (*MaintenanceReport, error) {
+	var ms *ivf.MaintenanceStats
+	err := db.store.Update(func(wt *storage.WriteTxn) error {
+		var rerr error
+		ms, rerr = db.ix.Rebuild(wt)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report("rebuild", ms), nil
+}
+
+// FlushDelta incrementally merges the delta-store into the IVF partitions.
+func (db *DB) FlushDelta() (*MaintenanceReport, error) {
+	var ms *ivf.MaintenanceStats
+	err := db.store.Update(func(wt *storage.WriteTxn) error {
+		var ferr error
+		ms, ferr = db.ix.FlushDelta(wt)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report("flush", ms), nil
+}
+
+// Maintain runs the index monitor's policy (paper §3.6): a full rebuild if
+// the average partition size has grown past the threshold (or the index
+// was never built), an incremental delta flush if the delta-store exceeds
+// FlushThreshold, otherwise nothing.
+func (db *DB) Maintain() (*MaintenanceReport, error) {
+	var needsRebuild bool
+	var deltaCount int64
+	err := db.store.View(func(rt *storage.ReadTxn) error {
+		var verr error
+		needsRebuild, verr = db.ix.NeedsRebuild(rt)
+		if verr != nil {
+			return verr
+		}
+		st, verr := db.ix.Stats(rt)
+		if verr != nil {
+			return verr
+		}
+		deltaCount = st.DeltaCount
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case needsRebuild:
+		return db.Rebuild()
+	case deltaCount >= int64(db.opts.FlushThreshold):
+		return db.FlushDelta()
+	default:
+		return &MaintenanceReport{Action: "none"}, nil
+	}
+}
+
+// Analyze refreshes the attribute statistics used by the hybrid optimizer.
+func (db *DB) Analyze() error {
+	return db.store.Update(func(wt *storage.WriteTxn) error {
+		return db.ix.AnalyzeAttributes(wt)
+	})
+}
+
+// --- stats ---
+
+// Stats reports database and index health.
+type Stats struct {
+	// NumVectors is the total indexed vector count.
+	NumVectors int64
+	// DeltaCount is the number of vectors in the delta-store.
+	DeltaCount int64
+	// NumPartitions is the IVF partition count (excluding the delta).
+	NumPartitions int64
+	// AvgPartitionSize is the mean IVF partition size.
+	AvgPartitionSize float64
+	// NeedsRebuild mirrors the index monitor's growth trigger.
+	NeedsRebuild bool
+	// CacheBytes is current buffer-pool memory; CacheBudget the limit.
+	CacheBytes  int64
+	CacheBudget int64
+	// CacheHits / CacheMisses are cumulative buffer-pool counters.
+	CacheHits   uint64
+	CacheMisses uint64
+	// WALBytes is the current write-ahead log size.
+	WALBytes int64
+	// FileBytes is the main database file size (pages * page size).
+	FileBytes int64
+}
+
+// Stats returns a consistent snapshot of operational statistics.
+func (db *DB) Stats() (Stats, error) {
+	var out Stats
+	err := db.store.View(func(rt *storage.ReadTxn) error {
+		st, err := db.ix.Stats(rt)
+		if err != nil {
+			return err
+		}
+		out.NumVectors = st.NumVectors
+		out.DeltaCount = st.DeltaCount
+		out.NumPartitions = st.NumPartitions
+		out.AvgPartitionSize = st.AvgPartitionSize
+		out.NeedsRebuild, err = db.ix.NeedsRebuild(rt)
+		return err
+	})
+	if err != nil {
+		return out, err
+	}
+	ss := db.store.Stats()
+	out.CacheBytes = ss.PoolBytes
+	out.CacheBudget = db.store.PoolBudget()
+	out.CacheHits = ss.PoolHits
+	out.CacheMisses = ss.PoolMisses
+	out.WALBytes = ss.WALBytes
+	out.FileBytes = int64(ss.PageCount) * int64(db.store.PageSize())
+	return out, nil
+}

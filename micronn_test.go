@@ -1,0 +1,441 @@
+package micronn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTest(t testing.TB, opts Options) *DB {
+	t.Helper()
+	if opts.Dim == 0 {
+		opts.Dim = 8
+	}
+	db, err := Open(filepath.Join(t.TempDir(), "test.mnn"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func randomVecs(seed int64, n, dim int) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestOpenRequiresDim(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "x.mnn"), Options{}); err == nil {
+		t.Error("Open without Dim should fail for a new database")
+	}
+}
+
+func TestUpsertSearchRoundTrip(t *testing.T) {
+	db := openTest(t, Options{Dim: 4})
+	if err := db.Upsert(Item{ID: "a", Vector: []float32{1, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Upsert(Item{ID: "b", Vector: []float32{0, 1, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := db.Search(SearchRequest{Vector: []float32{1, 0.1, 0, 0}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].ID != "a" {
+		t.Errorf("results = %+v", resp.Results)
+	}
+}
+
+func TestGetAndAttributes(t *testing.T) {
+	db := openTest(t, Options{
+		Dim: 4,
+		Attributes: []AttributeDef{
+			{Name: "location", Type: AttrText, Indexed: true},
+			{Name: "ts", Type: AttrInt},
+		},
+	})
+	err := db.Upsert(Item{
+		ID:         "x",
+		Vector:     []float32{1, 2, 3, 4},
+		Attributes: map[string]any{"location": "Seattle", "ts": 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := db.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.Vector[2] != 3 {
+		t.Errorf("vector = %v", item.Vector)
+	}
+	if item.Attributes["location"] != "Seattle" || item.Attributes["ts"] != int64(42) {
+		t.Errorf("attributes = %v", item.Attributes)
+	}
+	if _, err := db.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v", err)
+	}
+}
+
+func TestDeleteAndBatch(t *testing.T) {
+	db := openTest(t, Options{Dim: 4})
+	items := make([]Item, 10)
+	for i := range items {
+		items[i] = Item{ID: fmt.Sprintf("i%d", i), Vector: []float32{float32(i), 0, 0, 0}}
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("i3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("i3"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+	if err := db.DeleteBatch([]string{"i4", "i4", "nope"}); err != nil {
+		t.Errorf("DeleteBatch with absent ids = %v", err)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVectors != 8 {
+		t.Errorf("NumVectors = %d, want 8", st.NumVectors)
+	}
+}
+
+func TestRebuildMaintainFlow(t *testing.T) {
+	db := openTest(t, Options{Dim: 8, TargetPartitionSize: 20, Seed: 1, FlushThreshold: 10})
+	vecs := randomVecs(1, 300, 8)
+	items := make([]Item, len(vecs))
+	for i, v := range vecs {
+		items[i] = Item{ID: fmt.Sprintf("v%d", i), Vector: v}
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+
+	// Maintain on a never-built index performs the initial build.
+	rep, err := db.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != "rebuild" {
+		t.Errorf("action = %s, want rebuild", rep.Action)
+	}
+	if rep.Partitions != 15 {
+		t.Errorf("partitions = %d, want 15", rep.Partitions)
+	}
+
+	// Nothing to do right after a build.
+	rep, err = db.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != "none" {
+		t.Errorf("action = %s, want none", rep.Action)
+	}
+
+	// A dozen inserts exceed FlushThreshold -> incremental flush.
+	extra := randomVecs(2, 12, 8)
+	for i, v := range extra {
+		if err := db.Upsert(Item{ID: fmt.Sprintf("e%d", i), Vector: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = db.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != "flush" {
+		t.Errorf("action = %s, want flush", rep.Action)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeltaCount != 0 {
+		t.Errorf("delta after flush = %d", st.DeltaCount)
+	}
+}
+
+func TestHybridFilterAPI(t *testing.T) {
+	db := openTest(t, Options{
+		Dim: 4, TargetPartitionSize: 10, Seed: 2,
+		Attributes: []AttributeDef{
+			{Name: "kind", Type: AttrText, Indexed: true},
+			{Name: "score", Type: AttrFloat, Indexed: true},
+			{Name: "tags", Type: AttrText, FullText: true},
+		},
+	})
+	for i := 0; i < 100; i++ {
+		kind := "photo"
+		if i%10 == 0 {
+			kind = "video"
+		}
+		err := db.Upsert(Item{
+			ID:     fmt.Sprintf("a%d", i),
+			Vector: []float32{float32(i), 1, 0, 0},
+			Attributes: map[string]any{
+				"kind":  kind,
+				"score": float64(i) / 100,
+				"tags":  fmt.Sprintf("tag%d common", i%5),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := []float32{50, 1, 0, 0}
+	resp, err := db.Search(SearchRequest{
+		Vector: q, K: 100,
+		Filters: []Filter{Eq("kind", "video")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 10 {
+		t.Errorf("video results = %d, want 10", len(resp.Results))
+	}
+
+	resp, err = db.Search(SearchRequest{
+		Vector: q, K: 100,
+		Filters: []Filter{Match("tags", "tag3"), Gt("score", 0.5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Results {
+		var id int
+		fmt.Sscanf(r.ID, "a%d", &id)
+		if id%5 != 3 || id <= 50 {
+			t.Errorf("result %s violates filters", r.ID)
+		}
+	}
+
+	// OR group via Any.
+	resp, err = db.Search(SearchRequest{
+		Vector: q, K: 100, Exact: true,
+		Filters: []Filter{Any(Eq("kind", "video"), Gt("score", 0.95))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		if i%10 == 0 || float64(i)/100 > 0.95 {
+			want[fmt.Sprintf("a%d", i)] = true
+		}
+	}
+	if len(resp.Results) != len(want) {
+		t.Errorf("OR results = %d, want %d", len(resp.Results), len(want))
+	}
+}
+
+func TestBatchSearchAPI(t *testing.T) {
+	db := openTest(t, Options{Dim: 8, TargetPartitionSize: 20, Seed: 3})
+	vecs := randomVecs(5, 400, 8)
+	items := make([]Item, len(vecs))
+	for i, v := range vecs {
+		items[i] = Item{ID: fmt.Sprintf("v%d", i), Vector: v}
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]float32{vecs[1], vecs[100], vecs[399]}
+	resp, err := db.BatchSearch(BatchSearchRequest{Vectors: queries, K: 5, NProbe: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch results = %d", len(resp.Results))
+	}
+	for qi, want := range []string{"v1", "v100", "v399"} {
+		if resp.Results[qi][0].ID != want {
+			t.Errorf("query %d top = %s, want %s", qi, resp.Results[qi][0].ID, want)
+		}
+	}
+	if resp.Info.PartitionScans == 0 || resp.Info.PartitionScans > resp.Info.QueryPartitionPairs {
+		t.Errorf("batch info = %+v", resp.Info)
+	}
+	// Empty batch.
+	empty, err := db.BatchSearch(BatchSearchRequest{})
+	if err != nil || len(empty.Results) != 0 {
+		t.Errorf("empty batch = %+v, %v", empty, err)
+	}
+}
+
+func TestConcurrentSearchesAndWrites(t *testing.T) {
+	db := openTest(t, Options{Dim: 8, TargetPartitionSize: 25, Seed: 4})
+	vecs := randomVecs(7, 500, 8)
+	items := make([]Item, len(vecs))
+	for i, v := range vecs {
+		items[i] = Item{ID: fmt.Sprintf("v%d", i), Vector: v}
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				q := vecs[rng.Intn(len(vecs))]
+				if _, err := db.Search(SearchRequest{Vector: q, K: 10, NProbe: 4}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		extra := randomVecs(9, 50, 8)
+		for i, v := range extra {
+			if err := db.Upsert(Item{ID: fmt.Sprintf("w%d", i), Vector: v}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		if _, err := db.FlushDelta(); err != nil {
+			errCh <- err
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVectors != 550 {
+		t.Errorf("NumVectors = %d, want 550", st.NumVectors)
+	}
+}
+
+func TestReopenKeepsEverything(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mnn")
+	db, err := Open(path, Options{Dim: 4, TargetPartitionSize: 10, Seed: 5,
+		Attributes: []AttributeDef{{Name: "k", Type: AttrText, Indexed: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		err := db.Upsert(Item{
+			ID: fmt.Sprintf("v%d", i), Vector: []float32{float32(i), 0, 0, 0},
+			Attributes: map[string]any{"k": fmt.Sprintf("g%d", i%3)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{}) // config restored from disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Dim() != 4 {
+		t.Errorf("Dim = %d", db2.Dim())
+	}
+	st, err := db2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVectors != 50 || st.NumPartitions != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	resp, err := db2.Search(SearchRequest{
+		Vector: []float32{7, 0, 0, 0}, K: 3,
+		Filters: []Filter{Eq("k", "g1")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Results[0].ID != "v7" {
+		t.Errorf("results = %+v", resp.Results)
+	}
+}
+
+func TestStatsFields(t *testing.T) {
+	db := openTest(t, Options{Dim: 4, Device: DeviceSmall})
+	if err := db.Upsert(Item{ID: "a", Vector: []float32{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheBudget != DeviceSmall.CacheBytes {
+		t.Errorf("CacheBudget = %d", st.CacheBudget)
+	}
+	if st.FileBytes == 0 {
+		t.Error("FileBytes = 0")
+	}
+	if st.NumVectors != 1 || st.DeltaCount != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDropCachesThenSearch(t *testing.T) {
+	db := openTest(t, Options{Dim: 8, TargetPartitionSize: 10, Seed: 6})
+	vecs := randomVecs(11, 200, 8)
+	items := make([]Item, len(vecs))
+	for i, v := range vecs {
+		items[i] = Item{ID: fmt.Sprintf("v%d", i), Vector: v}
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	db.DropCaches() // cold start
+	resp, err := db.Search(SearchRequest{Vector: vecs[5], K: 1, NProbe: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].ID != "v5" {
+		t.Errorf("cold search = %+v", resp.Results)
+	}
+}

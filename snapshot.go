@@ -1,0 +1,118 @@
+package micronn
+
+import (
+	"errors"
+	"fmt"
+
+	"micronn/internal/ivf"
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// Snapshot is a read-only view of the database pinned to one commit
+// horizon. Every query through a Snapshot observes exactly the same state,
+// regardless of concurrent writes, flushes or rebuilds — the paper's §2.1
+// consistency requirement ("each reader should see a consistent state of
+// the index at all times, including reading concurrently with writes and
+// index maintenance operations").
+//
+// Snapshots hold WAL segments alive and can delay checkpoints, so close
+// them promptly. A Snapshot is safe for concurrent use.
+type Snapshot struct {
+	db *DB
+	rt *storage.ReadTxn
+}
+
+// Snapshot opens a consistent read view. Callers must Close it.
+func (db *DB) Snapshot() (*Snapshot, error) {
+	rt, err := db.store.BeginRead()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{db: db, rt: rt}, nil
+}
+
+// Close releases the snapshot. Idempotent.
+func (s *Snapshot) Close() {
+	s.rt.Close()
+}
+
+// Search runs a query against the pinned state (same semantics as
+// DB.Search).
+func (s *Snapshot) Search(req SearchRequest) (*SearchResponse, error) {
+	if req.K == 0 {
+		req.K = 10
+	}
+	res, info, err := s.db.ix.Search(s.rt, req.Vector, ivf.SearchOptions{
+		K: req.K, NProbe: req.NProbe, Filters: req.Filters,
+		Exact: req.Exact, Plan: req.Plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.AssetID, Distance: r.Distance}
+	}
+	return &SearchResponse{Results: out, Plan: *info}, nil
+}
+
+// BatchSearch runs a query batch against the pinned state.
+func (s *Snapshot) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
+	if req.K == 0 {
+		req.K = 10
+	}
+	if len(req.Vectors) == 0 {
+		return &BatchSearchResponse{}, nil
+	}
+	dim := s.db.ix.Config().Dim
+	queries := vec.NewMatrix(len(req.Vectors), dim)
+	for i, q := range req.Vectors {
+		if len(q) != dim {
+			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
+		}
+		queries.SetRow(i, q)
+	}
+	res, info, err := s.db.ix.BatchSearch(s.rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(res))
+	for qi, rs := range res {
+		out[qi] = make([]Result, len(rs))
+		for i, r := range rs {
+			out[qi][i] = Result{ID: r.AssetID, Distance: r.Distance}
+		}
+	}
+	return &BatchSearchResponse{Results: out, Info: *info}, nil
+}
+
+// Get returns the item as of the snapshot.
+func (s *Snapshot) Get(id string) (*Item, error) {
+	v, attrs, err := s.db.ix.GetVector(s.rt, id)
+	if errors.Is(err, ivf.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]any, len(attrs))
+	for k, val := range attrs {
+		out[k] = valueToAny(val)
+	}
+	return &Item{ID: id, Vector: v, Attributes: out}, nil
+}
+
+// Stats returns index counters as of the snapshot.
+func (s *Snapshot) Stats() (Stats, error) {
+	var out Stats
+	st, err := s.db.ix.Stats(s.rt)
+	if err != nil {
+		return out, err
+	}
+	out.NumVectors = st.NumVectors
+	out.DeltaCount = st.DeltaCount
+	out.NumPartitions = st.NumPartitions
+	out.AvgPartitionSize = st.AvgPartitionSize
+	return out, nil
+}
