@@ -496,3 +496,66 @@ func BenchmarkDistanceKernelBaseline(b *testing.B) {
 		vec.DistancesOneToMany(vec.L2, q, data, nil, out)
 	}
 }
+
+// --- Quantization: SQ8 scans + exact rerank vs float32 ---
+
+var (
+	sq8Once sync.Once
+	sq8DB   *micronn.DB
+	sq8Err  error
+)
+
+// sq8Setup builds an SQ8-quantized twin of the shared database.
+func sq8Setup(b *testing.B) (*micronn.DB, *workload.Dataset) {
+	_, ds := sharedSetup(b)
+	sq8Once.Do(func() {
+		dir, err := os.MkdirTemp("", "micronn-bench-sq8-*")
+		if err != nil {
+			sq8Err = err
+			return
+		}
+		sq8DB, sq8Err = buildBenchDB(filepath.Join(dir, "sq8.mnn"), sharedDS, micronn.Options{
+			Dim: ds.Spec.Dim, Metric: ds.Spec.Metric, Seed: ds.Spec.Seed,
+			Quantization: micronn.QuantSQ8,
+		})
+	})
+	if sq8Err != nil {
+		b.Fatal(sq8Err)
+	}
+	return sq8DB, sharedDS
+}
+
+// benchScanBytes runs the shared warm-cache search workload and reports
+// scanned bytes per op, so the SQ8 and float32 variants stay provably
+// identical apart from the database they hit. K is 10 (not Fig4's 100):
+// at the smoke-test dataset scale, K=100 would make the rerank fetch a
+// large fraction of the whole collection and the byte comparison would
+// measure that degenerate regime instead of the scan path.
+func benchScanBytes(b *testing.B, setup func(*testing.B) (*micronn.DB, *workload.Dataset)) {
+	db, ds := setup(b)
+	for i := 0; i < 8; i++ {
+		if _, err := db.Search(micronn.SearchRequest{Vector: ds.Queries.Row(i), K: 10, NProbe: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var bytesScanned int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		resp, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesScanned += resp.Plan.BytesScanned
+	}
+	b.ReportMetric(float64(bytesScanned)/float64(b.N), "scan-bytes/op")
+}
+
+// BenchmarkQuantSQ8Search runs the scan-bytes workload on the quantized
+// index: partition scans read int8 codes and rerank the top candidates
+// against exact vectors.
+func BenchmarkQuantSQ8Search(b *testing.B) { benchScanBytes(b, sq8Setup) }
+
+// BenchmarkQuantFloat32Search is the same workload on the float32 baseline,
+// reporting scan bytes for direct comparison with BenchmarkQuantSQ8Search.
+func BenchmarkQuantFloat32Search(b *testing.B) { benchScanBytes(b, sharedSetup) }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"micronn"
+	"micronn/internal/quant"
 	"micronn/internal/workload"
 )
 
@@ -64,11 +65,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: micronn -db <path> <command> [flags]
 
 commands:
-  create  -dim N [-metric L2|cosine|dot] [-partition-size N]
+  create  -dim N [-metric L2|cosine|dot] [-partition-size N] [-quant none|sq8]
   load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
   rebuild                           full index rebuild
   flush                             incremental delta flush
-  search  -id <asset> | -vec "f,f,..."  [-k N] [-nprobe N] [-exact]
+  search  -id <asset> | -vec "f,f,..."  [-k N] [-nprobe N] [-exact] [-rerank N]
   delete  -id <asset>
   stats`)
 }
@@ -78,6 +79,7 @@ func cmdCreate(path string, args []string) error {
 	dim := fs.Int("dim", 0, "vector dimensionality (required)")
 	metric := fs.String("metric", "L2", "distance metric: L2, cosine, dot")
 	partSize := fs.Int("partition-size", 100, "target IVF partition size")
+	quantName := fs.String("quant", "none", "partition-scan quantization: none, sq8")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +97,11 @@ func cmdCreate(path string, args []string) error {
 	default:
 		return fmt.Errorf("create: unknown metric %q", *metric)
 	}
-	d, err := micronn.Open(path, micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize})
+	q, err := quant.ParseType(strings.ToLower(*quantName))
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	d, err := micronn.Open(path, micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q})
 	if err != nil {
 		return err
 	}
@@ -175,6 +181,7 @@ func cmdSearch(path string, args []string) error {
 	k := fs.Int("k", 10, "result count")
 	nprobe := fs.Int("nprobe", 8, "partitions to scan")
 	exact := fs.Bool("exact", false, "exhaustive KNN")
+	rerank := fs.Int("rerank", 0, "quantized-search rerank multiplier (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,7 +212,7 @@ func cmdSearch(path string, args []string) error {
 	}
 
 	start := time.Now()
-	resp, err := d.Search(micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact})
+	resp, err := d.Search(micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact, RerankFactor: *rerank})
 	if err != nil {
 		return err
 	}
@@ -213,9 +220,10 @@ func cmdSearch(path string, args []string) error {
 	for i, r := range resp.Results {
 		fmt.Printf("%2d. %-16s %.6f\n", i+1, r.ID, r.Distance)
 	}
-	fmt.Printf("(%d results in %v, %d partitions, %d vectors scanned)\n",
+	fmt.Printf("(%d results in %v, %d partitions, %d vectors scanned, %d KiB read, %d reranked)\n",
 		len(resp.Results), elapsed.Round(time.Microsecond),
-		resp.Plan.PartitionsScanned, resp.Plan.VectorsScanned)
+		resp.Plan.PartitionsScanned, resp.Plan.VectorsScanned,
+		resp.Plan.BytesScanned/1024, resp.Plan.Reranked)
 	return nil
 }
 

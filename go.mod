@@ -1,0 +1,3 @@
+module micronn
+
+go 1.24

@@ -136,3 +136,65 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("stddev = %v", s.stddev)
 	}
 }
+
+func TestQuantizationRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	if err := Quantization(tinyConfig(t, &out)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "float32") || !strings.Contains(s, "sq8") {
+		t.Errorf("unexpected quant output:\n%s", s)
+	}
+}
+
+// TestQuantizationScanBytesReduction asserts the acceptance criterion at
+// the bench layer: on the same dataset and probe settings, SQ8 scans at
+// least 2x fewer bytes than float32 while keeping recall@K within 95% of
+// the baseline.
+func TestQuantizationScanBytesReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	cfg := tinyConfig(t, &out)
+	cfg.QuerySample = 10
+	cfg.fill()
+	spec, err := workload.ByName("MNIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.prepare(spec)
+
+	type measured struct {
+		recall   float64
+		bytesPer float64
+	}
+	run := func(q micronn.Quantization, name string) measured {
+		db, err := cfg.buildDBOpts(p, micronn.DeviceLarge, name, func(o *micronn.Options) {
+			o.Quantization = q
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		recall, _, bytesPer, _, err := cfg.measureQuant(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return measured{recall, bytesPer}
+	}
+	f32 := run(micronn.QuantNone, "bytes-f32")
+	sq8 := run(micronn.QuantSQ8, "bytes-sq8")
+	t.Logf("float32: recall=%.4f bytes/q=%.0f; sq8: recall=%.4f bytes/q=%.0f (%.2fx)",
+		f32.recall, f32.bytesPer, sq8.recall, sq8.bytesPer, f32.bytesPer/sq8.bytesPer)
+	if sq8.bytesPer*2 > f32.bytesPer {
+		t.Errorf("sq8 scanned %.0f bytes/query, not a 2x reduction over %.0f", sq8.bytesPer, f32.bytesPer)
+	}
+	if sq8.recall < 0.95*f32.recall {
+		t.Errorf("sq8 recall %.4f below 95%% of float32 %.4f", sq8.recall, f32.recall)
+	}
+}

@@ -110,16 +110,26 @@ func (c *Config) prepare(spec workload.Spec) *prepared {
 // buildDB loads the dataset into a fresh MicroNN database and builds the
 // IVF index.
 func (c *Config) buildDB(p *prepared, device micronn.DeviceProfile, name string) (*micronn.DB, error) {
+	return c.buildDBOpts(p, device, name, nil)
+}
+
+// buildDBOpts is buildDB with an optional Options hook (used by scenarios
+// that vary create-time settings like quantization).
+func (c *Config) buildDBOpts(p *prepared, device micronn.DeviceProfile, name string, tweak func(*micronn.Options)) (*micronn.DB, error) {
 	path := filepath.Join(c.Dir, name+".mnn")
 	os.Remove(path)
 	os.Remove(path + "-wal")
 	os.Remove(path + ".lock")
-	db, err := micronn.Open(path, micronn.Options{
+	opts := micronn.Options{
 		Dim:    p.ds.Spec.Dim,
 		Metric: p.ds.Spec.Metric,
 		Device: device,
 		Seed:   p.ds.Spec.Seed,
-	})
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	db, err := micronn.Open(path, opts)
 	if err != nil {
 		return nil, err
 	}

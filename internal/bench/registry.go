@@ -26,6 +26,7 @@ var Experiments = []Experiment{
 	{Name: "headline", Desc: "Abstract headline: SIFT top-100 @90% recall under ~10MB", Run: Headline},
 	{Name: "ablation-balance", Desc: "Ablation: balance penalty vs partition-size spread", Run: AblationBalance},
 	{Name: "ablation-clustering", Desc: "Ablation: clustered vs shuffled partition layout", Run: AblationClustering},
+	{Name: "quant", Desc: "Quantization: SQ8 scan bytes/throughput/recall vs float32", Run: Quantization, Alias: []string{"sq8"}},
 }
 
 // Lookup resolves an experiment by name or alias.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"micronn/internal/btree"
+	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/storage"
 	"micronn/internal/topk"
@@ -17,6 +18,9 @@ type BatchOptions struct {
 	K int
 	// NProbe is the per-query number of partitions to scan.
 	NProbe int
+	// RerankFactor overrides the quantized-search rerank multiplier
+	// (0 = Config.RerankFactor). Ignored on unquantized indexes.
+	RerankFactor int
 }
 
 // BatchInfo reports batch execution statistics.
@@ -31,6 +35,11 @@ type BatchInfo struct {
 	VectorsScanned int64
 	// DistancePairs counts query-vector distance computations.
 	DistancePairs int64
+	// BytesScanned is the vector payload volume read by partition scans
+	// (SQ8 codes count one byte per dimension).
+	BytesScanned int64
+	// Reranked counts quantized candidates recomputed at full precision.
+	Reranked int64
 }
 
 // BatchSearch executes a batch of queries with multi-query optimization
@@ -58,6 +67,10 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 	if err != nil {
 		return nil, nil, err
 	}
+	cb, err := ix.loadCodebook(txn)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Group queries by partition (the MQO step).
 	groups := make(map[int64][]int) // partition -> query indices
@@ -70,10 +83,23 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 	}
 	info.PartitionScans = len(groups)
 
+	// On a quantized index each query carries precomputed asymmetric-
+	// distance state, shared read-only by all partition scans, and the
+	// per-query heaps hold RerankFactor*K approximate candidates.
+	var qqs []*quant.Query
+	heapK := opts.K
+	if cb != nil {
+		qqs = make([]*quant.Query, nq)
+		for qi := 0; qi < nq; qi++ {
+			qqs[qi] = cb.NewQuery(ix.cfg.Metric, queries.Row(qi))
+		}
+		heapK = opts.K * ix.rerankFactor(opts.RerankFactor)
+	}
+
 	heaps := make([]*topk.Heap, nq)
 	heapMus := make([]sync.Mutex, nq)
 	for i := range heaps {
-		heaps[i] = topk.New(opts.K)
+		heaps[i] = topk.New(heapK)
 	}
 
 	work := make(chan partWork, len(groups))
@@ -100,10 +126,11 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scanned, pairs, err := ix.batchWorker(txn, work, queries, heaps, heapMus)
+			scanned, pairs, bytesRead, err := ix.batchWorker(txn, work, queries, qqs, cb, heaps, heapMus)
 			statMu.Lock()
 			info.VectorsScanned += scanned
 			info.DistancePairs += pairs
+			info.BytesScanned += bytesRead
 			statMu.Unlock()
 			if err != nil {
 				errCh <- err
@@ -118,8 +145,59 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 	}
 
 	out := make([][]topk.Result, nq)
-	for i := range heaps {
-		out[i] = heaps[i].Results()
+	if cb == nil {
+		for i := range heaps {
+			out[i] = heaps[i].Results()
+		}
+		return out, info, nil
+	}
+	// Rerank phase: per-query exact recomputation is independent work, so
+	// it fans out over the same worker budget as the scans (the random
+	// raw-store lookups would otherwise serialize a large batch).
+	rerankWorkers := ix.cfg.Workers
+	if rerankWorkers > nq {
+		rerankWorkers = nq
+	}
+	if rerankWorkers < 1 {
+		rerankWorkers = 1
+	}
+	if _, parallel := txn.(*storage.ReadTxn); !parallel {
+		rerankWorkers = 1
+	}
+	qCh := make(chan int, nq)
+	for i := 0; i < nq; i++ {
+		qCh <- i
+	}
+	close(qCh)
+	var rwg sync.WaitGroup
+	rerrCh := make(chan error, rerankWorkers)
+	for w := 0; w < rerankWorkers; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			var reranked, bytesRead int64
+			for i := range qCh {
+				cands := heaps[i].Results()
+				res, rb, err := ix.rerankExact(txn, queries.Row(i), cands, opts.K)
+				if err != nil {
+					rerrCh <- err
+					return
+				}
+				reranked += int64(len(cands))
+				bytesRead += rb
+				out[i] = res
+			}
+			statMu.Lock()
+			info.Reranked += reranked
+			info.BytesScanned += bytesRead
+			statMu.Unlock()
+		}()
+	}
+	rwg.Wait()
+	select {
+	case err := <-rerrCh:
+		return nil, nil, err
+	default:
 	}
 	return out, info, nil
 }
@@ -132,29 +210,45 @@ type partWork struct {
 
 // batchWorker scans whole partitions: for each, it streams the vectors in
 // tiles and computes the |interested queries| x |tile| distance matrix in
-// one kernel call, amortizing the scan over every query in the group.
-func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *vec.Matrix, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs int64, err error) {
+// one kernel call, amortizing the scan over every query in the group. On
+// quantized partitions the tile holds SQ8 codes and each interested query's
+// asymmetric kernel runs over it — the tile is still read once and shared.
+func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *vec.Matrix, qqs []*quant.Query, cb *quant.Codebook, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs, bytesRead int64, err error) {
 	dim := ix.cfg.Dim
 	tile := vec.NewMatrix(scanBatch, dim)
+	codes := make([]byte, 0, scanBatch*dim)
 	vidsB := make([]int64, 0, scanBatch)
 	assetsB := make([]string, 0, scanBatch)
 
 	for w := range work {
-		// Gather this partition's interested queries into a submatrix.
-		qm := vec.NewMatrix(len(w.queries), dim)
-		for i, qi := range w.queries {
-			qm.SetRow(i, queries.Row(qi))
+		quantized := cb != nil && w.part != DeltaPartition
+
+		// Gather this partition's interested queries into a submatrix
+		// (float path only; the quantized path uses qqs directly).
+		var qm *vec.Matrix
+		var qNorms []float32
+		if !quantized {
+			qm = vec.NewMatrix(len(w.queries), dim)
+			for i, qi := range w.queries {
+				qm.SetRow(i, queries.Row(qi))
+			}
+			qNorms = qm.Norms(make([]float32, 0, qm.Rows))
 		}
-		qNorms := qm.Norms(make([]float32, 0, qm.Rows))
-		dists := make([]float32, qm.Rows*scanBatch)
+		dists := make([]float32, len(w.queries)*scanBatch)
 
 		flush := func() {
 			n := len(vidsB)
 			if n == 0 {
 				return
 			}
-			sub := &vec.Matrix{Data: tile.Data[:n*dim], Rows: n, Dim: dim}
-			vec.DistancesManyToMany(ix.cfg.Metric, qm, sub, l2Only(ix.cfg.Metric, qNorms), nil, dists[:qm.Rows*n])
+			if quantized {
+				for i, qi := range w.queries {
+					qqs[qi].DistancesMany(codes, n, dists[i*n:(i+1)*n])
+				}
+			} else {
+				sub := &vec.Matrix{Data: tile.Data[:n*dim], Rows: n, Dim: dim}
+				vec.DistancesManyToMany(ix.cfg.Metric, qm, sub, l2Only(ix.cfg.Metric, qNorms), nil, dists[:len(w.queries)*n])
+			}
 			for i, qi := range w.queries {
 				row := dists[i*n : (i+1)*n]
 				h := &heaps[qi]
@@ -165,13 +259,19 @@ func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *v
 				heapMus[qi].Unlock()
 			}
 			scanned += int64(n)
-			pairs += int64(qm.Rows * n)
+			pairs += int64(len(w.queries) * n)
+			codes = codes[:0]
 			vidsB = vidsB[:0]
 			assetsB = assetsB[:0]
 		}
 
 		perr := ix.vectors.Scan(txn, []reldb.Value{reldb.I(w.part)}, func(row reldb.Row) error {
-			tile.AppendRowBlob(len(vidsB), row[3].Bts)
+			bytesRead += int64(len(row[3].Bts))
+			if quantized {
+				codes = append(codes, row[3].Bts...)
+			} else {
+				tile.AppendRowBlob(len(vidsB), row[3].Bts)
+			}
 			vidsB = append(vidsB, row[1].Int)
 			assetsB = append(assetsB, row[2].Str)
 			if len(vidsB) == scanBatch {
@@ -180,9 +280,9 @@ func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *v
 			return nil
 		})
 		if perr != nil {
-			return scanned, pairs, perr
+			return scanned, pairs, bytesRead, perr
 		}
 		flush()
 	}
-	return scanned, pairs, nil
+	return scanned, pairs, bytesRead, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"micronn/internal/btree"
 	"micronn/internal/clustering"
+	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
@@ -62,13 +63,49 @@ func (s *diskSource) Dim() int { return s.dim }
 func (s *diskSource) Read(indices []int, dst *vec.Matrix) error {
 	for i, idx := range indices {
 		k := s.keys[idx]
-		row, err := s.ix.vectors.Get(s.txn, reldb.I(k.part), reldb.I(k.vid))
+		blob, err := s.ix.rawBlobByKey(s.txn, k)
 		if err != nil {
 			return fmt.Errorf("ivf: training read (%d,%d): %w", k.part, k.vid, err)
 		}
-		dst.AppendRowBlob(i, row[3].Bts)
+		dst.AppendRowBlob(i, blob)
 	}
 	return nil
+}
+
+// rawBlobByKey returns the exact float32 blob of a vector row: from the raw
+// store when quantization is on (partition rows then hold SQ8 codes), from
+// the clustered row itself otherwise.
+func (ix *Index) rawBlobByKey(txn btree.ReadTxn, k partVid) ([]byte, error) {
+	if ix.rawvecs != nil {
+		return ix.rawVector(txn, k.vid)
+	}
+	row, err := ix.vectors.Get(txn, reldb.I(k.part), reldb.I(k.vid))
+	if err != nil {
+		return nil, err
+	}
+	return row[3].Bts, nil
+}
+
+// trainCodebook streams every vector once through a min/max trainer and
+// persists the resulting codebook in the meta table (the paper's codebook
+// refresh: retrained at every full rebuild, alongside the centroids). The
+// raw store is keyed by vid, so this is one sequential scan, not a point
+// lookup per vector.
+func (ix *Index) trainCodebook(wt *storage.WriteTxn) (*quant.Codebook, error) {
+	tr := quant.NewTrainer(ix.cfg.Dim)
+	x := make([]float32, ix.cfg.Dim)
+	err := ix.rawvecs.Scan(wt, nil, func(row reldb.Row) error {
+		tr.Add(vec.FromBlob(x, row[1].Bts))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cb := tr.Codebook()
+	if err := ix.meta.Put(wt, reldb.Row{reldb.S(metaCodebook), reldb.B(cb.Marshal())}); err != nil {
+		return nil, err
+	}
+	return cb, nil
 }
 
 // assignChunk is the unit of the rewrite pass: enough rows to amortize the
@@ -99,6 +136,11 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 		if err := ix.centroids.Truncate(wt); err != nil {
 			return nil, err
 		}
+		if ix.rawvecs != nil {
+			if err := ix.meta.Delete(wt, reldb.S(metaCodebook)); err != nil && !errors.Is(err, reldb.ErrNotFound) {
+				return nil, err
+			}
+		}
 		st.DeltaCount, st.NumPartitions, st.AvgSizeAtBuild = 0, 0, 0
 		st.Generation++
 		if err := ix.putState(wt, st); err != nil {
@@ -106,6 +148,16 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 		}
 		ms.Duration = time.Since(start)
 		return ms, nil
+	}
+
+	// Refresh the SQ8 codebook before any rows are rewritten: the rewrite
+	// pass encodes with it.
+	var cb *quant.Codebook
+	if ix.rawvecs != nil {
+		if cb, err = ix.trainCodebook(wt); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
 	}
 
 	// Train the quantizer on the disk-resident vectors.
@@ -144,9 +196,19 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 			if err != nil {
 				return nil, err
 			}
-			sub.AppendRowBlob(i-base, row[3].Bts)
 			assetsInChunk[i-base] = row[2].Str
-			blobsInChunk[i-base] = row[3].Bts // decode copies; safe to retain
+			if cb != nil {
+				// Partition rows hold stale codes (or delta float32);
+				// assignment needs the exact vector from the raw store.
+				raw, err := ix.rawVector(wt, keys[i].vid)
+				if err != nil {
+					return nil, err
+				}
+				sub.AppendRowBlob(i-base, raw)
+			} else {
+				sub.AppendRowBlob(i-base, row[3].Bts)
+				blobsInChunk[i-base] = row[3].Bts // decode copies; safe to retain
+			}
 		}
 		vec.DistancesManyToMany(ix.cfg.Metric, sub, res.Centroids, nil, l2Only(ix.cfg.Metric, centNorms), dists[:n*k])
 		for i := 0; i < n; i++ {
@@ -155,13 +217,26 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 			counts[best]++
 			ms.VectorsAssigned++
 			old := keys[base+i]
+			blob := blobsInChunk[i]
+			if cb != nil {
+				// Re-encode under the refreshed codebook.
+				blob = cb.Encode(make([]byte, 0, cb.CodeSize()), sub.Row(i))
+			}
 			if old.part == newPart {
+				if cb == nil {
+					continue // row content unchanged
+				}
+				// Same partition, fresh codebook: rewrite the code in place.
+				if err := ix.vectors.Put(wt, reldb.Row{reldb.I(newPart), reldb.I(old.vid), reldb.S(assetsInChunk[i]), reldb.B(blob)}); err != nil {
+					return nil, err
+				}
+				ms.RowChanges++
 				continue
 			}
 			if err := ix.vectors.Delete(wt, reldb.I(old.part), reldb.I(old.vid)); err != nil {
 				return nil, err
 			}
-			if err := ix.vectors.Put(wt, reldb.Row{reldb.I(newPart), reldb.I(old.vid), reldb.S(assetsInChunk[i]), reldb.B(blobsInChunk[i])}); err != nil {
+			if err := ix.vectors.Put(wt, reldb.Row{reldb.I(newPart), reldb.I(old.vid), reldb.S(assetsInChunk[i]), reldb.B(blob)}); err != nil {
 				return nil, err
 			}
 			if err := ix.assets.Put(wt, reldb.Row{reldb.S(assetsInChunk[i]), reldb.I(newPart), reldb.I(old.vid)}); err != nil {
@@ -231,6 +306,20 @@ func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 		return ms, nil
 	}
 
+	// Quantized indexes encode flushed vectors with the codebook from the
+	// last full rebuild: no retraining on the streaming path. Out-of-range
+	// values clamp; the exact rerank absorbs the error until the next
+	// rebuild refreshes the codebook.
+	var cb *quant.Codebook
+	if ix.rawvecs != nil {
+		if cb, err = ix.loadCodebook(wt); err != nil {
+			return nil, err
+		}
+		if cb == nil {
+			return nil, fmt.Errorf("ivf: quantized index has partitions but no codebook")
+		}
+	}
+
 	// Private copy of the centroids: the cached set is shared with
 	// concurrent readers.
 	cs, err := ix.loadCentroids(wt)
@@ -254,7 +343,12 @@ func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 		best := argminRange(dists)
 		newPart := cs.ids[best]
 		asset := row[2].Str
-		blobCopy := append([]byte(nil), row[3].Bts...)
+		var blobCopy []byte
+		if cb != nil {
+			blobCopy = cb.Encode(make([]byte, 0, cb.CodeSize()), x)
+		} else {
+			blobCopy = append([]byte(nil), row[3].Bts...)
+		}
 
 		if err := ix.vectors.Delete(wt, reldb.I(key.part), reldb.I(key.vid)); err != nil {
 			return nil, err

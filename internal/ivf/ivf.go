@@ -16,6 +16,7 @@ import (
 
 	"micronn/internal/btree"
 	"micronn/internal/fts"
+	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
@@ -35,7 +36,15 @@ const (
 	tblVIDs      = "vids"
 	tblAttrs     = "attributes"
 	tblMeta      = "meta"
+	// tblRawVecs is the raw float32 vector store used when quantization is
+	// enabled: partition rows then hold SQ8 codes, and the exact vectors
+	// needed for reranking, point lookups and retraining live here, keyed
+	// by vid.
+	tblRawVecs = "rawvecs"
 )
+
+// metaCodebook is the meta-table key holding the serialized SQ8 codebook.
+const metaCodebook = "codebook"
 
 // Sentinel errors.
 var (
@@ -85,6 +94,18 @@ type Config struct {
 	// the paper sketches in §3.2 for very large collections). 0 uses the
 	// default of 4096; negative disables the coarse index entirely.
 	CentroidIndexThreshold int `json:"centroid_index_threshold"`
+	// Quantization selects the partition-scan encoding (create-time
+	// option). With quant.SQ8 a per-dimension min/max codebook is trained
+	// at every Rebuild, partition rows store one byte per dimension, and
+	// searches rerank the top RerankFactor*K approximate candidates
+	// against exact float32 vectors from the raw store. The delta-store
+	// always keeps float32 vectors, so streaming inserts need no
+	// retraining.
+	Quantization quant.Type `json:"quantization"`
+	// RerankFactor is the default rerank multiplier for quantized
+	// searches: the scan keeps RerankFactor*K candidates by approximate
+	// distance before exact reranking (default 4).
+	RerankFactor int `json:"rerank_factor"`
 	// Seed makes clustering deterministic.
 	Seed int64 `json:"seed"`
 }
@@ -98,6 +119,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RerankFactor == 0 {
+		c.RerankFactor = 4
 	}
 }
 
@@ -125,6 +149,7 @@ type Index struct {
 	vids      *reldb.Table
 	attrs     *reldb.Table
 	meta      *reldb.Table
+	rawvecs   *reldb.Table // nil unless quantization is enabled
 
 	attrIndexes map[string]*reldb.Index // attribute name -> secondary index
 	ftsIndexes  map[string]*fts.Index   // attribute name -> fts index
@@ -133,6 +158,12 @@ type Index struct {
 	// Cached centroids, keyed by state.Generation.
 	centMu    sync.Mutex
 	centCache *centroidSet
+
+	// Cached SQ8 codebook, keyed by state.Generation. entry.cb is nil
+	// when no codebook is persisted at that generation (index not yet
+	// built).
+	cbMu    sync.Mutex
+	cbCache *codebookEntry
 
 	// Cached attribute statistics for the optimizer.
 	statsMu    sync.Mutex
@@ -164,9 +195,11 @@ func (ix *Index) getProbeScratch(n int) *probeScratch {
 	return ps
 }
 
-// scanBuffers is the per-worker scratch for partition scans.
+// scanBuffers is the per-worker scratch for partition scans. codes holds
+// the gathered SQ8 codes when the scanned partition is quantized.
 type scanBuffers struct {
 	batch  *vec.Matrix
+	codes  []byte
 	vids   []int64
 	assets []string
 	dists  []float32
@@ -178,6 +211,7 @@ func (ix *Index) getScanBuffers() *scanBuffers {
 	}
 	return &scanBuffers{
 		batch:  vec.NewMatrix(scanBatch, ix.cfg.Dim),
+		codes:  make([]byte, 0, scanBatch*ix.cfg.Dim),
 		vids:   make([]int64, 0, scanBatch),
 		assets: make([]string, 0, scanBatch),
 		dists:  make([]float32, scanBatch),
@@ -185,6 +219,7 @@ func (ix *Index) getScanBuffers() *scanBuffers {
 }
 
 func (ix *Index) putScanBuffers(b *scanBuffers) {
+	b.codes = b.codes[:0]
 	b.vids = b.vids[:0]
 	b.assets = b.assets[:0]
 	ix.scanPool.Put(b)
@@ -207,6 +242,11 @@ type centroidSet struct {
 func Create(db *reldb.DB, wt *storage.WriteTxn, cfg Config) (*Index, error) {
 	if cfg.Dim <= 0 {
 		return nil, fmt.Errorf("ivf: Dim must be positive")
+	}
+	// The quantization scheme is persisted in the on-disk config; an
+	// unknown value must fail here, not silently encode as SQ8.
+	if cfg.Quantization != quant.None && cfg.Quantization != quant.SQ8 {
+		return nil, fmt.Errorf("ivf: unknown quantization %v", cfg.Quantization)
 	}
 	cfg.fillDefaults()
 
@@ -264,6 +304,13 @@ func Create(db *reldb.DB, wt *storage.WriteTxn, cfg Config) (*Index, error) {
 			Key:  []reldb.Column{{Name: "key", Type: reldb.TypeText}},
 			Cols: []reldb.Column{{Name: "value", Type: reldb.TypeBlob}},
 		},
+	}
+	if cfg.Quantization != quant.None {
+		schemas = append(schemas, &reldb.Schema{
+			Name: tblRawVecs,
+			Key:  []reldb.Column{{Name: "vid", Type: reldb.TypeInt64}},
+			Cols: []reldb.Column{{Name: "blob", Type: reldb.TypeBlob}},
+		})
 	}
 	for _, s := range schemas {
 		if err := db.CreateTable(wt, s); err != nil {
@@ -347,6 +394,11 @@ func open(db *reldb.DB, cfg Config) (*Index, error) {
 	if ix.meta, err = db.Table(tblMeta); err != nil {
 		return nil, err
 	}
+	if cfg.Quantization != quant.None {
+		if ix.rawvecs, err = db.Table(tblRawVecs); err != nil {
+			return nil, err
+		}
+	}
 	for i, a := range cfg.Attributes {
 		ix.attrPos[a.Name] = 1 + i // position in the attrs row (after vid)
 		if a.Indexed {
@@ -369,6 +421,16 @@ func open(db *reldb.DB, cfg Config) (*Index, error) {
 
 // Config returns the index configuration.
 func (ix *Index) Config() Config { return ix.cfg }
+
+// SetRerankFactor overrides the default rerank multiplier for quantized
+// searches. Unlike the persisted create-time configuration this is a pure
+// search-time setting, so reopening callers may apply their own default.
+// Call before serving queries; it is not synchronized with searches.
+func (ix *Index) SetRerankFactor(rr int) {
+	if rr > 0 {
+		ix.cfg.RerankFactor = rr
+	}
+}
 
 // DB exposes the relational layer (used by the bench harness).
 func (ix *Index) DB() *reldb.DB { return ix.db }
@@ -470,6 +532,13 @@ func (ix *Index) Upsert(wt *storage.WriteTxn, asset string, vector []float32, at
 	if err := ix.vectors.Put(wt, reldb.Row{reldb.I(DeltaPartition), reldb.I(vid), reldb.S(asset), reldb.B(blob)}); err != nil {
 		return err
 	}
+	if ix.rawvecs != nil {
+		// Quantized indexes keep the exact vector in the raw store for
+		// reranking, point lookups and codebook retraining.
+		if err := ix.rawvecs.Put(wt, reldb.Row{reldb.I(vid), reldb.B(blob)}); err != nil {
+			return err
+		}
+	}
 	if err := ix.assets.Put(wt, reldb.Row{reldb.S(asset), reldb.I(DeltaPartition), reldb.I(vid)}); err != nil {
 		return err
 	}
@@ -550,6 +619,11 @@ func (ix *Index) removeAsset(wt *storage.WriteTxn, asset string, st *state) (boo
 	if err := ix.vids.Delete(wt, reldb.I(vid)); err != nil {
 		return false, err
 	}
+	if ix.rawvecs != nil {
+		if err := ix.rawvecs.Delete(wt, reldb.I(vid)); err != nil && !errors.Is(err, reldb.ErrNotFound) {
+			return false, err
+		}
+	}
 	attrRow, err := ix.attrs.Get(wt, reldb.I(vid))
 	if err == nil {
 		for name, f := range ix.ftsIndexes {
@@ -584,12 +658,22 @@ func (ix *Index) GetVector(txn btree.ReadTxn, asset string) ([]float32, map[stri
 		return nil, nil, err
 	}
 	part, vid := row[1].Int, row[2].Int
-	vrow, err := ix.vectors.Get(txn, reldb.I(part), reldb.I(vid))
-	if err != nil {
-		return nil, nil, err
-	}
 	vector := make([]float32, ix.cfg.Dim)
-	vec.FromBlob(vector, vrow[3].Bts)
+	if ix.rawvecs != nil {
+		// Quantized partition rows hold lossy codes; the exact vector
+		// lives in the raw store.
+		vrow, err := ix.rawvecs.Get(txn, reldb.I(vid))
+		if err != nil {
+			return nil, nil, err
+		}
+		vec.FromBlob(vector, vrow[1].Bts)
+	} else {
+		vrow, err := ix.vectors.Get(txn, reldb.I(part), reldb.I(vid))
+		if err != nil {
+			return nil, nil, err
+		}
+		vec.FromBlob(vector, vrow[3].Bts)
+	}
 
 	attrs := make(map[string]reldb.Value)
 	arow, err := ix.attrs.Get(txn, reldb.I(vid))
@@ -663,14 +747,70 @@ func (ix *Index) loadCentroids(txn btree.ReadTxn) (*centroidSet, error) {
 	return cs, nil
 }
 
-// DropCaches clears the in-memory centroid and statistics caches (the
-// ColdStart scenario, combined with storage.Store.DropCaches).
+// DropCaches clears the in-memory centroid, codebook and statistics caches
+// (the ColdStart scenario, combined with storage.Store.DropCaches).
 func (ix *Index) DropCaches() {
 	ix.centMu.Lock()
 	ix.centCache = nil
 	ix.centMu.Unlock()
+	ix.cbMu.Lock()
+	ix.cbCache = nil
+	ix.cbMu.Unlock()
 	ix.statsMu.Lock()
 	ix.statsCache = nil
 	ix.statsGen = -1
 	ix.statsMu.Unlock()
+}
+
+// codebookEntry caches the decoded SQ8 codebook for one index generation.
+type codebookEntry struct {
+	gen int64
+	cb  *quant.Codebook // nil when no codebook exists at this generation
+}
+
+// loadCodebook returns the SQ8 codebook visible at txn's snapshot, or nil
+// when the index is unquantized or not yet built. Like the centroid cache
+// it is keyed by the state generation, so rebuilds invalidate it.
+func (ix *Index) loadCodebook(txn btree.ReadTxn) (*quant.Codebook, error) {
+	if ix.cfg.Quantization == quant.None {
+		return nil, nil
+	}
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, err
+	}
+	ix.cbMu.Lock()
+	if ix.cbCache != nil && ix.cbCache.gen == st.Generation {
+		cb := ix.cbCache.cb
+		ix.cbMu.Unlock()
+		return cb, nil
+	}
+	ix.cbMu.Unlock()
+
+	entry := &codebookEntry{gen: st.Generation}
+	row, err := ix.meta.Get(txn, reldb.S(metaCodebook))
+	if err == nil {
+		if entry.cb, err = quant.UnmarshalCodebook(row[1].Bts); err != nil {
+			return nil, fmt.Errorf("ivf: load codebook: %w", err)
+		}
+	} else if !errors.Is(err, reldb.ErrNotFound) {
+		return nil, err
+	}
+	ix.cbMu.Lock()
+	if ix.cbCache == nil || ix.cbCache.gen <= entry.gen {
+		ix.cbCache = entry
+	}
+	ix.cbMu.Unlock()
+	return entry.cb, nil
+}
+
+// rawVector fetches the exact float32 blob for vid from the raw store (the
+// rerank/lookup path of a quantized index). The returned slice aliases
+// transaction-owned memory.
+func (ix *Index) rawVector(txn btree.ReadTxn, vid int64) ([]byte, error) {
+	row, err := ix.rawvecs.Get(txn, reldb.I(vid))
+	if err != nil {
+		return nil, err
+	}
+	return row[1].Bts, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"micronn/internal/btree"
 	"micronn/internal/fts"
+	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
@@ -55,10 +56,16 @@ type SearchOptions struct {
 	// Filters is the CNF attribute filter set; nil means pure ANN.
 	Filters []stats.Filter
 	// Exact forces an exhaustive KNN scan (with filters applied row-wise
-	// when present).
+	// when present). On a quantized index every candidate's exact vector
+	// is fetched from the raw store, preserving the 100%-recall contract.
 	Exact bool
 	// Plan overrides the optimizer's pre/post-filter choice.
 	Plan PlanType
+	// RerankFactor overrides the quantized-search rerank multiplier: the
+	// scan keeps RerankFactor*K candidates by approximate SQ8 distance
+	// before the exact rerank (0 = Config.RerankFactor, default 4).
+	// Ignored on unquantized indexes.
+	RerankFactor int
 }
 
 // PlanInfo reports how a query executed.
@@ -69,6 +76,14 @@ type PlanInfo struct {
 	PartitionsScanned int
 	VectorsScanned    int64 // vectors whose distance was computed
 	RowsFiltered      int64 // candidates rejected by predicates pre-distance
+	// BytesScanned is the vector payload volume the query read: one byte
+	// per dimension on quantized partition scans, four otherwise, plus
+	// the exact vectors fetched by the rerank phase — the I/O metric the
+	// SQ8 path reduces.
+	BytesScanned int64
+	// Reranked counts quantized candidates recomputed at full precision
+	// against the raw store.
+	Reranked int
 }
 
 // Search performs (approximate or exact) K-nearest-neighbour search with
@@ -98,7 +113,7 @@ func (ix *Index) Search(txn btree.ReadTxn, q []float32, opts SearchOptions) ([]t
 
 	if opts.Exact {
 		parts := append([]int64{DeltaPartition}, cs.ids...)
-		res, err := ix.scanPartitions(txn, parts, q, opts.K, opts.Filters, info)
+		res, err := ix.scanPartitions(txn, parts, q, opts, info)
 		return res, info, err
 	}
 
@@ -108,8 +123,20 @@ func (ix *Index) Search(txn btree.ReadTxn, q []float32, opts SearchOptions) ([]t
 
 	parts := ix.probeSet(cs, q, opts.NProbe)
 	info.IVFSelectivity = ivfSelectivity(opts.NProbe, ix.cfg.TargetPartitionSize, st.NumVectors)
-	res, err := ix.scanPartitions(txn, parts, q, opts.K, nil, info)
+	res, err := ix.scanPartitions(txn, parts, q, opts, info)
 	return res, info, err
+}
+
+// rerankFactor resolves the effective rerank multiplier.
+func (ix *Index) rerankFactor(override int) int {
+	rr := override
+	if rr <= 0 {
+		rr = ix.cfg.RerankFactor
+	}
+	if rr < 1 {
+		rr = 1
+	}
+	return rr
 }
 
 // probeSet returns the delta partition plus the NProbe partitions whose
@@ -158,11 +185,43 @@ func ivfSelectivity(nprobe, targetSize int, numVectors int64) float64 {
 // distance-kernel call during partition scans.
 const scanBatch = 256
 
+// scanCtx bundles the per-search state shared by scan workers.
+type scanCtx struct {
+	q       []float32
+	filters []stats.Filter
+	cb      *quant.Codebook // non-nil when partitions hold SQ8 codes
+	qq      *quant.Query    // asymmetric-distance state (approximate scans)
+}
+
 // scanPartitions runs Algorithm 2's partition scans: each worker scans
 // whole partitions, maintains a private top-K heap, evaluates predicate
 // filters before distances (the paper's pre-distance filter join), and the
 // per-worker heaps are merged at the end.
-func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, k int, filters []stats.Filter, info *PlanInfo) ([]topk.Result, error) {
+//
+// On a quantized index the workers compute approximate SQ8 distances and
+// keep RerankFactor*K candidates each; the merged candidates are then
+// reranked against exact float32 vectors from the raw store. With
+// opts.Exact the workers fetch the exact vector for every row instead, so
+// exhaustive search keeps full precision.
+func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, opts SearchOptions, info *PlanInfo) ([]topk.Result, error) {
+	k := opts.K
+	cb, err := ix.loadCodebook(txn)
+	if err != nil {
+		return nil, err
+	}
+	if cb != nil && opts.Exact {
+		// Exhaustive search on a quantized index: one sequential pass
+		// over the raw store instead of scanning lossy codes and chasing
+		// a random raw lookup per row.
+		return ix.exactQuantScan(txn, q, opts, info, len(parts))
+	}
+	ctx := &scanCtx{q: q, filters: opts.Filters, cb: cb}
+	heapK := k
+	if cb != nil {
+		ctx.qq = cb.NewQuery(ix.cfg.Metric, q)
+		heapK = k * ix.rerankFactor(opts.RerankFactor)
+	}
+
 	info.PartitionsScanned += len(parts)
 	workers := ix.cfg.Workers
 	if workers > len(parts) {
@@ -178,6 +237,7 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, k
 	heaps := make([]*topk.Heap, workers)
 	scanned := make([]int64, workers)
 	filtered := make([]int64, workers)
+	bytesRead := make([]int64, workers)
 	partCh := make(chan int64, len(parts))
 	for _, p := range parts {
 		partCh <- p
@@ -187,13 +247,14 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, k
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
-		heaps[w] = topk.New(k)
+		heaps[w] = topk.New(heapK)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc, fl, err := ix.scanWorker(txn, partCh, q, heaps[w], filters)
+			sc, fl, by, err := ix.scanWorker(txn, partCh, ctx, heaps[w])
 			scanned[w] += sc
 			filtered[w] += fl
+			bytesRead[w] += by
 			if err != nil {
 				errCh <- err
 			}
@@ -208,35 +269,119 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, k
 	for w := 0; w < workers; w++ {
 		info.VectorsScanned += scanned[w]
 		info.RowsFiltered += filtered[w]
+		info.BytesScanned += bytesRead[w]
 	}
-	return topk.Merge(k, heaps...), nil
+	if ctx.qq == nil {
+		return topk.Merge(k, heaps...), nil
+	}
+	// Exact rerank of the approximate candidates (paper's refine step).
+	cands := topk.Merge(heapK, heaps...)
+	res, rerankBytes, err := ix.rerankExact(txn, q, cands, k)
+	if err != nil {
+		return nil, err
+	}
+	info.Reranked += len(cands)
+	info.BytesScanned += rerankBytes
+	return res, nil
+}
+
+// exactQuantScan answers Exact queries on a quantized index at full
+// precision: the raw store holds every vector (delta included) keyed by
+// vid, so one sequential scan covers the collection. Asset ids are
+// resolved only for the K survivors, not per scanned row. BytesScanned
+// counts the float32 payload actually read.
+func (ix *Index) exactQuantScan(txn btree.ReadTxn, q []float32, opts SearchOptions, info *PlanInfo, nparts int) ([]topk.Result, error) {
+	heap := topk.New(opts.K)
+	x := make([]float32, ix.cfg.Dim)
+	err := ix.rawvecs.Scan(txn, nil, func(row reldb.Row) error {
+		vid := row[0].Int
+		if len(opts.Filters) > 0 {
+			ok, ferr := ix.evalFilters(txn, vid, opts.Filters)
+			if ferr != nil {
+				return ferr
+			}
+			if !ok {
+				info.RowsFiltered++
+				return nil
+			}
+		}
+		vec.FromBlob(x, row[1].Bts)
+		info.VectorsScanned++
+		info.BytesScanned += int64(len(row[1].Bts))
+		heap.Push(topk.Result{VectorID: vid, Distance: vec.Distance(ix.cfg.Metric, q, x)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := heap.Results()
+	for i := range res {
+		vrow, err := ix.vids.Get(txn, reldb.I(res[i].VectorID))
+		if err != nil {
+			return nil, err
+		}
+		res[i].AssetID = vrow[2].Str
+	}
+	info.PartitionsScanned += nparts
+	return res, nil
+}
+
+// rerankExact recomputes full-precision distances for cands from the raw
+// store and returns the top k, along with the raw bytes it read (counted
+// into the caller's BytesScanned so the reported I/O stays honest).
+func (ix *Index) rerankExact(txn btree.ReadTxn, q []float32, cands []topk.Result, k int) ([]topk.Result, int64, error) {
+	heap := topk.New(k)
+	x := make([]float32, ix.cfg.Dim)
+	var bytesRead int64
+	for _, c := range cands {
+		blob, err := ix.rawVector(txn, c.VectorID)
+		if err != nil {
+			return nil, 0, err
+		}
+		bytesRead += int64(len(blob))
+		vec.FromBlob(x, blob)
+		heap.Push(topk.Result{AssetID: c.AssetID, VectorID: c.VectorID, Distance: vec.Distance(ix.cfg.Metric, q, x)})
+	}
+	return heap.Results(), bytesRead, nil
 }
 
 // scanWorker drains partitions from partCh into its private heap.
-func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, q []float32, heap *topk.Heap, filters []stats.Filter) (scanned, filtered int64, err error) {
+func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, ctx *scanCtx, heap *topk.Heap) (scanned, filtered, bytesRead int64, err error) {
 	buf := ix.getScanBuffers()
 	defer ix.putScanBuffers(buf)
+	dim := ix.cfg.Dim
 
+	quantized := false // whether buf currently gathers SQ8 codes
 	flush := func() {
 		n := len(buf.vids)
 		if n == 0 {
 			return
 		}
-		sub := &vec.Matrix{Data: buf.batch.Data[:n*ix.cfg.Dim], Rows: n, Dim: ix.cfg.Dim}
-		vec.DistancesOneToMany(ix.cfg.Metric, q, sub, nil, buf.dists[:n])
+		if quantized {
+			ctx.qq.DistancesMany(buf.codes, n, buf.dists[:n])
+		} else {
+			sub := &vec.Matrix{Data: buf.batch.Data[:n*dim], Rows: n, Dim: dim}
+			vec.DistancesOneToMany(ix.cfg.Metric, ctx.q, sub, nil, buf.dists[:n])
+		}
 		for i := 0; i < n; i++ {
 			heap.Push(topk.Result{AssetID: buf.assets[i], VectorID: buf.vids[i], Distance: buf.dists[i]})
 		}
 		scanned += int64(n)
+		buf.codes = buf.codes[:0]
 		buf.vids = buf.vids[:0]
 		buf.assets = buf.assets[:0]
 	}
 
 	for part := range partCh {
+		isQuant := ctx.cb != nil && part != DeltaPartition
+		if isQuant != quantized {
+			flush() // mode switch: don't mix codes and floats in one batch
+			quantized = isQuant
+		}
 		perr := ix.vectors.Scan(txn, []reldb.Value{reldb.I(part)}, func(row reldb.Row) error {
 			vid := row[1].Int
-			if len(filters) > 0 {
-				ok, ferr := ix.evalFilters(txn, vid, filters)
+			if len(ctx.filters) > 0 {
+				ok, ferr := ix.evalFilters(txn, vid, ctx.filters)
 				if ferr != nil {
 					return ferr
 				}
@@ -245,7 +390,12 @@ func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, q []float32,
 					return nil
 				}
 			}
-			buf.batch.AppendRowBlob(len(buf.vids), row[3].Bts)
+			bytesRead += int64(len(row[3].Bts))
+			if isQuant {
+				buf.codes = append(buf.codes, row[3].Bts...)
+			} else {
+				buf.batch.AppendRowBlob(len(buf.vids), row[3].Bts)
+			}
 			buf.vids = append(buf.vids, vid)
 			buf.assets = append(buf.assets, row[2].Str)
 			if len(buf.vids) == scanBatch {
@@ -254,11 +404,11 @@ func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, q []float32,
 			return nil
 		})
 		if perr != nil {
-			return scanned, filtered, perr
+			return scanned, filtered, bytesRead, perr
 		}
 		flush()
 	}
-	return scanned, filtered, nil
+	return scanned, filtered, bytesRead, nil
 }
 
 // evalFilters applies the CNF filter set to the vector identified by vid.
@@ -348,7 +498,7 @@ func (ix *Index) hybridSearch(txn btree.ReadTxn, q []float32, opts SearchOptions
 		return res, info, err
 	default:
 		parts := ix.probeSet(cs, q, opts.NProbe)
-		res, err := ix.scanPartitions(txn, parts, q, opts.K, opts.Filters, info)
+		res, err := ix.scanPartitions(txn, parts, q, opts, info)
 		return res, info, err
 	}
 }
@@ -435,12 +585,23 @@ func (ix *Index) preFilterSearch(txn btree.ReadTxn, q []float32, opts SearchOpti
 			return err
 		}
 		part, asset := vrow[1].Int, vrow[2].Str
-		row, err := ix.vectors.Get(txn, reldb.I(part), reldb.I(vid))
-		if err != nil {
-			return err
+		var blob []byte
+		if ix.rawvecs != nil {
+			// Pre-filter plans promise 100% recall over the filtered set,
+			// so a quantized index reads exact vectors from the raw store.
+			if blob, err = ix.rawVector(txn, vid); err != nil {
+				return err
+			}
+		} else {
+			row, gerr := ix.vectors.Get(txn, reldb.I(part), reldb.I(vid))
+			if gerr != nil {
+				return gerr
+			}
+			blob = row[3].Bts
 		}
-		vec.FromBlob(x, row[3].Bts)
+		vec.FromBlob(x, blob)
 		info.VectorsScanned++
+		info.BytesScanned += int64(len(blob))
 		heap.Push(topk.Result{AssetID: asset, VectorID: vid, Distance: vec.Distance(ix.cfg.Metric, q, x)})
 		return nil
 	}

@@ -1,0 +1,387 @@
+package ivf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"micronn/internal/quant"
+	"micronn/internal/reldb"
+	"micronn/internal/stats"
+	"micronn/internal/storage"
+	"micronn/internal/topk"
+	"micronn/internal/vec"
+)
+
+// buildPair builds two identical indexes over the same clustered data, one
+// float32 and one SQ8.
+func buildPair(t *testing.T, metric vec.Metric, data *vec.Matrix) (f32, sq8 *testEnv) {
+	t.Helper()
+	base := Config{Dim: data.Dim, Metric: metric, TargetPartitionSize: 50, Seed: 7}
+	qcfg := base
+	qcfg.Quantization = quant.SQ8
+	f32 = newEnv(t, base)
+	sq8 = newEnv(t, qcfg)
+	for _, e := range []*testEnv{f32, sq8} {
+		e.upsertAll(t, data, nil)
+		err := e.store.Update(func(wt *storage.WriteTxn) error {
+			_, rerr := e.ix.Rebuild(wt)
+			return rerr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f32, sq8
+}
+
+// TestSQ8RecallAndBytesVsFloat32 is the acceptance test for the quantized
+// scan path: on a synthetic clustered dataset, SQ8 recall@10 must stay
+// within 95% of the float32 baseline while the partition scans read at
+// least 2x fewer vector-payload bytes (the codes are 4x smaller).
+func TestSQ8RecallAndBytesVsFloat32(t *testing.T) {
+	const dim, n, k, nprobe, queries = 32, 2000, 10, 8, 40
+	data := clusteredData(11, n, dim, 25)
+	f32, sq8 := buildPair(t, vec.L2, data)
+
+	rng := rand.New(rand.NewSource(99))
+	var recallF32, recallSQ8 float64
+	var bytesF32, bytesSQ8 int64
+	for qi := 0; qi < queries; qi++ {
+		q := make([]float32, dim)
+		copy(q, data.Row(rng.Intn(n)))
+		for d := range q {
+			q[d] += float32(rng.NormFloat64() * 0.2)
+		}
+		gt := bruteForce(vec.L2, data, q, k)
+
+		err := f32.store.View(func(rt *storage.ReadTxn) error {
+			res, info, err := f32.ix.Search(rt, q, SearchOptions{K: k, NProbe: nprobe})
+			if err != nil {
+				return err
+			}
+			recallF32 += recallOf(res, gt)
+			bytesF32 += info.BytesScanned
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sq8.store.View(func(rt *storage.ReadTxn) error {
+			res, info, err := sq8.ix.Search(rt, q, SearchOptions{K: k, NProbe: nprobe})
+			if err != nil {
+				return err
+			}
+			recallSQ8 += recallOf(res, gt)
+			bytesSQ8 += info.BytesScanned
+			if info.Reranked == 0 {
+				t.Error("quantized search reported no reranked candidates")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recallF32 /= queries
+	recallSQ8 /= queries
+	t.Logf("recall@%d: float32=%.4f sq8=%.4f; scanned bytes: float32=%d sq8=%d (%.2fx)",
+		k, recallF32, recallSQ8, bytesF32, bytesSQ8, float64(bytesF32)/float64(bytesSQ8))
+	if recallSQ8 < 0.95*recallF32 {
+		t.Fatalf("SQ8 recall %.4f below 95%% of float32 recall %.4f", recallSQ8, recallF32)
+	}
+	if bytesSQ8*2 > bytesF32 {
+		t.Fatalf("SQ8 scanned %d bytes, not a 2x reduction over float32's %d", bytesSQ8, bytesF32)
+	}
+}
+
+// TestSQ8ExactSearchMatchesBruteForce checks that Exact on a quantized
+// index still returns full-precision distances (100% recall contract).
+func TestSQ8ExactSearchMatchesBruteForce(t *testing.T) {
+	const dim, n, k = 16, 600, 10
+	data := clusteredData(13, n, dim, 8)
+	_, sq8 := buildPair(t, vec.L2, data)
+
+	q := data.Row(123)
+	gt := bruteForce(vec.L2, data, q, k)
+	err := sq8.store.View(func(rt *storage.ReadTxn) error {
+		res, _, err := sq8.ix.Search(rt, q, SearchOptions{K: k, Exact: true})
+		if err != nil {
+			return err
+		}
+		if r := recallOf(res, gt); r != 1 {
+			t.Fatalf("exact search recall %.4f, want 1.0", r)
+		}
+		for i, r := range res {
+			if d := gt[i].Distance; r.Distance != d {
+				t.Fatalf("rank %d: distance %v, brute force %v (quantized distance leaked)", i, r.Distance, d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSQ8StreamingLifecycle exercises the delta-then-reorg lifecycle on a
+// quantized index: upserts after build land in the float32 delta and are
+// searchable at full precision, FlushDelta encodes them with the existing
+// codebook, Rebuild refreshes the codebook, Get always returns the exact
+// vector, and deletes clean up the raw store.
+func TestSQ8StreamingLifecycle(t *testing.T) {
+	const dim, n = 16, 800
+	data := clusteredData(17, n, dim, 10)
+	_, sq8 := buildPair(t, vec.L2, data)
+
+	// Insert an outlier far outside the codebook's trained range.
+	outlier := make([]float32, dim)
+	for d := range outlier {
+		outlier[d] = 500
+	}
+	err := sq8.store.Update(func(wt *storage.WriteTxn) error {
+		return sq8.ix.Upsert(wt, "outlier", outlier, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	findOutlier := func(stage string) {
+		t.Helper()
+		err := sq8.store.View(func(rt *storage.ReadTxn) error {
+			res, _, err := sq8.ix.Search(rt, outlier, SearchOptions{K: 1, NProbe: 2})
+			if err != nil {
+				return err
+			}
+			if len(res) == 0 || res[0].AssetID != "outlier" {
+				t.Fatalf("%s: outlier not found (got %v)", stage, res)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	findOutlier("delta")
+
+	// Flush: the outlier clamps to the stale codebook range, but the exact
+	// rerank must still surface it as its own nearest neighbour.
+	err = sq8.store.Update(func(wt *storage.WriteTxn) error {
+		_, ferr := sq8.ix.FlushDelta(wt)
+		return ferr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findOutlier("flushed")
+
+	// Get returns the exact vector even though the partition row is lossy.
+	err = sq8.store.View(func(rt *storage.ReadTxn) error {
+		v, _, err := sq8.ix.GetVector(rt, "outlier")
+		if err != nil {
+			return err
+		}
+		for d := range v {
+			if v[d] != 500 {
+				t.Fatalf("Get after flush: dim %d = %v, want 500", d, v[d])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild refreshes the codebook to cover the outlier.
+	err = sq8.store.Update(func(wt *storage.WriteTxn) error {
+		_, rerr := sq8.ix.Rebuild(wt)
+		return rerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findOutlier("rebuilt")
+
+	// Delete removes the raw-store row too: capture the outlier's vid
+	// first, then assert its rawvecs row is gone (a leaked row would
+	// also re-enter codebook training on the next rebuild).
+	var outlierVID int64
+	err = sq8.store.View(func(rt *storage.ReadTxn) error {
+		row, err := sq8.ix.assets.Get(rt, reldb.S("outlier"))
+		if err != nil {
+			return err
+		}
+		outlierVID = row[2].Int
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sq8.store.Update(func(wt *storage.WriteTxn) error {
+		return sq8.ix.Delete(wt, "outlier")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sq8.store.View(func(rt *storage.ReadTxn) error {
+		if _, err := sq8.ix.rawVector(rt, outlierVID); err == nil {
+			t.Fatal("raw-store row leaked after delete")
+		}
+		if _, _, err := sq8.ix.GetVector(rt, "outlier"); err == nil {
+			t.Fatal("outlier still resolvable after delete")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSQ8BatchSearchMatchesSingle checks MQO parity: batch results on a
+// quantized index match query-at-a-time results, and batch scans report the
+// reduced byte footprint.
+func TestSQ8BatchSearchMatchesSingle(t *testing.T) {
+	const dim, n, k, nprobe, nq = 24, 1200, 10, 6, 16
+	data := clusteredData(19, n, dim, 12)
+	_, sq8 := buildPair(t, vec.L2, data)
+
+	queries := vec.NewMatrix(nq, dim)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < nq; i++ {
+		copy(queries.Row(i), data.Row(rng.Intn(n)))
+	}
+
+	err := sq8.store.View(func(rt *storage.ReadTxn) error {
+		batch, binfo, err := sq8.ix.BatchSearch(rt, queries, BatchOptions{K: k, NProbe: nprobe})
+		if err != nil {
+			return err
+		}
+		if binfo.BytesScanned == 0 || binfo.Reranked == 0 {
+			t.Fatalf("batch info not instrumented: %+v", binfo)
+		}
+		for qi := 0; qi < nq; qi++ {
+			single, _, err := sq8.ix.Search(rt, queries.Row(qi), SearchOptions{K: k, NProbe: nprobe})
+			if err != nil {
+				return err
+			}
+			if len(single) != len(batch[qi]) {
+				t.Fatalf("query %d: single %d results, batch %d", qi, len(single), len(batch[qi]))
+			}
+			for i := range single {
+				if single[i].AssetID != batch[qi][i].AssetID {
+					t.Fatalf("query %d rank %d: single %s, batch %s", qi, i, single[i].AssetID, batch[qi][i].AssetID)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSQ8CosineAndDotMetrics runs the quantized path under the non-L2
+// metrics, checking recall stays close to the float32 baseline.
+func TestSQ8CosineAndDotMetrics(t *testing.T) {
+	for _, metric := range []vec.Metric{vec.Cosine, vec.Dot} {
+		t.Run(metric.String(), func(t *testing.T) {
+			const dim, n, k, nprobe, queries = 24, 1500, 10, 8, 25
+			data := clusteredData(23, n, dim, 15)
+			f32, sq8 := buildPair(t, metric, data)
+
+			rng := rand.New(rand.NewSource(31))
+			var recallF32, recallSQ8 float64
+			for qi := 0; qi < queries; qi++ {
+				q := make([]float32, dim)
+				copy(q, data.Row(rng.Intn(n)))
+				gt := bruteForce(metric, data, q, k)
+				err := f32.store.View(func(rt *storage.ReadTxn) error {
+					res, _, err := f32.ix.Search(rt, q, SearchOptions{K: k, NProbe: nprobe})
+					if err != nil {
+						return err
+					}
+					recallF32 += recallOf(res, gt)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = sq8.store.View(func(rt *storage.ReadTxn) error {
+					res, _, err := sq8.ix.Search(rt, q, SearchOptions{K: k, NProbe: nprobe})
+					if err != nil {
+						return err
+					}
+					recallSQ8 += recallOf(res, gt)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			recallF32 /= queries
+			recallSQ8 /= queries
+			t.Logf("%s recall@%d: float32=%.4f sq8=%.4f", metric, k, recallF32, recallSQ8)
+			if recallSQ8 < 0.95*recallF32 {
+				t.Fatalf("SQ8 recall %.4f below 95%% of float32 recall %.4f", recallSQ8, recallF32)
+			}
+		})
+	}
+}
+
+// TestSQ8PreFilterExactOverFilteredSet ensures quantization does not break
+// the pre-filter plan's 100% recall promise: the driver fetches exact
+// vectors from the raw store.
+func TestSQ8PreFilterExactOverFilteredSet(t *testing.T) {
+	const dim, n, k = 8, 300, 5
+	data := clusteredData(29, n, dim, 4)
+	cfg := Config{
+		Dim: dim, Metric: vec.L2, TargetPartitionSize: 50, Seed: 3,
+		Quantization: quant.SQ8,
+		Attributes:   []AttributeDef{{Name: "grp", Type: reldb.TypeInt64, Indexed: true}},
+	}
+	env := newEnv(t, cfg)
+	env.upsertAll(t, data, func(i int) map[string]reldb.Value {
+		return map[string]reldb.Value{"grp": reldb.I(int64(i % 10))}
+	})
+	err := env.store.Update(func(wt *storage.WriteTxn) error {
+		_, rerr := env.ix.Rebuild(wt)
+		return rerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := data.Row(42)
+	// Exact top-k restricted to grp == 7.
+	gtHeap := topk.New(k)
+	for i := 0; i < n; i++ {
+		if i%10 != 7 {
+			continue
+		}
+		gtHeap.Push(topk.Result{AssetID: fmt.Sprintf("asset-%d", i), VectorID: int64(i), Distance: vec.Distance(vec.L2, q, data.Row(i))})
+	}
+	gt := gtHeap.Results()
+
+	err = env.store.View(func(rt *storage.ReadTxn) error {
+		filters := stats.And(reldb.Predicate{Column: "grp", Op: reldb.OpEq, Value: reldb.I(7)})
+		res, info, err := env.ix.Search(rt, q, SearchOptions{K: k, Filters: filters, Plan: PlanPreFilter})
+		if err != nil {
+			return err
+		}
+		if info.Plan != PlanPreFilter {
+			t.Fatalf("plan = %v, want pre-filter", info.Plan)
+		}
+		if r := recallOf(res, gt); r != 1 {
+			t.Fatalf("pre-filter recall %.4f on quantized index, want 1.0", r)
+		}
+		for i, r := range res {
+			if r.Distance != gt[i].Distance {
+				t.Fatalf("rank %d: distance %v, want exact %v", i, r.Distance, gt[i].Distance)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

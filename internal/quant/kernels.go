@@ -1,0 +1,169 @@
+package quant
+
+import (
+	"math"
+
+	"micronn/internal/vec"
+)
+
+// This file implements the asymmetric distance kernels: the query remains
+// float32 while data vectors stay SQ8-encoded, and the per-dimension affine
+// decode is folded into per-query coefficients so a scan touches each code
+// byte exactly once. Writing c for a dimension's code, the decoded value is
+// min + c*delta, which makes every metric a low-degree polynomial in c:
+//
+//	L2:  ||q - v||^2 = Σ t_d^2 - Σ (2 t_d Δ_d) c_d + Σ Δ_d^2 c_d^2   (t = q - min)
+//	IP:   q·v        = Σ q_d min_d + Σ (q_d Δ_d) c_d
+//	|v|^2            = Σ min_d^2 + Σ (2 min_d Δ_d) c_d + Σ Δ_d^2 c_d^2
+//
+// The constant terms are computed once per query; the scan accumulates one
+// or two fused multiply-adds per byte, the same register-blocked shape as
+// the float32 kernels in internal/vec.
+
+// Query is the per-query state for asymmetric distance computation against
+// SQ8 codes. Build one with Codebook.NewQuery and reuse it for a whole scan.
+type Query struct {
+	metric vec.Metric
+
+	// constant + Σ c*(quad*c - lin) terms for the primary accumulator:
+	// L2 distance for vec.L2, the inner product for vec.Dot and vec.Cosine.
+	constant float32
+	lin      []float32
+	quad     []float32
+
+	// Cosine extras: coefficients of the data-vector squared norm and the
+	// query norm.
+	normConst float32
+	normLin   []float32
+	qNorm     float32
+}
+
+// NewQuery precomputes the asymmetric-distance coefficients of q under the
+// codebook for the given metric.
+func (cb *Codebook) NewQuery(metric vec.Metric, q []float32) *Query {
+	if len(q) != len(cb.Min) {
+		panic("quant: dimension mismatch")
+	}
+	dim := len(q)
+	qq := &Query{metric: metric}
+	switch metric {
+	case vec.L2:
+		qq.lin = make([]float32, dim)
+		qq.quad = make([]float32, dim)
+		for d := 0; d < dim; d++ {
+			t := q[d] - cb.Min[d]
+			delta := cb.Delta[d]
+			qq.constant += t * t
+			qq.lin[d] = 2 * t * delta
+			qq.quad[d] = delta * delta
+		}
+	case vec.Dot, vec.Cosine:
+		qq.lin = make([]float32, dim)
+		for d := 0; d < dim; d++ {
+			qq.constant += q[d] * cb.Min[d]
+			qq.lin[d] = q[d] * cb.Delta[d]
+		}
+		if metric == vec.Cosine {
+			qq.normLin = make([]float32, dim)
+			qq.quad = make([]float32, dim)
+			for d := 0; d < dim; d++ {
+				qq.normConst += cb.Min[d] * cb.Min[d]
+				qq.normLin[d] = 2 * cb.Min[d] * cb.Delta[d]
+				qq.quad[d] = cb.Delta[d] * cb.Delta[d]
+			}
+			qq.qNorm = vec.Norm(q)
+		}
+	default:
+		panic("quant: unknown metric")
+	}
+	return qq
+}
+
+// Distance returns the metric distance between the query and one SQ8 code,
+// matching the conventions of vec.Distance (smaller is more similar; L2 is
+// squared, Dot is negated, Cosine is 1-cos).
+func (qq *Query) Distance(code []byte) float32 {
+	switch qq.metric {
+	case vec.L2:
+		return qq.constant + polyAcc(code, qq.lin, qq.quad)
+	case vec.Dot:
+		return -(qq.constant + linAcc(code, qq.lin))
+	default: // Cosine
+		dot := qq.constant + linAcc(code, qq.lin)
+		nv2 := qq.normConst + polyAccPos(code, qq.normLin, qq.quad)
+		if qq.qNorm == 0 || nv2 <= 0 {
+			return 1
+		}
+		return 1 - dot/(qq.qNorm*float32(math.Sqrt(float64(nv2))))
+	}
+}
+
+// DistancesMany computes distances from the query to n consecutive codes
+// packed in codes (n * dim bytes), writing into out[:n].
+func (qq *Query) DistancesMany(codes []byte, n int, out []float32) {
+	dim := len(qq.lin)
+	for i := 0; i < n; i++ {
+		out[i] = qq.Distance(codes[i*dim : (i+1)*dim])
+	}
+}
+
+// polyAcc accumulates Σ c*(quad*c - lin) over the code bytes, the shared
+// inner loop of the L2 kernel. Unrolled 4-wide like the float32 kernels so
+// the compiler keeps the accumulators in registers.
+func polyAcc(code []byte, lin, quad []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(code); i += 4 {
+		c0 := float32(code[i])
+		c1 := float32(code[i+1])
+		c2 := float32(code[i+2])
+		c3 := float32(code[i+3])
+		s0 += c0 * (quad[i]*c0 - lin[i])
+		s1 += c1 * (quad[i+1]*c1 - lin[i+1])
+		s2 += c2 * (quad[i+2]*c2 - lin[i+2])
+		s3 += c3 * (quad[i+3]*c3 - lin[i+3])
+	}
+	for ; i < len(code); i++ {
+		c := float32(code[i])
+		s0 += c * (quad[i]*c - lin[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// polyAccPos accumulates Σ c*(quad*c + lin): the squared-norm polynomial,
+// whose linear term adds rather than subtracts.
+func polyAccPos(code []byte, lin, quad []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(code); i += 4 {
+		c0 := float32(code[i])
+		c1 := float32(code[i+1])
+		c2 := float32(code[i+2])
+		c3 := float32(code[i+3])
+		s0 += c0 * (quad[i]*c0 + lin[i])
+		s1 += c1 * (quad[i+1]*c1 + lin[i+1])
+		s2 += c2 * (quad[i+2]*c2 + lin[i+2])
+		s3 += c3 * (quad[i+3]*c3 + lin[i+3])
+	}
+	for ; i < len(code); i++ {
+		c := float32(code[i])
+		s0 += c * (quad[i]*c + lin[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// linAcc accumulates Σ lin*c: the inner-product kernel.
+func linAcc(code []byte, lin []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(code); i += 4 {
+		s0 += lin[i] * float32(code[i])
+		s1 += lin[i+1] * float32(code[i+1])
+		s2 += lin[i+2] * float32(code[i+2])
+		s3 += lin[i+3] * float32(code[i+3])
+	}
+	for ; i < len(code); i++ {
+		s0 += lin[i] * float32(code[i])
+	}
+	return s0 + s1 + s2 + s3
+}

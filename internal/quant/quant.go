@@ -1,0 +1,205 @@
+// Package quant implements MicroNN's scalar quantization (SQ8): vectors
+// are compressed to one byte per dimension with a per-dimension min/max
+// codebook, cutting the bytes read by a partition scan 4x versus float32.
+// Distances against quantized codes are computed asymmetrically — the query
+// stays float32 while data vectors remain encoded — so scan-time precision
+// loss stays small, and the search layer reranks the top candidates against
+// exact float32 vectors to recover full-precision ordering ("Quantization
+// for Vector Search under Streaming Updates", PAPERS.md).
+//
+// The codebook is trained at index-build time (a streaming min/max pass
+// over the collection) and persisted beside the centroid table; the
+// delta-store keeps raw float32 vectors so streaming inserts never need
+// retraining. Values outside the trained range clamp to the range edges,
+// which the exact rerank corrects.
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type selects a quantization scheme for an index.
+type Type uint8
+
+const (
+	// None stores and scans full-precision float32 vectors.
+	None Type = iota
+	// SQ8 stores one byte per dimension with a per-dimension min/max
+	// codebook and reranks against exact vectors.
+	SQ8
+)
+
+// String names the quantization type as used in configuration.
+func (t Type) String() string {
+	switch t {
+	case None:
+		return "none"
+	case SQ8:
+		return "sq8"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ParseType converts a quantization name ("none", "sq8") to a Type.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "", "none", "None":
+		return None, nil
+	case "sq8", "SQ8":
+		return SQ8, nil
+	}
+	return None, fmt.Errorf("quant: unknown quantization %q", s)
+}
+
+// levels is the number of representable codes per dimension.
+const levels = 256
+
+// Codebook is a trained per-dimension affine codec: dimension d of a
+// vector is encoded as round((v-Min[d])/Delta[d]) clamped to [0,255], and
+// decoded as Min[d] + code*Delta[d]. Delta is (max-min)/255; a constant
+// dimension has Delta 0 and always encodes to 0.
+type Codebook struct {
+	Min   []float32
+	Delta []float32
+}
+
+// Dim returns the codebook's dimensionality.
+func (cb *Codebook) Dim() int { return len(cb.Min) }
+
+// CodeSize returns the encoded size in bytes of one vector.
+func (cb *Codebook) CodeSize() int { return len(cb.Min) }
+
+// Encode appends the SQ8 code of v (one byte per dimension) to dst.
+func (cb *Codebook) Encode(dst []byte, v []float32) []byte {
+	if len(v) != len(cb.Min) {
+		panic("quant: dimension mismatch")
+	}
+	for d, x := range v {
+		dst = append(dst, cb.encodeDim(d, x))
+	}
+	return dst
+}
+
+func (cb *Codebook) encodeDim(d int, x float32) byte {
+	delta := cb.Delta[d]
+	if delta == 0 {
+		return 0
+	}
+	c := math.Round(float64(x-cb.Min[d]) / float64(delta))
+	if c < 0 {
+		c = 0
+	} else if c > levels-1 {
+		c = levels - 1
+	}
+	return byte(c)
+}
+
+// Decode reconstructs the approximate float32 vector from code into dst,
+// which must have length len(code). It returns dst for convenience.
+func (cb *Codebook) Decode(dst []float32, code []byte) []float32 {
+	if len(code) != len(cb.Min) {
+		panic("quant: dimension mismatch")
+	}
+	for d, c := range code {
+		dst[d] = cb.Min[d] + float32(c)*cb.Delta[d]
+	}
+	return dst
+}
+
+// codebookVersion tags the persisted codebook layout.
+const codebookVersion = 1
+
+// Marshal serializes the codebook: a version byte, a uint32 dimension, then
+// the Min and Delta arrays as little-endian float32. This is the on-disk
+// format stored in the index meta table.
+func (cb *Codebook) Marshal() []byte {
+	dim := len(cb.Min)
+	out := make([]byte, 0, 5+8*dim)
+	out = append(out, codebookVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(dim))
+	for _, m := range cb.Min {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(m))
+	}
+	for _, d := range cb.Delta {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(d))
+	}
+	return out
+}
+
+// UnmarshalCodebook parses a codebook serialized by Marshal.
+func UnmarshalCodebook(blob []byte) (*Codebook, error) {
+	if len(blob) < 5 {
+		return nil, fmt.Errorf("quant: codebook blob too short (%d bytes)", len(blob))
+	}
+	if blob[0] != codebookVersion {
+		return nil, fmt.Errorf("quant: unsupported codebook version %d", blob[0])
+	}
+	dim := int(binary.LittleEndian.Uint32(blob[1:]))
+	if len(blob) != 5+8*dim {
+		return nil, fmt.Errorf("quant: codebook blob size %d, want %d for dim %d", len(blob), 5+8*dim, dim)
+	}
+	cb := &Codebook{Min: make([]float32, dim), Delta: make([]float32, dim)}
+	off := 5
+	for d := 0; d < dim; d++ {
+		cb.Min[d] = math.Float32frombits(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+	}
+	for d := 0; d < dim; d++ {
+		cb.Delta[d] = math.Float32frombits(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+	}
+	return cb, nil
+}
+
+// Trainer accumulates per-dimension ranges over a streamed pass of the
+// collection. Memory is O(dim) regardless of collection size, matching the
+// bounded-memory discipline of the index build path.
+type Trainer struct {
+	min  []float32
+	max  []float32
+	seen bool
+}
+
+// NewTrainer returns a trainer for dim-dimensional vectors.
+func NewTrainer(dim int) *Trainer {
+	return &Trainer{min: make([]float32, dim), max: make([]float32, dim)}
+}
+
+// Add folds one vector into the running ranges.
+func (t *Trainer) Add(v []float32) {
+	if len(v) != len(t.min) {
+		panic("quant: dimension mismatch")
+	}
+	if !t.seen {
+		copy(t.min, v)
+		copy(t.max, v)
+		t.seen = true
+		return
+	}
+	for d, x := range v {
+		if x < t.min[d] {
+			t.min[d] = x
+		}
+		if x > t.max[d] {
+			t.max[d] = x
+		}
+	}
+}
+
+// Codebook finalizes the trained ranges into a codebook. Training on an
+// empty stream yields an all-zero codebook (every code decodes to zero).
+func (t *Trainer) Codebook() *Codebook {
+	dim := len(t.min)
+	cb := &Codebook{Min: make([]float32, dim), Delta: make([]float32, dim)}
+	if !t.seen {
+		return cb
+	}
+	copy(cb.Min, t.min)
+	for d := 0; d < dim; d++ {
+		cb.Delta[d] = (t.max[d] - t.min[d]) / (levels - 1)
+	}
+	return cb
+}

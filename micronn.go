@@ -12,6 +12,22 @@
 // plans by a selectivity-based optimizer, and batches of queries execute
 // with multi-query optimization.
 //
+// # Quantization
+//
+// With Options.Quantization set to SQ8, partition rows store int8 scalar-
+// quantized codes (one byte per dimension) instead of float32 vectors,
+// cutting partition-scan I/O 4x. A per-dimension min/max codebook is
+// trained at every Rebuild and persisted beside the centroid table (a
+// version byte, the dimension, then the per-dimension minima and step
+// sizes); exact float32 vectors move to a raw side table keyed by vector
+// id. Searches scan the codes with asymmetric distance kernels, keep the
+// top RerankFactor*K candidates, and rerank them against the exact vectors
+// — SearchRequest.RerankFactor tunes that recall/latency knob per query.
+// The delta-store keeps float32 vectors, so streaming upserts never
+// retrain the codebook; out-of-range inserts clamp until the next Rebuild
+// refreshes it. Exact searches, pre-filter plans and Get always use the
+// raw store, preserving their full-precision contracts.
+//
 // # Quick start
 //
 //	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128})
@@ -30,6 +46,7 @@ import (
 	"time"
 
 	"micronn/internal/ivf"
+	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
@@ -44,6 +61,18 @@ const (
 	L2     = vec.L2
 	Cosine = vec.Cosine
 	Dot    = vec.Dot
+)
+
+// Quantization selects the partition-scan vector encoding.
+type Quantization = quant.Type
+
+// Quantization schemes.
+const (
+	// QuantNone stores full-precision float32 vectors (the default).
+	QuantNone = quant.None
+	// QuantSQ8 stores int8 scalar-quantized codes in the partitions and
+	// reranks against exact vectors kept in a raw side table.
+	QuantSQ8 = quant.SQ8
 )
 
 // AttrType is the declared type of a filterable attribute.
@@ -132,6 +161,16 @@ type Options struct {
 	// two-level coarse centroid index accelerates probe selection
 	// (0 = default 4096, negative = disabled).
 	CentroidIndexThreshold int
+	// Quantization selects the partition-scan encoding (create time
+	// only): QuantNone stores float32 vectors, QuantSQ8 stores int8
+	// codes and reranks the top RerankFactor*K candidates against exact
+	// vectors. The codebook is retrained at every Rebuild.
+	Quantization Quantization
+	// RerankFactor is the default rerank multiplier for quantized
+	// searches (0 = default 4). Unlike Quantization it is honored when
+	// reopening an existing database. Ignored when Quantization is
+	// QuantNone.
+	RerankFactor int
 	// Seed makes index construction deterministic.
 	Seed int64
 }
@@ -194,6 +233,11 @@ func Open(path string, opts Options) (*DB, error) {
 	var ix *ivf.Index
 	if rdb.HasTable("meta") {
 		ix, err = ivf.Open(rdb)
+		if err == nil {
+			// RerankFactor is a search-time default, not part of the
+			// on-disk format: honor the caller's value on reopen too.
+			ix.SetRerankFactor(opts.RerankFactor)
+		}
 	} else {
 		if opts.Dim <= 0 {
 			store.Close()
@@ -219,6 +263,8 @@ func Open(path string, opts Options) (*DB, error) {
 				ClusterIterations:      opts.ClusterIterations,
 				BalancePenalty:         opts.BalancePenalty,
 				CentroidIndexThreshold: opts.CentroidIndexThreshold,
+				Quantization:           opts.Quantization,
+				RerankFactor:           opts.RerankFactor,
 				Seed:                   opts.Seed,
 			})
 			return cerr
@@ -464,6 +510,10 @@ type SearchRequest struct {
 	Exact bool
 	// Plan overrides the hybrid optimizer (default PlanAuto).
 	Plan PlanType
+	// RerankFactor overrides the quantized-search rerank multiplier for
+	// this query (0 = the Options default). Ignored on unquantized
+	// databases.
+	RerankFactor int
 }
 
 // PlanInfo describes how a query was executed.
@@ -484,7 +534,7 @@ func (db *DB) Search(req SearchRequest) (*SearchResponse, error) {
 	err := db.store.View(func(rt *storage.ReadTxn) error {
 		res, info, err := db.ix.Search(rt, req.Vector, ivf.SearchOptions{
 			K: req.K, NProbe: req.NProbe, Filters: req.Filters,
-			Exact: req.Exact, Plan: req.Plan,
+			Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
 		})
 		if err != nil {
 			return err
@@ -507,6 +557,9 @@ type BatchSearchRequest struct {
 	K int
 	// NProbe is the per-query partition probe count (default 8).
 	NProbe int
+	// RerankFactor overrides the quantized-search rerank multiplier
+	// (0 = the Options default). Ignored on unquantized databases.
+	RerankFactor int
 }
 
 // BatchInfo re-exports batch execution statistics.
@@ -539,7 +592,7 @@ func (db *DB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) 
 	}
 	var resp *BatchSearchResponse
 	err := db.store.View(func(rt *storage.ReadTxn) error {
-		res, info, err := db.ix.BatchSearch(rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe})
+		res, info, err := db.ix.BatchSearch(rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe, RerankFactor: req.RerankFactor})
 		if err != nil {
 			return err
 		}

@@ -439,3 +439,111 @@ func TestDropCachesThenSearch(t *testing.T) {
 		t.Errorf("cold search = %+v", resp.Results)
 	}
 }
+
+func TestSQ8OptionEndToEnd(t *testing.T) {
+	const dim, n = 16, 400
+	db := openTest(t, Options{Dim: dim, TargetPartitionSize: 40, Seed: 9, Quantization: QuantSQ8})
+	vecs := randomVecs(42, n, dim)
+	items := make([]Item, n)
+	for i, v := range vecs {
+		items[i] = Item{ID: fmt.Sprintf("v%d", i), Vector: v}
+	}
+	if err := db.UpsertBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := db.Search(SearchRequest{Vector: vecs[7], K: 5, NProbe: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Results[0].ID != "v7" {
+		t.Fatalf("self-query results = %+v", resp.Results)
+	}
+	if resp.Plan.Reranked == 0 {
+		t.Error("quantized search reported no reranked candidates")
+	}
+	// One byte per dimension scanned (plus the float32 delta, empty here).
+	if resp.Plan.BytesScanned >= resp.Plan.VectorsScanned*int64(dim)*4 {
+		t.Errorf("BytesScanned %d not reduced for %d scanned vectors", resp.Plan.BytesScanned, resp.Plan.VectorsScanned)
+	}
+
+	// Get must return the exact float32 vector despite quantized storage.
+	item, err := db.Get("v7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range item.Vector {
+		if item.Vector[d] != vecs[7][d] {
+			t.Fatalf("Get dim %d = %v, want exact %v", d, item.Vector[d], vecs[7][d])
+		}
+	}
+
+	// Per-query rerank override, also through a pinned snapshot.
+	if _, err := db.Search(SearchRequest{Vector: vecs[3], K: 5, RerankFactor: 10}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := snap.Search(SearchRequest{Vector: vecs[3], K: 5, RerankFactor: 10})
+	snap.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sresp.Plan.Reranked != 50 {
+		t.Errorf("snapshot Reranked = %d, want 50 (K=5 * RerankFactor=10)", sresp.Plan.Reranked)
+	}
+	bresp, err := db.BatchSearch(BatchSearchRequest{Vectors: vecs[:8], K: 5, NProbe: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, rs := range bresp.Results {
+		if len(rs) == 0 || rs[0].ID != fmt.Sprintf("v%d", qi) {
+			t.Fatalf("batch query %d results = %+v", qi, rs)
+		}
+	}
+}
+
+func TestSQ8ReopenKeepsCodebook(t *testing.T) {
+	const dim = 8
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.mnn")
+	db, err := Open(path, Options{Dim: dim, TargetPartitionSize: 20, Seed: 4, Quantization: QuantSQ8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randomVecs(77, 100, dim)
+	for i, v := range vecs {
+		if err := db.Upsert(Item{ID: fmt.Sprintf("v%d", i), Vector: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quantization is restored from disk; RerankFactor is a search-time
+	// default and must be honored on reopen.
+	db2, err := Open(path, Options{RerankFactor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	resp, err := db2.Search(SearchRequest{Vector: vecs[13], K: 1, NProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Results[0].ID != "v13" {
+		t.Fatalf("post-reopen results = %+v", resp.Results)
+	}
+	if resp.Plan.Reranked != 8 {
+		t.Errorf("Reranked = %d, want 8 (reopen RerankFactor override)", resp.Plan.Reranked)
+	}
+}

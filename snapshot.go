@@ -45,7 +45,7 @@ func (s *Snapshot) Search(req SearchRequest) (*SearchResponse, error) {
 	}
 	res, info, err := s.db.ix.Search(s.rt, req.Vector, ivf.SearchOptions{
 		K: req.K, NProbe: req.NProbe, Filters: req.Filters,
-		Exact: req.Exact, Plan: req.Plan,
+		Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
 	})
 	if err != nil {
 		return nil, err
@@ -73,7 +73,7 @@ func (s *Snapshot) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, er
 		}
 		queries.SetRow(i, q)
 	}
-	res, info, err := s.db.ix.BatchSearch(s.rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe})
+	res, info, err := s.db.ix.BatchSearch(s.rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe, RerankFactor: req.RerankFactor})
 	if err != nil {
 		return nil, err
 	}
