@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"micronn"
 	"micronn/internal/clustering"
@@ -559,3 +561,93 @@ func BenchmarkQuantSQ8Search(b *testing.B) { benchScanBytes(b, sq8Setup) }
 // BenchmarkQuantFloat32Search is the same workload on the float32 baseline,
 // reporting scan bytes for direct comparison with BenchmarkQuantSQ8Search.
 func BenchmarkQuantFloat32Search(b *testing.B) { benchScanBytes(b, sharedSetup) }
+
+// --- Incremental maintenance ---
+
+// BenchmarkMaintenanceEpoch is one epoch of the streaming-update loop:
+// insert a batch, run incremental maintenance (flush + splits/merges, never
+// a full rebuild on a built index), then measure search latency and
+// recall@10 on the maintained index. Reported metrics feed the BENCH_*
+// trajectory: search-p99-ms, recall@10 and the per-epoch maintenance row
+// writes.
+func BenchmarkMaintenanceEpoch(b *testing.B) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	db, err := buildBenchDB(filepath.Join(b.TempDir(), "maint.mnn"), ds, micronn.Options{
+		Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	epoch := ds.Train.Rows / 10
+	if epoch < 10 {
+		epoch = 10
+	}
+	const measured = 32
+	var rowChanges, rebuilds int64
+	var p99Sum, recallSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		items := make([]micronn.Item, epoch)
+		for j := range items {
+			items[j] = micronn.Item{ID: fmt.Sprintf("m-%d-%d", i, j), Vector: ds.Train.Row((i*epoch + j) % ds.Train.Rows)}
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := db.Maintain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rowChanges += rep.RowChanges
+		rebuilds += int64(rep.Rebuilds)
+
+		b.StopTimer()
+		durs := make([]float64, 0, measured)
+		var recall float64
+		for q := 0; q < measured; q++ {
+			qv := ds.Queries.Row(q % ds.Queries.Rows)
+			start := time.Now()
+			resp, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, NProbe: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			durs = append(durs, float64(time.Since(start).Nanoseconds())/1e6)
+			exact, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, Exact: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := make(map[string]bool, len(exact.Results))
+			for _, r := range exact.Results {
+				want[r.ID] = true
+			}
+			hits := 0
+			for _, r := range resp.Results {
+				if want[r.ID] {
+					hits++
+				}
+			}
+			if len(exact.Results) > 0 {
+				recall += float64(hits) / float64(len(exact.Results))
+			}
+		}
+		sort.Float64s(durs)
+		p99Sum += durs[len(durs)*99/100]
+		recallSum += recall / measured
+		b.StartTimer()
+	}
+	if rebuilds != 0 {
+		b.Fatalf("built index full-rebuilt %d times during maintenance", rebuilds)
+	}
+	b.ReportMetric(p99Sum/float64(b.N), "search-p99-ms")
+	b.ReportMetric(recallSum/float64(b.N), "recall@10")
+	b.ReportMetric(float64(rowChanges)/float64(b.N), "row-changes/op")
+}

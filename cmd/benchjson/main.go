@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_*.json trajectory format the ROADMAP tracks across PRs: one JSON
+// object per benchmark with its ns/op and every custom metric the
+// benchmark reported (recall@10, scan-bytes/op, search-p99-ms, ...).
+//
+//	go test -bench=. -benchtime=1x -run '^$' -short ./... | tee bench-output.txt
+//	go run ./cmd/benchjson -in bench-output.txt -out BENCH_PR2.json
+//
+// Map keys serialize sorted, so the output is deterministic and diffs
+// stay readable as the trajectory accumulates.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's numbers.
+type Entry struct {
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the BENCH_*.json document.
+type Output struct {
+	Schema     string           `json:"schema"`
+	Source     string           `json:"source"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8  <iters>  <pairs...>" where pairs are
+// "<value> <unit>" groups separated by tabs/spaces. Names are kept
+// verbatim (including any -N GOMAXPROCS suffix): stripping it is ambiguous
+// for sub-benchmarks like "penalty=1e-09".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+(.+)$`)
+
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Iters: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad metric value %q", m[1], fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				e.NsPerOp = val
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+		out[m[1]] = e
+	}
+	return out, sc.Err()
+}
+
+func run(in, out string) error {
+	var r io.Reader = os.Stdin
+	source := "stdin"
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+		source = in
+	}
+	benches, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", source)
+	}
+	doc := Output{Schema: "micronn-bench-v1", Source: source, Benchmarks: benches}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(out, blob, 0o644)
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default: stdin)")
+	out := flag.String("out", "", "JSON output file (default: stdout)")
+	flag.Parse()
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

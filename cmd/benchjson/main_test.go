@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: micronn
+BenchmarkFig4WarmCacheSearch-8   	       3	  12345678 ns/op
+BenchmarkQuantSQ8Search-8        	       1	    904321 ns/op	    456789 scan-bytes/op
+BenchmarkMaintenanceEpoch-8      	       1	   3578781 ns/op	         0.998 recall@10	       410.0 row-changes/op	         5.687 search-p99-ms
+BenchmarkAblationBalancePenalty/penalty=1e-09	       1	  99 ns/op	 12.5 size-variance
+PASS
+ok  	micronn	0.7s
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	warm := got["Fig4WarmCacheSearch-8"]
+	if warm.Iters != 3 || warm.NsPerOp != 12345678 {
+		t.Errorf("warm = %+v", warm)
+	}
+	sq8 := got["QuantSQ8Search-8"]
+	if sq8.Metrics["scan-bytes/op"] != 456789 {
+		t.Errorf("sq8 metrics = %+v", sq8.Metrics)
+	}
+	maint := got["MaintenanceEpoch-8"]
+	if maint.Metrics["recall@10"] != 0.998 || maint.Metrics["search-p99-ms"] != 5.687 {
+		t.Errorf("maint metrics = %+v", maint.Metrics)
+	}
+	if _, ok := got["AblationBalancePenalty/penalty=1e-09"]; !ok {
+		t.Errorf("sub-benchmark name not preserved verbatim: %v", got)
+	}
+}
+
+func TestParseRejectsGarbageMetric(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8  1  oops ns/op\n")); err == nil {
+		t.Error("garbage metric value should fail")
+	}
+}

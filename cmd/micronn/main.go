@@ -45,6 +45,8 @@ func main() {
 		err = cmdRebuild(*db)
 	case "flush":
 		err = cmdFlush(*db)
+	case "maintain":
+		err = cmdMaintain(*db, rest)
 	case "search":
 		err = cmdSearch(*db, rest)
 	case "stats":
@@ -69,6 +71,10 @@ commands:
   load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
   rebuild                           full index rebuild
   flush                             incremental delta flush
+  maintain [-flush-threshold N] [-min N] [-max N] [-watch D]
+                                    incremental maintenance: flush the delta,
+                                    split/merge partitions outside [min, max];
+                                    -watch repeats every interval (e.g. 5s)
   search  -id <asset> | -vec "f,f,..."  [-k N] [-nprobe N] [-exact] [-rerank N]
   delete  -id <asset>
   stats`)
@@ -172,6 +178,44 @@ func cmdFlush(path string) error {
 	fmt.Printf("flushed: %d vectors assigned, %d row changes, %v\n",
 		rep.VectorsAssigned, rep.RowChanges, rep.Duration.Round(time.Millisecond))
 	return nil
+}
+
+func cmdMaintain(path string, args []string) error {
+	fs := flag.NewFlagSet("maintain", flag.ExitOnError)
+	flush := fs.Int("flush-threshold", 0, "flush the delta at this size (0 = partition target)")
+	min := fs.Int("min", 0, "merge partitions smaller than this (0 = target/4)")
+	max := fs.Int("max", 0, "split partitions larger than this (0 = 2*target)")
+	watch := fs.Duration("watch", 0, "repeat maintenance on this interval until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := micronn.Open(path, micronn.Options{
+		FlushThreshold:   *flush,
+		MinPartitionSize: *min,
+		MaxPartitionSize: *max,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	for {
+		rep, err := d.Maintain()
+		if err != nil {
+			return err
+		}
+		st, err := d.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("maintain: %s (%d steps: %d flush, %d split, %d merge, %d rebuild), %d rows changed, %v; %d partitions sized [%d, %d]\n",
+			rep.Action, rep.Steps, rep.Flushes, rep.Splits, rep.Merges, rep.Rebuilds,
+			rep.RowChanges, rep.Duration.Round(time.Millisecond),
+			st.NumPartitions, st.SmallestPartition, st.LargestPartition)
+		if *watch <= 0 {
+			return nil
+		}
+		time.Sleep(*watch)
+	}
 }
 
 func cmdSearch(path string, args []string) error {

@@ -35,6 +35,13 @@ func TestCLIWorkflow(t *testing.T) {
 	if err := cmdFlush(db); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
+	// Load past the split bound and let incremental maintenance absorb it.
+	if err := cmdLoad(db, []string{"-n", "800", "-seed", "9"}); err != nil {
+		t.Fatalf("load more: %v", err)
+	}
+	if err := cmdMaintain(db, []string{"-flush-threshold", "50", "-max", "100"}); err != nil {
+		t.Fatalf("maintain: %v", err)
+	}
 }
 
 func TestCLIValidation(t *testing.T) {

@@ -1,9 +1,10 @@
 // Streaming-updates demonstrates MicroNN's update path (paper §3.6): a
 // vector collection that grows continuously while staying searchable. New
-// vectors land in the delta-store and are visible immediately; the index
-// monitor flushes the delta incrementally and schedules a full rebuild when
-// partitions grow past the threshold. The example tracks recall against
-// exact search throughout.
+// vectors land in the delta-store and are visible immediately; the
+// background maintainer (Options.AutoMaintain) flushes the delta and keeps
+// every partition inside [MinPartitionSize, MaxPartitionSize] with
+// incremental splits and merges — a built index is never stalled behind a
+// full rebuild. The example tracks recall against exact search throughout.
 //
 //	go run ./examples/streaming-updates
 package main
@@ -14,6 +15,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 import "micronn"
@@ -33,15 +35,18 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	db, err := micronn.Open(filepath.Join(dir, "stream.mnn"), micronn.Options{
-		Dim:                    dim,
-		TargetPartitionSize:    100,
-		RebuildGrowthThreshold: 0.5, // full rebuild at +50% average partition size
-		FlushThreshold:         200, // flush the delta once it holds 200 vectors
+		Dim:                 dim,
+		TargetPartitionSize: 100,
+		FlushThreshold:      200, // flush the delta once it holds 200 vectors
+		MaxPartitionSize:    200, // split partitions past 200 vectors
+		MinPartitionSize:    25,  // merge partitions below 25 vectors
+		AutoMaintain:        true,
+		MaintainInterval:    50 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer db.Close() // Close drains the background maintainer
 
 	// Embedding-like data: a Gaussian mixture (real embedding spaces are
 	// clustered; isotropic noise would make any IVF index look bad).
@@ -108,31 +113,39 @@ func main() {
 	if _, err := db.Rebuild(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bootstrapped with %d vectors\n\n", bootstrap)
-	fmt.Println("epoch  vectors  delta  action   rowChanges  recall@10")
+	// Snapshot the totals now: the maintainer may already have auto-built
+	// during the bootstrap inserts, so "rebuilds after build" below must be
+	// a delta, not an absolute count.
+	base, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped with %d vectors; background maintainer running\n\n", bootstrap)
+	fmt.Println("epoch  vectors  delta  parts  sizes      flush/split/merge  recall@10")
 
 	for epoch := 1; epoch <= epochs; epoch++ {
 		insert(perEpoch)
+		// Writers never wait on maintenance: it runs behind this sleep,
+		// one short transaction per flush, split or merge.
+		time.Sleep(150 * time.Millisecond)
 		st, err := db.Stats()
 		if err != nil {
 			log.Fatal(err)
 		}
-		deltaBefore := st.DeltaCount
-
-		// The index monitor decides: nothing, incremental flush, or a
-		// full rebuild once the growth threshold trips.
-		rep, err := db.Maintain()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%5d  %7d  %5d  %-7s  %10d  %.3f\n",
-			epoch, st.NumVectors, deltaBefore, rep.Action, rep.RowChanges, recallAt(8))
+		fmt.Printf("%5d  %7d  %5d  %5d  [%d, %d]  %5d/%d/%d          %.3f\n",
+			epoch, st.NumVectors, st.DeltaCount, st.NumPartitions,
+			st.SmallestPartition, st.LargestPartition,
+			st.Maintenance.Flushes, st.Maintenance.Splits, st.Maintenance.Merges,
+			recallAt(8))
 	}
 
 	st, err := db.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nfinal: %d vectors in %d partitions (avg %.1f), needs rebuild: %v\n",
-		st.NumVectors, st.NumPartitions, st.AvgPartitionSize, st.NeedsRebuild)
+	fmt.Printf("\nfinal: %d vectors in %d partitions sized [%d, %d]; "+
+		"maintenance: %d flushes, %d splits, %d merges, %d rebuilds after build\n",
+		st.NumVectors, st.NumPartitions, st.SmallestPartition, st.LargestPartition,
+		st.Maintenance.Flushes, st.Maintenance.Splits, st.Maintenance.Merges,
+		st.Maintenance.Rebuilds-base.Maintenance.Rebuilds)
 }

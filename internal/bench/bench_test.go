@@ -151,6 +151,29 @@ func TestQuantizationRunnerSmoke(t *testing.T) {
 	}
 }
 
+// TestMaintenanceRunnerSmoke runs the maintenance scenario at tiny scale
+// and asserts the acceptance criteria it prints: sustained upserts under
+// auto-maintain never full-rebuild a built index, and final partition sizes
+// stay within the policy bounds.
+func TestMaintenanceRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	cfg := tinyConfig(t, &out)
+	cfg.Scale = 0.002 // enough stream volume to force splits
+	if err := Maintenance(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "auto-maintain") || !strings.Contains(s, "rebuild-only") {
+		t.Errorf("missing variants:\n%s", s)
+	}
+	if strings.Contains(s, "VIOLATION") {
+		t.Errorf("maintenance scenario reported a violation:\n%s", s)
+	}
+}
+
 // TestQuantizationScanBytesReduction asserts the acceptance criterion at
 // the bench layer: on the same dataset and probe settings, SQ8 scans at
 // least 2x fewer bytes than float32 while keeping recall@K within 95% of

@@ -223,8 +223,8 @@ func (c *Config) findNProbe(db *micronn.DB, p *prepared) (nprobe int, recall flo
 
 // latencyStats is a small aggregate of per-query timings.
 type latencyStats struct {
-	mean, stddev, p50 time.Duration
-	n                 int
+	mean, stddev, p50, p99 time.Duration
+	n                      int
 }
 
 func summarize(durs []time.Duration) latencyStats {
@@ -244,7 +244,11 @@ func summarize(durs []time.Duration) latencyStats {
 		varSum += diff * diff
 	}
 	std := time.Duration(math.Sqrt(varSum / float64(len(sorted))))
-	return latencyStats{mean: mean, stddev: std, p50: sorted[len(sorted)/2], n: len(sorted)}
+	p99 := sorted[len(sorted)-1]
+	if i := int(math.Ceil(0.99*float64(len(sorted)))) - 1; i >= 0 && i < len(sorted) {
+		p99 = sorted[i]
+	}
+	return latencyStats{mean: mean, stddev: std, p50: sorted[len(sorted)/2], p99: p99, n: len(sorted)}
 }
 
 // ms renders a duration in milliseconds with two decimals.

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"micronn"
+	"micronn/internal/workload"
+)
+
+// Maintenance measures search availability during sustained upserts under
+// two maintenance regimes: auto-maintain — the incremental path, where a
+// background goroutine flushes the delta and splits/merges partitions and a
+// built index is never fully rebuilt — and a full-rebuild-only baseline
+// that answers the growth trigger with blocking rebuilds. A searcher
+// goroutine runs for the whole insert stream recording per-query latency;
+// the table reports its p50/p99, the wall time of the insert stream (full
+// rebuilds stall writers, incremental steps do not), the maintenance
+// actions taken, and the final partition-size spread against the policy
+// bounds. The scenario then verdicts the PR's acceptance criteria: with
+// auto-maintain the built index must see zero full rebuilds and end within
+// the [min, max] partition-size bounds.
+func Maintenance(cfg Config) error {
+	cfg.fill()
+	cfg.header("Maintenance: search tail latency during sustained upserts")
+
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		return err
+	}
+	spec = spec.Scaled(cfg.Scale)
+	ds := spec.Generate()
+	n := ds.Train.Rows
+	bootstrap := n / 2
+	const target = 100
+	minBound, maxBound := target/4, 2*target
+
+	type outcome struct {
+		name             string
+		streamDur        time.Duration
+		lat              latencyStats
+		flushes, splits  int64
+		merges, rebuilds int64
+		minSize, maxSize int64
+		partitions       int64
+	}
+	var outcomes []outcome
+
+	for _, auto := range []bool{true, false} {
+		name := "rebuild-only"
+		if auto {
+			name = "auto-maintain"
+		}
+		path := filepath.Join(cfg.Dir, "maint-"+name+".mnn")
+		os.Remove(path)
+		os.Remove(path + "-wal")
+		os.Remove(path + ".lock")
+		opts := micronn.Options{
+			Dim:                 spec.Dim,
+			Metric:              spec.Metric,
+			TargetPartitionSize: target,
+			Seed:                spec.Seed,
+		}
+		if auto {
+			opts.AutoMaintain = true
+			opts.MaintainInterval = 10 * time.Millisecond
+		}
+		db, err := micronn.Open(path, opts)
+		if err != nil {
+			return err
+		}
+
+		insert := func(lo, hi int) error {
+			items := make([]micronn.Item, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+			}
+			return db.UpsertBatch(items)
+		}
+		if err := insert(0, bootstrap); err != nil {
+			db.Close()
+			return err
+		}
+		if _, err := db.Rebuild(); err != nil {
+			db.Close()
+			return err
+		}
+		base, err := db.Stats()
+		if err != nil {
+			db.Close()
+			return err
+		}
+
+		// Searcher: runs for the whole insert stream, measuring every query.
+		var searches atomic.Int64
+		stop := make(chan struct{})
+		latCh := make(chan []time.Duration, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			var durs []time.Duration
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					latCh <- durs
+					return
+				default:
+				}
+				q := ds.Queries.Row(i % ds.Queries.Rows)
+				start := time.Now()
+				if _, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: 8}); err != nil {
+					errCh <- err
+					latCh <- durs
+					return
+				}
+				durs = append(durs, time.Since(start))
+				searches.Add(1)
+			}
+		}()
+
+		// Sustained upserts; the baseline answers the legacy growth trigger
+		// with blocking full rebuilds.
+		streamStart := time.Now()
+		const chunk = 200
+		for lo := bootstrap; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if err := insert(lo, hi); err != nil {
+				db.Close()
+				return err
+			}
+			if !auto {
+				st, err := db.Stats()
+				if err != nil {
+					db.Close()
+					return err
+				}
+				if st.NeedsRebuild {
+					if _, err := db.Rebuild(); err != nil {
+						db.Close()
+						return err
+					}
+				}
+			}
+		}
+		streamDur := time.Since(streamStart)
+		// At tiny scales the stream can finish before the searcher gets a
+		// single timing in; keep measuring (maintenance is still draining
+		// in the auto variant) until the percentiles mean something.
+		for deadline := time.Now().Add(2 * time.Second); searches.Load() < 100 && time.Now().Before(deadline); {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+		durs := <-latCh
+		select {
+		case serr := <-errCh:
+			db.Close()
+			return serr
+		default:
+		}
+
+		// Drain the backlog so the final state is comparable.
+		if auto {
+			if _, err := db.Maintain(); err != nil {
+				db.Close()
+				return err
+			}
+		}
+		st, err := db.Stats()
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{
+			name:       name,
+			streamDur:  streamDur,
+			lat:        summarize(durs),
+			flushes:    st.Maintenance.Flushes - base.Maintenance.Flushes,
+			splits:     st.Maintenance.Splits - base.Maintenance.Splits,
+			merges:     st.Maintenance.Merges - base.Maintenance.Merges,
+			rebuilds:   st.Maintenance.Rebuilds - base.Maintenance.Rebuilds,
+			minSize:    st.SmallestPartition,
+			maxSize:    st.LargestPartition,
+			partitions: st.NumPartitions,
+		})
+	}
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Variant\tStream s\tSearches\tp50 ms\tp99 ms\tFlush\tSplit\tMerge\tRebuild\tParts\tSizes")
+	for _, o := range outcomes {
+		fmt.Fprintf(tw, "%s\t%.2f\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t[%d, %d]\n",
+			o.name, o.streamDur.Seconds(), o.lat.n, ms(o.lat.p50), ms(o.lat.p99),
+			o.flushes, o.splits, o.merges, o.rebuilds, o.partitions, o.minSize, o.maxSize)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	autoOut := outcomes[0]
+	verdict := func(ok bool, msg string) {
+		tag := "OK"
+		if !ok {
+			tag = "VIOLATION"
+		}
+		fmt.Fprintf(cfg.Out, "%-9s %s\n", tag+":", msg)
+	}
+	fmt.Fprintln(cfg.Out)
+	verdict(autoOut.rebuilds == 0,
+		fmt.Sprintf("auto-maintain ran %d full rebuilds after the initial build (want 0: splits/merges only)", autoOut.rebuilds))
+	verdict(autoOut.splits > 0,
+		fmt.Sprintf("auto-maintain absorbed growth with %d splits (+%d merges, %d flushes)", autoOut.splits, autoOut.merges, autoOut.flushes))
+	verdict(autoOut.minSize >= int64(minBound) && autoOut.maxSize <= int64(maxBound),
+		fmt.Sprintf("final partition sizes [%d, %d] within policy bounds [%d, %d]", autoOut.minSize, autoOut.maxSize, minBound, maxBound))
+	return nil
+}

@@ -27,6 +27,7 @@ var Experiments = []Experiment{
 	{Name: "ablation-balance", Desc: "Ablation: balance penalty vs partition-size spread", Run: AblationBalance},
 	{Name: "ablation-clustering", Desc: "Ablation: clustered vs shuffled partition layout", Run: AblationClustering},
 	{Name: "quant", Desc: "Quantization: SQ8 scan bytes/throughput/recall vs float32", Run: Quantization, Alias: []string{"sq8"}},
+	{Name: "maintenance", Desc: "Maintenance: search tail latency during sustained upserts (auto-maintain vs full rebuild)", Run: Maintenance, Alias: []string{"maint"}},
 }
 
 // Lookup resolves an experiment by name or alias.

@@ -142,6 +142,7 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 			}
 		}
 		st.DeltaCount, st.NumPartitions, st.AvgSizeAtBuild = 0, 0, 0
+		st.NextPartID = 1
 		st.Generation++
 		if err := ix.putState(wt, st); err != nil {
 			return nil, err
@@ -267,6 +268,7 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 	st.DeltaCount = 0
 	st.NumPartitions = int64(k)
 	st.AvgSizeAtBuild = float64(len(keys)) / float64(k)
+	st.NextPartID = int64(k) + 1
 	st.Generation++
 	if err := ix.putState(wt, st); err != nil {
 		return nil, err
@@ -328,7 +330,13 @@ func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 	}
 	cents := vec.NewMatrix(cs.mat.Rows, cs.mat.Dim)
 	copy(cents.Data, cs.mat.Data)
-	counts := append([]int64(nil), cs.counts...)
+	// Counts come from the centroid table, not the cached set: deletes
+	// decrement them transactionally without bumping the generation, so the
+	// cache's counts may overstate partition sizes.
+	counts, err := ix.freshCounts(wt, cs.ids)
+	if err != nil {
+		return nil, err
+	}
 	touched := make(map[int]bool)
 
 	dists := make([]float32, cents.Rows)
@@ -394,6 +402,23 @@ func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 	ms.Partitions = cents.Rows
 	ms.Duration = time.Since(start)
 	return ms, nil
+}
+
+// freshCounts reads the per-partition row counts from the centroid table,
+// aligned with ids. One sequential scan of a k-row table.
+func (ix *Index) freshCounts(txn btree.ReadTxn, ids []int64) ([]int64, error) {
+	pos := make(map[int64]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	counts := make([]int64, len(ids))
+	err := ix.centroids.Scan(txn, nil, func(row reldb.Row) error {
+		if i, ok := pos[row[0].Int]; ok {
+			counts[i] = row[2].Int
+		}
+		return nil
+	})
+	return counts, err
 }
 
 // AnalyzeAttributes refreshes the optimizer's attribute statistics.

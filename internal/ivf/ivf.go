@@ -133,8 +133,12 @@ type state struct {
 	DeltaCount     int64   `json:"delta_count"`
 	NumPartitions  int64   `json:"num_partitions"` // excluding the delta
 	AvgSizeAtBuild float64 `json:"avg_size_at_build"`
+	// NextPartID is the next unused partition id (splits allocate from it).
+	// Zero in databases created before incremental maintenance existed;
+	// nextPartitionID then derives it from the centroid table.
+	NextPartID int64 `json:"next_part_id,omitempty"`
 	// Generation increments on every operation that changes centroids
-	// (rebuild, flush); it keys the in-memory centroid cache.
+	// (rebuild, flush, split, merge); it keys the in-memory centroid cache.
 	Generation int64 `json:"generation"`
 }
 
@@ -613,6 +617,13 @@ func (ix *Index) removeAsset(wt *storage.WriteTxn, asset string, st *state) (boo
 	if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(vid)); err != nil {
 		return false, err
 	}
+	if part != DeltaPartition {
+		// Keep the per-partition count exact: the maintenance planner
+		// reads it to decide splits and merges (paper §3.6's monitor).
+		if err := ix.adjustCentroidCount(wt, part, -1); err != nil {
+			return false, err
+		}
+	}
 	if err := ix.assets.Delete(wt, reldb.S(asset)); err != nil {
 		return false, err
 	}
@@ -646,6 +657,26 @@ func (ix *Index) removeAsset(wt *storage.WriteTxn, asset string, st *state) (boo
 		st.DeltaCount--
 	}
 	return true, nil
+}
+
+// adjustCentroidCount adds delta to a partition's persisted row count. The
+// count travels in the centroid row, so it stays transactional with the row
+// moves that change it. A missing centroid row is ignored (legacy indexes
+// mid-rebuild).
+func (ix *Index) adjustCentroidCount(wt *storage.WriteTxn, part int64, delta int64) error {
+	crow, err := ix.centroids.Get(wt, reldb.I(part))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	cnt := crow[2].Int + delta
+	if cnt < 0 {
+		cnt = 0
+	}
+	blob := append([]byte(nil), crow[1].Bts...)
+	return ix.centroids.Put(wt, reldb.Row{reldb.I(part), reldb.B(blob), reldb.I(cnt)})
 }
 
 // GetVector returns the stored vector and attributes for asset.

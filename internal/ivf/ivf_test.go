@@ -19,6 +19,8 @@ type testEnv struct {
 	store *storage.Store
 	db    *reldb.DB
 	ix    *Index
+	// nextAsset numbers the ids handed out by upsertN (maintain_test.go).
+	nextAsset int
 }
 
 func newEnv(t testing.TB, cfg Config) *testEnv {

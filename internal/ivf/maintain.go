@@ -1,0 +1,712 @@
+package ivf
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"micronn/internal/btree"
+	"micronn/internal/clustering"
+	"micronn/internal/quant"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// Incremental partition maintenance (paper §3.6): instead of answering every
+// growth signal with a full rebuild — which holds the single writer for a
+// whole-index rewrite — the index monitor produces a MaintenancePlan whose
+// steps each touch one partition: oversized partitions are split by a local
+// k-means over their own rows, undersized ones are folded into their nearest
+// surviving centroids. Every step runs in its own short write transaction,
+// so concurrent readers and writers wait at most one partition's worth of
+// I/O. A full Rebuild remains only for the initial build of a never-built
+// index.
+
+// MaintenanceAction names one step of a maintenance plan.
+type MaintenanceAction string
+
+// Maintenance actions, in the order the planner prefers them.
+const (
+	// ActionNone means the index is within all policy bounds.
+	ActionNone MaintenanceAction = "none"
+	// ActionRebuild is the initial full build of a never-built index.
+	ActionRebuild MaintenanceAction = "rebuild"
+	// ActionFlush folds the delta-store into the IVF partitions.
+	ActionFlush MaintenanceAction = "flush"
+	// ActionSplit re-clusters one oversized partition into 2+ partitions.
+	ActionSplit MaintenanceAction = "split"
+	// ActionMerge folds one undersized partition into its neighbors.
+	ActionMerge MaintenanceAction = "merge"
+)
+
+// MaintenancePolicy bounds the delta backlog and the per-partition sizes
+// the planner maintains. Zero values pick defaults derived from the
+// configured TargetPartitionSize.
+type MaintenancePolicy struct {
+	// FlushThreshold flushes the delta-store once it holds at least this
+	// many vectors (default: TargetPartitionSize).
+	FlushThreshold int
+	// MinPartitionSize merges partitions smaller than this
+	// (default: TargetPartitionSize/4, at least 1; clamped to a third of
+	// MaxPartitionSize so split results never bounce back into merges).
+	MinPartitionSize int
+	// MaxPartitionSize splits partitions larger than this
+	// (default: 2*TargetPartitionSize).
+	MaxPartitionSize int
+}
+
+func (ix *Index) fillPolicy(p MaintenancePolicy) MaintenancePolicy {
+	target := ix.cfg.TargetPartitionSize
+	if p.FlushThreshold <= 0 {
+		p.FlushThreshold = target
+	}
+	if p.MaxPartitionSize <= 0 {
+		p.MaxPartitionSize = 2 * target
+	}
+	if p.MinPartitionSize <= 0 {
+		p.MinPartitionSize = target / 4
+	}
+	// Keep the merge bound well under the split bound: splitting an
+	// oversized partition yields pieces of roughly MaxPartitionSize/2, and
+	// a merge bound close to that would ping-pong split results straight
+	// back into merges.
+	if p.MinPartitionSize > p.MaxPartitionSize/3 {
+		p.MinPartitionSize = p.MaxPartitionSize / 3
+	}
+	if p.MinPartitionSize < 1 {
+		p.MinPartitionSize = 1
+	}
+	return p
+}
+
+// MaintenancePlan is the index monitor's decision: the single next step
+// that moves the index toward the policy bounds, or ActionNone.
+type MaintenancePlan struct {
+	Action MaintenanceAction
+	// Partition is the split/merge target (unset for other actions).
+	Partition int64
+	// Size is the row count that triggered the step: the delta backlog for
+	// a flush, the target partition's size for a split or merge.
+	Size int64
+}
+
+// PlanMaintenance inspects the index at txn's snapshot and returns the next
+// maintenance step. The per-partition sizes come from the centroid table's
+// transactional counts, so the plan is exact, not an estimate. Priority:
+// initial build, delta flush, split (largest offender first), merge
+// (smallest partition first).
+func (ix *Index) PlanMaintenance(txn btree.ReadTxn, pol MaintenancePolicy) (*MaintenancePlan, error) {
+	pol = ix.fillPolicy(pol)
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, err
+	}
+	if st.NumPartitions == 0 {
+		if st.NumVectors > 0 {
+			return &MaintenancePlan{Action: ActionRebuild, Size: st.NumVectors}, nil
+		}
+		return &MaintenancePlan{Action: ActionNone}, nil
+	}
+	if st.DeltaCount >= int64(pol.FlushThreshold) {
+		return &MaintenancePlan{Action: ActionFlush, Size: st.DeltaCount}, nil
+	}
+	splitPart, mergePart := int64(-1), int64(-1)
+	var splitN, mergeN int64
+	err = ix.centroids.Scan(txn, nil, func(row reldb.Row) error {
+		id, cnt := row[0].Int, row[2].Int
+		if cnt > int64(pol.MaxPartitionSize) && cnt > splitN {
+			splitPart, splitN = id, cnt
+		}
+		if cnt < int64(pol.MinPartitionSize) && (mergePart < 0 || cnt < mergeN) {
+			mergePart, mergeN = id, cnt
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if splitPart >= 0 {
+		return &MaintenancePlan{Action: ActionSplit, Partition: splitPart, Size: splitN}, nil
+	}
+	if mergePart >= 0 && st.NumPartitions >= 2 {
+		return &MaintenancePlan{Action: ActionMerge, Partition: mergePart, Size: mergeN}, nil
+	}
+	return &MaintenancePlan{Action: ActionNone}, nil
+}
+
+// MaintainStep plans and executes at most one maintenance step inside wt.
+// Decision and action share the transaction, so the state the planner read
+// cannot change before the step runs (the decide-then-act race a
+// two-transaction Maintain would have). Callers loop MaintainStep in fresh
+// short transactions until it returns ActionNone.
+func (ix *Index) MaintainStep(wt *storage.WriteTxn, pol MaintenancePolicy) (*MaintenancePlan, *MaintenanceStats, error) {
+	plan, err := ix.PlanMaintenance(wt, pol)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ms *MaintenanceStats
+	switch plan.Action {
+	case ActionRebuild:
+		ms, err = ix.Rebuild(wt)
+	case ActionFlush:
+		ms, err = ix.FlushDelta(wt)
+	case ActionSplit:
+		ms, err = ix.SplitPartition(wt, plan.Partition)
+	case ActionMerge:
+		ms, err = ix.MergePartitions(wt, plan.Partition)
+	default:
+		ms = &MaintenanceStats{}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, ms, nil
+}
+
+// nextPartitionID returns the first unused partition id. Databases created
+// before incremental maintenance carry NextPartID 0; the centroid table
+// then provides the high-water mark.
+func (ix *Index) nextPartitionID(txn btree.ReadTxn, st *state) (int64, error) {
+	if st.NextPartID > 0 {
+		return st.NextPartID, nil
+	}
+	max := int64(0)
+	err := ix.centroids.ScanKeys(txn, nil, func(key reldb.Row) error {
+		if key[0].Int > max {
+			max = key[0].Int
+		}
+		return nil
+	})
+	return max + 1, err
+}
+
+// partRow is one vector row buffered for a split or merge. blob holds the
+// partition row's payload (SQ8 code or float32 vector) copied out of
+// transaction-owned memory.
+type partRow struct {
+	vid   int64
+	asset string
+	blob  []byte
+}
+
+// collectPartition buffers the rows of one partition. Partitions are
+// size-bounded by this very maintenance machinery, so the buffer stays a
+// few hundred rows.
+func (ix *Index) collectPartition(txn btree.ReadTxn, part int64) ([]partRow, error) {
+	var rows []partRow
+	err := ix.vectors.Scan(txn, []reldb.Value{reldb.I(part)}, func(row reldb.Row) error {
+		rows = append(rows, partRow{
+			vid:   row[1].Int,
+			asset: row[2].Str,
+			blob:  append([]byte(nil), row[3].Bts...),
+		})
+		return nil
+	})
+	return rows, err
+}
+
+// exactVectors decodes the exact float32 vectors of rows into a matrix:
+// from the raw store when the index is quantized (partition rows then hold
+// lossy codes), from the row blobs otherwise.
+func (ix *Index) exactVectors(txn btree.ReadTxn, rows []partRow) (*vec.Matrix, error) {
+	m := vec.NewMatrix(len(rows), ix.cfg.Dim)
+	for i, r := range rows {
+		blob := r.blob
+		if ix.rawvecs != nil {
+			raw, err := ix.rawVector(txn, r.vid)
+			if err != nil {
+				return nil, fmt.Errorf("ivf: raw vector %d: %w", r.vid, err)
+			}
+			blob = raw
+		}
+		m.AppendRowBlob(i, blob)
+	}
+	return m, nil
+}
+
+// moveRow rewrites one vector row from src to dst, keeping the payload
+// byte-identical. On a quantized index the payload is the SQ8 code, which
+// stays a valid encoding because splits and merges never change the
+// codebook — moving the code is exactly re-encoding the raw vector against
+// the existing codebook.
+func (ix *Index) moveRow(wt *storage.WriteTxn, src, dst int64, r partRow) error {
+	if err := ix.vectors.Delete(wt, reldb.I(src), reldb.I(r.vid)); err != nil {
+		return err
+	}
+	if err := ix.vectors.Put(wt, reldb.Row{reldb.I(dst), reldb.I(r.vid), reldb.S(r.asset), reldb.B(r.blob)}); err != nil {
+		return err
+	}
+	if err := ix.assets.Put(wt, reldb.Row{reldb.S(r.asset), reldb.I(dst), reldb.I(r.vid)}); err != nil {
+		return err
+	}
+	if err := ix.vids.Put(wt, reldb.Row{reldb.I(r.vid), reldb.I(dst), reldb.S(r.asset)}); err != nil {
+		return err
+	}
+	return wt.SpillIfNeeded()
+}
+
+// SplitPartition re-clusters one oversized partition with a local k-means
+// over its own rows, producing ceil(n/TargetPartitionSize) partitions. The
+// partition keeps its id for the first resulting cluster; the rest receive
+// fresh ids. I/O is proportional to the one partition, not the index — the
+// incremental answer to growth that previously forced a full rebuild.
+func (ix *Index) SplitPartition(wt *storage.WriteTxn, part int64) (*MaintenanceStats, error) {
+	start := time.Now()
+	ms := &MaintenanceStats{}
+	if part == DeltaPartition {
+		return nil, fmt.Errorf("ivf: cannot split the delta partition")
+	}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ix.centroids.Get(wt, reldb.I(part)); err != nil {
+		if errors.Is(err, reldb.ErrNotFound) {
+			return nil, fmt.Errorf("ivf: split unknown partition %d", part)
+		}
+		return nil, err
+	}
+
+	rows, err := ix.collectPartition(wt, part)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	target := ix.cfg.TargetPartitionSize
+	k := (n + target - 1) / target
+	if k < 2 && n >= 2 {
+		// The policy's split bound can sit below the clustering target
+		// (e.g. `micronn maintain -max` under the create-time partition
+		// size); a split was requested, so a split must happen — anything
+		// less livelocks the planner on this partition.
+		k = 2
+	}
+	if k < 2 {
+		// Nothing to split (a stale count on a legacy index): repair the
+		// persisted count so the planner converges.
+		if err := ix.recountPartition(wt, part, int64(n)); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
+		ms.Partitions = int(st.NumPartitions)
+		ms.Duration = time.Since(start)
+		return ms, nil
+	}
+
+	data, err := ix.exactVectors(wt, rows)
+	if err != nil {
+		return nil, err
+	}
+	res, err := clustering.FullKMeans(clustering.Config{
+		K:                 k,
+		TargetClusterSize: target,
+		Metric:            ix.cfg.Metric,
+		Seed:              ix.cfg.Seed + part + st.Generation,
+	}, data, 25)
+	if err != nil {
+		return nil, err
+	}
+	k = res.Centroids.Rows
+
+	assign := make([]int, n)
+	counts := make([]int64, k)
+	dists := make([]float32, k)
+	nonEmptyClusters := 0
+	for i := 0; i < n; i++ {
+		assign[i] = clustering.Assign(ix.cfg.Metric, res.Centroids, data.Row(i), dists)
+		if counts[assign[i]] == 0 {
+			nonEmptyClusters++
+		}
+		counts[assign[i]]++
+	}
+	if nonEmptyClusters < 2 {
+		// Degenerate data (e.g. one vector duplicated past the split
+		// bound): k-means cannot separate it, and returning without
+		// progress would livelock the planner on the same partition.
+		// Fall back to a mechanical even split; the resulting centroids
+		// are the per-chunk means (identical for true duplicates, which
+		// is as good as any placement for them).
+		for i := 0; i < n; i++ {
+			assign[i] = i * k / n
+		}
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			row := res.Centroids.Row(c)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			counts[assign[i]]++
+			vec.Add(res.Centroids.Row(assign[i]), data.Row(i))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				vec.Scale(res.Centroids.Row(c), 1/float32(counts[c]))
+				if ix.cfg.Metric == vec.Cosine {
+					vec.Normalize(res.Centroids.Row(c))
+				}
+			}
+		}
+	}
+
+	// Partition ids: the first non-empty cluster inherits part (its rows
+	// need no move if they assign there), the rest allocate fresh ids.
+	next, err := ix.nextPartitionID(wt, &st)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, k)
+	reused := false
+	nonEmpty := 0
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			ids[c] = -1
+			continue
+		}
+		nonEmpty++
+		if !reused {
+			ids[c] = part
+			reused = true
+		} else {
+			ids[c] = next
+			next++
+		}
+	}
+
+	for i, r := range rows {
+		dst := ids[assign[i]]
+		ms.VectorsAssigned++
+		if dst == part {
+			continue
+		}
+		if err := ix.moveRow(wt, part, dst, r); err != nil {
+			return nil, err
+		}
+		ms.RowChanges += 4
+	}
+
+	for c := 0; c < k; c++ {
+		if ids[c] < 0 {
+			continue
+		}
+		blob := vec.ToBlob(make([]byte, 0, vec.BlobSize(ix.cfg.Dim)), res.Centroids.Row(c))
+		if err := ix.centroids.Put(wt, reldb.Row{reldb.I(ids[c]), reldb.B(blob), reldb.I(counts[c])}); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
+	}
+
+	st.NumPartitions += int64(nonEmpty - 1)
+	st.NextPartID = next
+	st.Generation++
+	if err := ix.putState(wt, st); err != nil {
+		return nil, err
+	}
+	// Like merge and rebuild, Partitions reports the index-wide total
+	// after the step, not just the clusters this split produced.
+	ms.Partitions = int(st.NumPartitions)
+	ms.Duration = time.Since(start)
+	return ms, nil
+}
+
+// recountPartition rewrites a partition's persisted row count from its
+// actual size.
+func (ix *Index) recountPartition(wt *storage.WriteTxn, part, n int64) error {
+	crow, err := ix.centroids.Get(wt, reldb.I(part))
+	if err != nil {
+		return err
+	}
+	blob := append([]byte(nil), crow[1].Bts...)
+	return ix.centroids.Put(wt, reldb.Row{reldb.I(part), reldb.B(blob), reldb.I(n)})
+}
+
+// MergePartitions folds the given undersized partitions into the rest of
+// the index: every row joins the surviving partition with the nearest
+// centroid, that centroid is nudged to the running mean of its content
+// (matching FlushDelta's update rule), and the merged partitions' centroid
+// rows are dropped. At least one partition must survive.
+func (ix *Index) MergePartitions(wt *storage.WriteTxn, parts ...int64) (*MaintenanceStats, error) {
+	start := time.Now()
+	ms := &MaintenanceStats{}
+	if len(parts) == 0 {
+		return ms, nil
+	}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return nil, err
+	}
+	src := make(map[int64]bool, len(parts))
+	for _, p := range parts {
+		if p == DeltaPartition {
+			return nil, fmt.Errorf("ivf: cannot merge the delta partition")
+		}
+		if src[p] {
+			return nil, fmt.Errorf("ivf: duplicate merge partition %d", p)
+		}
+		src[p] = true
+	}
+
+	cs, err := ix.loadCentroids(wt)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[int64]bool, len(cs.ids))
+	for _, id := range cs.ids {
+		known[id] = true
+	}
+	for _, p := range parts {
+		if !known[p] {
+			return nil, fmt.Errorf("ivf: merge unknown partition %d", p)
+		}
+	}
+
+	// Surviving centroids, copied out of the shared cache: the running-mean
+	// updates below must not leak into concurrent readers.
+	destIDs := make([]int64, 0, len(cs.ids))
+	for _, id := range cs.ids {
+		if !src[id] {
+			destIDs = append(destIDs, id)
+		}
+	}
+	if len(destIDs) == 0 {
+		return nil, fmt.Errorf("ivf: merge would remove every partition")
+	}
+	dmat := vec.NewMatrix(len(destIDs), ix.cfg.Dim)
+	di := 0
+	for i, id := range cs.ids {
+		if !src[id] {
+			copy(dmat.Row(di), cs.mat.Row(i))
+			di++
+		}
+	}
+	counts, err := ix.freshCounts(wt, destIDs)
+	if err != nil {
+		return nil, err
+	}
+
+	touched := make(map[int]bool)
+	dists := make([]float32, len(destIDs))
+	x := make([]float32, ix.cfg.Dim)
+	for _, part := range parts {
+		rows, err := ix.collectPartition(wt, part)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			blob := r.blob
+			if ix.rawvecs != nil {
+				if blob, err = ix.rawVector(wt, r.vid); err != nil {
+					return nil, err
+				}
+			}
+			vec.FromBlob(x, blob)
+			vec.DistancesOneToMany(ix.cfg.Metric, x, dmat, nil, dists)
+			best := argminRange(dists)
+			if err := ix.moveRow(wt, part, destIDs[best], r); err != nil {
+				return nil, err
+			}
+			ms.RowChanges += 4
+			ms.VectorsAssigned++
+			counts[best]++
+			vec.Lerp(dmat.Row(best), x, 1/float32(counts[best]))
+			touched[best] = true
+		}
+		if err := ix.centroids.Delete(wt, reldb.I(part)); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
+		st.NumPartitions--
+	}
+
+	for b := range touched {
+		blob := vec.ToBlob(make([]byte, 0, vec.BlobSize(ix.cfg.Dim)), dmat.Row(b))
+		if err := ix.centroids.Put(wt, reldb.Row{reldb.I(destIDs[b]), reldb.B(blob), reldb.I(counts[b])}); err != nil {
+			return nil, err
+		}
+		ms.RowChanges++
+	}
+
+	st.Generation++
+	if err := ix.putState(wt, st); err != nil {
+		return nil, err
+	}
+	ms.Partitions = int(st.NumPartitions)
+	ms.Duration = time.Since(start)
+	return ms, nil
+}
+
+// PartitionSizeBounds returns the smallest and largest IVF partition sizes
+// from the centroid table's transactional counts (0, 0 when the index has
+// no partitions). The delta-store is excluded.
+func (ix *Index) PartitionSizeBounds(txn btree.ReadTxn) (min, max int64, err error) {
+	first := true
+	err = ix.centroids.Scan(txn, nil, func(row reldb.Row) error {
+		cnt := row[2].Int
+		if first {
+			min, max = cnt, cnt
+			first = false
+			return nil
+		}
+		if cnt < min {
+			min = cnt
+		}
+		if cnt > max {
+			max = cnt
+		}
+		return nil
+	})
+	return min, max, err
+}
+
+// CheckInvariants verifies the index's structural invariants at txn's
+// snapshot: every vector row is reachable through exactly one (vid, asset)
+// mapping and vice versa, per-partition counts and state counters match the
+// actual rows, every non-delta row's partition has a centroid, the centroid
+// count matches NumPartitions, and a quantized index has a raw vector per
+// row plus an intact codebook. O(N); used by the crash-recovery battery and
+// tests.
+func (ix *Index) CheckInvariants(txn btree.ReadTxn) error {
+	st, err := ix.getState(txn)
+	if err != nil {
+		return err
+	}
+
+	type loc struct {
+		part  int64
+		asset string
+	}
+	seen := make(map[int64]loc)
+	partSizes := make(map[int64]int64)
+	var total, delta int64
+	wantBlobLen := vec.BlobSize(ix.cfg.Dim)
+	var cb *quant.Codebook
+	if ix.rawvecs != nil {
+		if cb, err = ix.loadCodebook(txn); err != nil {
+			return fmt.Errorf("ivf: invariant: codebook unreadable: %w", err)
+		}
+	}
+	err = ix.vectors.Scan(txn, nil, func(row reldb.Row) error {
+		part, vid, asset := row[0].Int, row[1].Int, row[2].Str
+		if _, dup := seen[vid]; dup {
+			return fmt.Errorf("ivf: invariant: vid %d stored in two partitions", vid)
+		}
+		seen[vid] = loc{part, asset}
+		partSizes[part]++
+		total++
+		if part == DeltaPartition {
+			delta++
+		}
+		want := wantBlobLen
+		if cb != nil && part != DeltaPartition {
+			want = cb.CodeSize()
+		}
+		if len(row[3].Bts) != want {
+			return fmt.Errorf("ivf: invariant: vid %d payload %d bytes, want %d", vid, len(row[3].Bts), want)
+		}
+		if vid >= st.NextVID {
+			return fmt.Errorf("ivf: invariant: vid %d >= NextVID %d", vid, st.NextVID)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total != st.NumVectors {
+		return fmt.Errorf("ivf: invariant: %d vector rows, state says %d", total, st.NumVectors)
+	}
+	if delta != st.DeltaCount {
+		return fmt.Errorf("ivf: invariant: %d delta rows, state says %d", delta, st.DeltaCount)
+	}
+
+	// The vid and asset mappings must mirror the vector rows exactly.
+	var vidRows int64
+	err = ix.vids.Scan(txn, nil, func(row reldb.Row) error {
+		vidRows++
+		l, ok := seen[row[0].Int]
+		if !ok || l.part != row[1].Int || l.asset != row[2].Str {
+			return fmt.Errorf("ivf: invariant: vid row %d -> (%d,%q) does not match vector rows", row[0].Int, row[1].Int, row[2].Str)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if vidRows != total {
+		return fmt.Errorf("ivf: invariant: %d vid rows, %d vector rows", vidRows, total)
+	}
+	var assetRows int64
+	err = ix.assets.Scan(txn, nil, func(row reldb.Row) error {
+		assetRows++
+		l, ok := seen[row[2].Int]
+		if !ok || l.part != row[1].Int || l.asset != row[0].Str {
+			return fmt.Errorf("ivf: invariant: asset row %q -> (%d,%d) does not match vector rows", row[0].Str, row[1].Int, row[2].Int)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if assetRows != total {
+		return fmt.Errorf("ivf: invariant: %d asset rows, %d vector rows", assetRows, total)
+	}
+
+	// Centroids: one per partition, counts exact, none for the delta.
+	var centRows int64
+	err = ix.centroids.Scan(txn, nil, func(row reldb.Row) error {
+		centRows++
+		id, cnt := row[0].Int, row[2].Int
+		if id == DeltaPartition {
+			return fmt.Errorf("ivf: invariant: centroid row for the delta partition")
+		}
+		if len(row[1].Bts) != wantBlobLen {
+			return fmt.Errorf("ivf: invariant: centroid %d blob %d bytes, want %d", id, len(row[1].Bts), wantBlobLen)
+		}
+		if cnt != partSizes[id] {
+			return fmt.Errorf("ivf: invariant: centroid %d count %d, partition holds %d rows", id, cnt, partSizes[id])
+		}
+		delete(partSizes, id)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if centRows != st.NumPartitions {
+		return fmt.Errorf("ivf: invariant: %d centroid rows, state says %d partitions", centRows, st.NumPartitions)
+	}
+	for part := range partSizes {
+		if part != DeltaPartition {
+			return fmt.Errorf("ivf: invariant: partition %d has rows but no centroid", part)
+		}
+	}
+
+	if ix.rawvecs != nil {
+		var rawRows int64
+		err = ix.rawvecs.Scan(txn, nil, func(row reldb.Row) error {
+			rawRows++
+			if _, ok := seen[row[0].Int]; !ok {
+				return fmt.Errorf("ivf: invariant: raw vector %d has no vector row", row[0].Int)
+			}
+			if len(row[1].Bts) != wantBlobLen {
+				return fmt.Errorf("ivf: invariant: raw vector %d blob %d bytes, want %d", row[0].Int, len(row[1].Bts), wantBlobLen)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if rawRows != total {
+			return fmt.Errorf("ivf: invariant: %d raw vectors, %d vector rows", rawRows, total)
+		}
+		if st.NumPartitions > 0 {
+			if cb == nil {
+				return fmt.Errorf("ivf: invariant: quantized index with partitions but no codebook")
+			}
+			if cb.Dim() != ix.cfg.Dim {
+				return fmt.Errorf("ivf: invariant: codebook dim %d, index dim %d", cb.Dim(), ix.cfg.Dim)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package ivf
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"micronn/internal/quant"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+)
+
+// crashEnv is a reopenable index environment for the crash battery — unlike
+// testEnv it survives CloseWithoutCheckpoint + Open cycles.
+type crashEnv struct {
+	t     *testing.T
+	path  string
+	opts  storage.Options
+	store *storage.Store
+	db    *reldb.DB
+	ix    *Index
+	live  int64 // expected vector count (inserts minus deletes)
+	next  int   // asset id counter
+}
+
+func newCrashEnv(t *testing.T, cfg Config) *crashEnv {
+	e := &crashEnv{
+		t:    t,
+		path: filepath.Join(t.TempDir(), "crash.db"),
+		// A tiny spill budget pushes frames into the WAL mid-transaction,
+		// so failpoints land inside spills as well as commits.
+		opts: storage.Options{Sync: storage.SyncOff, MaxDirtyPages: 8, CheckpointFrames: -1},
+	}
+	s, err := storage.Open(e.path, e.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.store = s
+	if e.db, err = reldb.Open(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(wt *storage.WriteTxn) error {
+		e.ix, err = Create(e.db, wt, cfg)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.store.Close() })
+	return e
+}
+
+// crash closes without checkpointing (as a power cut would) and reopens
+// through full recovery.
+func (e *crashEnv) crash() {
+	e.t.Helper()
+	if err := e.store.CloseWithoutCheckpoint(); err != nil {
+		e.t.Fatal(err)
+	}
+	s, err := storage.Open(e.path, e.opts)
+	if err != nil {
+		e.t.Fatalf("reopen after crash: %v", err)
+	}
+	e.store = s
+	if e.db, err = reldb.Open(s); err != nil {
+		e.t.Fatal(err)
+	}
+	if e.ix, err = Open(e.db); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+func (e *crashEnv) insert(mix *mixture, n, center int) {
+	e.t.Helper()
+	if err := e.store.Update(func(wt *storage.WriteTxn) error {
+		for i := 0; i < n; i++ {
+			e.next++
+			if err := e.ix.Upsert(wt, fmt.Sprintf("c-%d", e.next), mix.sample(center), nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		e.t.Fatal(err)
+	}
+	e.live += int64(n)
+}
+
+// deleteRange removes assets c-[lo,hi] that are still expected to exist.
+func (e *crashEnv) deleteRange(lo, hi int) {
+	e.t.Helper()
+	if err := e.store.Update(func(wt *storage.WriteTxn) error {
+		for i := lo; i <= hi; i++ {
+			err := e.ix.Delete(wt, fmt.Sprintf("c-%d", i))
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			e.live--
+		}
+		return nil
+	}); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+// maintainAll steps maintenance to convergence, recording committed
+// actions. An injected WAL failure surfaces as the returned error; steps
+// committed before it stand.
+func (e *crashEnv) maintainAll(pol MaintenancePolicy, seen map[MaintenanceAction]int) error {
+	for i := 0; i < 256; i++ {
+		var plan *MaintenancePlan
+		err := e.store.Update(func(wt *storage.WriteTxn) error {
+			var serr error
+			plan, _, serr = e.ix.MaintainStep(wt, pol)
+			return serr
+		})
+		if err != nil {
+			return err
+		}
+		if plan.Action == ActionNone {
+			return nil
+		}
+		seen[plan.Action]++
+	}
+	return fmt.Errorf("maintenance did not converge")
+}
+
+// verify asserts the full invariant battery plus the expected live count
+// and a working search.
+func (e *crashEnv) verify(mix *mixture, step string) {
+	e.t.Helper()
+	if err := e.store.View(func(rt *storage.ReadTxn) error {
+		if err := e.ix.CheckInvariants(rt); err != nil {
+			return fmt.Errorf("%s: %w", step, err)
+		}
+		st, err := e.ix.Stats(rt)
+		if err != nil {
+			return err
+		}
+		if st.NumVectors != e.live {
+			return fmt.Errorf("%s: NumVectors = %d, want %d", step, st.NumVectors, e.live)
+		}
+		got, _, err := e.ix.Search(rt, mix.sample(0), SearchOptions{K: 5, NProbe: 4})
+		if err != nil {
+			return fmt.Errorf("%s: search: %w", step, err)
+		}
+		if len(got) == 0 {
+			return fmt.Errorf("%s: search returned nothing over %d vectors", step, e.live)
+		}
+		return nil
+	}); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+// TestMaintenanceCrashRecovery extends the storage torture-test pattern to
+// index maintenance: a WAL failpoint is armed at varying frame offsets so
+// injected crashes land mid-flush, mid-split and mid-merge; after every
+// crash the store is reopened through recovery and the full index invariant
+// battery re-checked (every vid reachable exactly once, centroid rows match
+// partitions and counts, codebook intact on the quantized variant). The
+// interrupted maintenance must then complete cleanly.
+func TestMaintenanceCrashRecovery(t *testing.T) {
+	for _, qt := range []quant.Type{quant.None, quant.SQ8} {
+		t.Run(qt.String(), func(t *testing.T) {
+			env := newCrashEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 11, Quantization: qt})
+			mix := newMixture(12, 8, 5)
+			pol := MaintenancePolicy{} // defaults: flush 20, merge <5, split >40
+			seen := make(map[MaintenanceAction]int)
+
+			env.insert(mix, 160, -1)
+			if err := env.maintainAll(pol, seen); err != nil { // initial build
+				t.Fatal(err)
+			}
+			env.verify(mix, "bootstrap")
+
+			injected := 0
+			for round, fail := range []int{1, 3, 7, 15, 30, 60, 120, 240} {
+				// Skewed growth keeps split pressure on one cluster; the
+				// periodic mass delete keeps merge pressure on.
+				env.insert(mix, 50, round%5)
+				if round%3 == 2 {
+					lo := env.next - 120
+					env.deleteRange(lo, lo+89)
+				}
+
+				env.store.SetWALFailpoint(fail)
+				err := env.maintainAll(pol, seen)
+				env.store.SetWALFailpoint(-1)
+				switch {
+				case errors.Is(err, storage.ErrInjected):
+					injected++
+					env.crash()
+				case err != nil:
+					t.Fatalf("round %d: %v", round, err)
+				}
+				env.verify(mix, fmt.Sprintf("round %d post-crash", round))
+
+				if err := env.maintainAll(pol, seen); err != nil {
+					t.Fatalf("round %d resume: %v", round, err)
+				}
+				env.verify(mix, fmt.Sprintf("round %d resumed", round))
+			}
+
+			if injected == 0 {
+				t.Error("no failpoint fired; the battery exercised nothing")
+			}
+			for _, a := range []MaintenanceAction{ActionFlush, ActionSplit, ActionMerge} {
+				if seen[a] == 0 {
+					t.Errorf("action %s never executed; crash coverage incomplete (saw %v)", a, seen)
+				}
+			}
+		})
+	}
+}

@@ -80,6 +80,7 @@ var (
 	ErrLocked     = errors.New("storage: database is locked by another process")
 	ErrBadPage    = errors.New("storage: page out of range")
 	ErrCorrupt    = errors.New("storage: file corrupt")
+	ErrInjected   = errors.New("storage: injected WAL failure")
 	errPageZeroRW = errors.New("storage: header page is managed by the store")
 )
 
@@ -252,6 +253,14 @@ func (s *Store) CloseWithoutCheckpoint() error {
 // DropCaches empties the buffer pool, simulating the paper's ColdStart
 // scenario (purged database caches).
 func (s *Store) DropCaches() { s.pool.drop() }
+
+// SetWALFailpoint arms a one-shot crash injection: after n more WAL frame
+// appends succeed, the following append writes a torn partial frame to disk
+// and fails with ErrInjected — leaving exactly the on-disk state of a power
+// cut mid-commit (or mid-spill). The in-flight transaction fails; a
+// subsequent CloseWithoutCheckpoint + Open must recover the last committed
+// state. Negative n disarms. Crash-recovery tests only.
+func (s *Store) SetWALFailpoint(n int) { s.wal.failAfter.Store(int64(n)) }
 
 // Stats reports operational counters.
 type Stats struct {

@@ -91,6 +91,10 @@ type wal struct {
 	// frames is the frame count in the file; atomic because Stats reads
 	// it without holding the writer lock.
 	frames atomic.Uint32
+	// failAfter is the crash-injection countdown (see Store.SetWALFailpoint):
+	// when it reaches zero the next appendFrame writes a torn partial frame
+	// and fails with ErrInjected. Negative means disarmed.
+	failAfter atomic.Int64
 }
 
 func openWAL(path string, pageSize uint32) (*wal, error) {
@@ -99,6 +103,7 @@ func openWAL(path string, pageSize uint32) (*wal, error) {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
 	w := &wal{f: f, pageSize: pageSize}
+	w.failAfter.Store(-1)
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -159,6 +164,13 @@ func (w *wal) appendFrame(pageNo uint32, data []byte, txnID uint64, commit bool,
 	if uint32(len(data)) != w.pageSize {
 		return 0, fmt.Errorf("storage: frame data %d bytes, want %d", len(data), w.pageSize)
 	}
+	if n := w.failAfter.Load(); n >= 0 {
+		if n == 0 {
+			w.failAfter.Store(-1)
+			return 0, w.tearFrame(pageNo, data, txnID, commit, pageCount)
+		}
+		w.failAfter.Store(n - 1)
+	}
 	hdr := make([]byte, walFrameHeaderLen)
 	binary.LittleEndian.PutUint32(hdr[0:], pageNo)
 	binary.LittleEndian.PutUint32(hdr[4:], pageCount)
@@ -180,6 +192,29 @@ func (w *wal) appendFrame(pageNo uint32, data []byte, txnID uint64, commit bool,
 	}
 	w.frames.Add(1)
 	return frame, nil
+}
+
+// tearFrame writes the first half of a fully-formed frame at the next frame
+// offset and fails — exactly the bytes a crash mid-append would leave. The
+// frame counter is not advanced: the torn bytes cannot pass CRC validation,
+// so recovery (and any later append overwriting the same offset) treats them
+// as garbage past the end of the log.
+func (w *wal) tearFrame(pageNo uint32, data []byte, txnID uint64, commit bool, pageCount uint32) error {
+	hdr := make([]byte, walFrameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pageNo)
+	binary.LittleEndian.PutUint32(hdr[4:], pageCount)
+	binary.LittleEndian.PutUint64(hdr[8:], txnID)
+	if commit {
+		binary.LittleEndian.PutUint32(hdr[16:], frameFlagCommit)
+	}
+	// Inverted CRC: even if stale bytes at this offset happen to complete
+	// the frame, validation must still reject it.
+	binary.LittleEndian.PutUint32(hdr[20:], ^w.frameCRC(hdr, data))
+	torn := append(hdr, data[:w.pageSize/2]...)
+	if _, err := w.f.WriteAt(torn, w.frameOffset(w.frames.Load())); err != nil {
+		return err
+	}
+	return ErrInjected
 }
 
 // readFrame reads the page image stored in the given frame into buf.

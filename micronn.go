@@ -28,6 +28,21 @@
 // refreshes it. Exact searches, pre-filter plans and Get always use the
 // raw store, preserving their full-precision contracts.
 //
+// # Maintenance
+//
+// Streaming updates are kept healthy incrementally (paper §3.6). Maintain
+// plans and applies one step at a time, each in its own short write
+// transaction: the delta-store is flushed once it exceeds
+// Options.FlushThreshold, partitions over Options.MaxPartitionSize are
+// split by a local k-means over just their own rows, and partitions under
+// Options.MinPartitionSize are merged into their nearest neighbors. Only a
+// never-built index gets a full Rebuild; after that, growth is absorbed
+// one partition at a time, so writers are never blocked behind a
+// whole-index rewrite. Setting Options.AutoMaintain runs this policy on a
+// background goroutine every Options.MaintainInterval; Close drains it.
+// Stats reports the cumulative splits/merges/flushes and the current
+// partition-size bounds.
+//
 // # Quick start
 //
 //	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128})
@@ -43,6 +58,8 @@ package micronn
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"micronn/internal/ivf"
@@ -145,6 +162,21 @@ type Options struct {
 	// FlushThreshold makes Maintain flush the delta-store once it holds
 	// at least this many vectors (default: TargetPartitionSize).
 	FlushThreshold int
+	// MinPartitionSize makes Maintain merge IVF partitions smaller than
+	// this into their neighbors (default: TargetPartitionSize/4).
+	MinPartitionSize int
+	// MaxPartitionSize makes Maintain split IVF partitions larger than
+	// this with a local re-clustering (default: 2*TargetPartitionSize).
+	MaxPartitionSize int
+	// AutoMaintain starts a background maintainer goroutine that runs
+	// Maintain every MaintainInterval: the delta is flushed and partitions
+	// are split/merged asynchronously, so sustained upserts never force a
+	// blocking full rebuild once the index is built. Close drains the
+	// goroutine before closing the store.
+	AutoMaintain bool
+	// MaintainInterval is the background maintainer's poll interval
+	// (default 250ms). Ignored unless AutoMaintain is set.
+	MaintainInterval time.Duration
 	// Attributes declares filterable attributes (create time only).
 	Attributes []AttributeDef
 	// Device selects a resource profile (default DeviceLarge).
@@ -182,6 +214,18 @@ type DB struct {
 	rdb   *reldb.DB
 	ix    *ivf.Index
 	opts  Options
+
+	// Background maintainer lifecycle (nil channels when AutoMaintain is
+	// off). maintStop is closed exactly once by stopMaintainer; maintDone
+	// closes when the goroutine has fully drained.
+	maintStop chan struct{}
+	maintDone chan struct{}
+	stopOnce  sync.Once
+
+	// maintMu guards the maintenance telemetry below.
+	maintMu     sync.Mutex
+	maintTotals MaintenanceTotals
+	lastMaint   *MaintenanceReport
 }
 
 // Item is a vector with its client-assigned id and optional attributes.
@@ -277,11 +321,58 @@ func Open(path string, opts Options) (*DB, error) {
 	if opts.FlushThreshold == 0 {
 		opts.FlushThreshold = ix.Config().TargetPartitionSize
 	}
-	return &DB{store: store, rdb: rdb, ix: ix, opts: opts}, nil
+	db := &DB{store: store, rdb: rdb, ix: ix, opts: opts}
+	if opts.AutoMaintain {
+		interval := opts.MaintainInterval
+		if interval <= 0 {
+			interval = 250 * time.Millisecond
+		}
+		db.maintStop = make(chan struct{})
+		db.maintDone = make(chan struct{})
+		go db.maintainLoop(interval)
+	}
+	return db, nil
 }
 
-// Close checkpoints and closes the database.
-func (db *DB) Close() error { return db.store.Close() }
+// Close drains the background maintainer, then checkpoints and closes the
+// database.
+func (db *DB) Close() error {
+	db.stopMaintainer()
+	return db.store.Close()
+}
+
+// stopMaintainer stops the background maintainer and waits for its current
+// pass to finish. Idempotent; a no-op when AutoMaintain is off.
+func (db *DB) stopMaintainer() {
+	if db.maintStop == nil {
+		return
+	}
+	db.stopOnce.Do(func() { close(db.maintStop) })
+	<-db.maintDone
+}
+
+// maintainLoop is the background maintainer (paper §3.6's index monitor run
+// asynchronously): every tick it plans and applies maintenance steps, each
+// in its own short write transaction, until the index is within policy
+// bounds again. Failed passes are counted, not fatal — the next tick
+// retries.
+func (db *DB) maintainLoop(interval time.Duration) {
+	defer close(db.maintDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.maintStop:
+			return
+		case <-ticker.C:
+			if _, err := db.Maintain(); err != nil {
+				db.maintMu.Lock()
+				db.maintTotals.Errors++
+				db.maintMu.Unlock()
+			}
+		}
+	}
+}
 
 // Dim returns the configured vector dimensionality.
 func (db *DB) Dim() int { return db.ix.Config().Dim }
@@ -611,10 +702,18 @@ func (db *DB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) 
 
 // --- maintenance ---
 
-// MaintenanceReport describes what a maintenance call did.
+// MaintenanceReport describes what a maintenance pass did. A pass may take
+// several steps (e.g. a flush followed by two splits); Action then joins
+// the distinct step names with "+" in execution order.
 type MaintenanceReport struct {
-	// Action is "none", "flush" or "rebuild".
+	// Action is "none", "flush", "rebuild", "split", "merge", or a
+	// "+"-joined sequence of those.
 	Action string
+	// Steps is the number of maintenance steps executed, each in its own
+	// short write transaction.
+	Steps int
+	// Rebuilds/Flushes/Splits/Merges break the steps down by kind.
+	Rebuilds, Flushes, Splits, Merges int
 	// Duration of the maintenance work.
 	Duration time.Duration
 	// RowChanges is the number of database row writes performed — the
@@ -627,13 +726,94 @@ type MaintenanceReport struct {
 }
 
 func report(action string, ms *ivf.MaintenanceStats) *MaintenanceReport {
-	return &MaintenanceReport{
+	rep := &MaintenanceReport{
 		Action:          action,
+		Steps:           1,
 		Duration:        ms.Duration,
 		RowChanges:      ms.RowChanges,
 		VectorsAssigned: ms.VectorsAssigned,
 		Partitions:      ms.Partitions,
 	}
+	rep.count(ivf.MaintenanceAction(action))
+	return rep
+}
+
+// count bumps the per-kind step counter for one executed action.
+func (r *MaintenanceReport) count(a ivf.MaintenanceAction) {
+	switch a {
+	case ivf.ActionRebuild:
+		r.Rebuilds++
+	case ivf.ActionFlush:
+		r.Flushes++
+	case ivf.ActionSplit:
+		r.Splits++
+	case ivf.ActionMerge:
+		r.Merges++
+	}
+}
+
+// absorb folds one executed step into the aggregate report.
+func (r *MaintenanceReport) absorb(plan *ivf.MaintenancePlan, ms *ivf.MaintenanceStats) {
+	name := string(plan.Action)
+	if r.Action == "none" || r.Action == "" {
+		r.Action = name
+	} else if !strings.HasSuffix(r.Action, name) {
+		r.Action += "+" + name
+	}
+	r.Steps++
+	r.count(plan.Action)
+	r.Duration += ms.Duration
+	r.RowChanges += ms.RowChanges
+	r.VectorsAssigned += ms.VectorsAssigned
+	if ms.Partitions > 0 {
+		r.Partitions = ms.Partitions
+	}
+}
+
+// MaintenanceTotals accumulates the maintenance work performed through this
+// handle — manual Rebuild/FlushDelta/Maintain calls and background
+// maintainer passes combined.
+type MaintenanceTotals struct {
+	// Passes counts completed maintenance passes (Maintain calls).
+	Passes int64
+	// Rebuilds/Flushes/Splits/Merges count executed steps by kind.
+	Rebuilds, Flushes, Splits, Merges int64
+	// Errors counts background passes that failed.
+	Errors int64
+}
+
+// recordStep counts one committed maintenance step. Steps are recorded as
+// they commit (not when the pass ends), so totals snapshots taken while a
+// background pass is mid-flight stay accurate.
+func (db *DB) recordStep(a ivf.MaintenanceAction) {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	switch a {
+	case ivf.ActionRebuild:
+		db.maintTotals.Rebuilds++
+	case ivf.ActionFlush:
+		db.maintTotals.Flushes++
+	case ivf.ActionSplit:
+		db.maintTotals.Splits++
+	case ivf.ActionMerge:
+		db.maintTotals.Merges++
+	}
+}
+
+// recordMaintenance marks a finished pass.
+func (db *DB) recordMaintenance(rep *MaintenanceReport) {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	db.maintTotals.Passes++
+	db.lastMaint = rep
+}
+
+// MaintenanceTotals returns the cumulative maintenance counters and the
+// most recent pass's report (nil before the first pass).
+func (db *DB) MaintenanceTotals() (MaintenanceTotals, *MaintenanceReport) {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	return db.maintTotals, db.lastMaint
 }
 
 // Rebuild retrains the IVF quantizer and rewrites all partitions. Queries
@@ -648,7 +828,10 @@ func (db *DB) Rebuild() (*MaintenanceReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report("rebuild", ms), nil
+	rep := report("rebuild", ms)
+	db.recordStep(ivf.ActionRebuild)
+	db.recordMaintenance(rep)
+	return rep, nil
 }
 
 // FlushDelta incrementally merges the delta-store into the IVF partitions.
@@ -662,40 +845,72 @@ func (db *DB) FlushDelta() (*MaintenanceReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report("flush", ms), nil
+	rep := report("flush", ms)
+	db.recordStep(ivf.ActionFlush)
+	db.recordMaintenance(rep)
+	return rep, nil
 }
 
-// Maintain runs the index monitor's policy (paper §3.6): a full rebuild if
-// the average partition size has grown past the threshold (or the index
-// was never built), an incremental delta flush if the delta-store exceeds
-// FlushThreshold, otherwise nothing.
+// maintPolicy derives the ivf maintenance policy from the open options.
+func (db *DB) maintPolicy() ivf.MaintenancePolicy {
+	return ivf.MaintenancePolicy{
+		FlushThreshold:   db.opts.FlushThreshold,
+		MinPartitionSize: db.opts.MinPartitionSize,
+		MaxPartitionSize: db.opts.MaxPartitionSize,
+	}
+}
+
+// maintainStepLimit bounds a single Maintain pass: under a sustained write
+// storm the pass yields instead of chasing the delta forever (the next pass
+// picks up where it left off).
+const maintainStepLimit = 256
+
+// Maintain runs the index monitor's policy (paper §3.6): an initial full
+// build if the index was never built, then incremental steps only — delta
+// flushes past FlushThreshold, splits of partitions over MaxPartitionSize,
+// merges of partitions under MinPartitionSize. Each step plans AND executes
+// inside one short write transaction (the decision can never act on a stale
+// snapshot), and the pass loops until the planner reports a healthy index.
+// Once built, Maintain never falls back to a full rebuild: growth is
+// absorbed one partition at a time, keeping writers responsive throughout.
 func (db *DB) Maintain() (*MaintenanceReport, error) {
-	var needsRebuild bool
-	var deltaCount int64
-	err := db.store.View(func(rt *storage.ReadTxn) error {
-		var verr error
-		needsRebuild, verr = db.ix.NeedsRebuild(rt)
-		if verr != nil {
-			return verr
+	rep := &MaintenanceReport{Action: "none"}
+	for i := 0; i < maintainStepLimit; i++ {
+		// Read-only pre-check: a healthy index (the common case for every
+		// idle AutoMaintain tick) must not cost concurrent writers the
+		// exclusive writer lock. MaintainStep re-plans inside the write
+		// transaction, so the authoritative decision still shares a
+		// snapshot with the action it takes.
+		var preview *ivf.MaintenancePlan
+		err := db.store.View(func(rt *storage.ReadTxn) error {
+			var perr error
+			preview, perr = db.ix.PlanMaintenance(rt, db.maintPolicy())
+			return perr
+		})
+		if err != nil {
+			return nil, err
 		}
-		st, verr := db.ix.Stats(rt)
-		if verr != nil {
-			return verr
+		if preview.Action == ivf.ActionNone {
+			break
 		}
-		deltaCount = st.DeltaCount
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		var plan *ivf.MaintenancePlan
+		var ms *ivf.MaintenanceStats
+		err = db.store.Update(func(wt *storage.WriteTxn) error {
+			var serr error
+			plan, ms, serr = db.ix.MaintainStep(wt, db.maintPolicy())
+			return serr
+		})
+		if err != nil {
+			return nil, err
+		}
+		if plan.Action == ivf.ActionNone {
+			break
+		}
+		db.recordStep(plan.Action)
+		rep.absorb(plan, ms)
 	}
-	switch {
-	case needsRebuild:
-		return db.Rebuild()
-	case deltaCount >= int64(db.opts.FlushThreshold):
-		return db.FlushDelta()
-	default:
-		return &MaintenanceReport{Action: "none"}, nil
-	}
+	db.recordMaintenance(rep)
+	return rep, nil
 }
 
 // Analyze refreshes the attribute statistics used by the hybrid optimizer.
@@ -717,8 +932,23 @@ type Stats struct {
 	NumPartitions int64
 	// AvgPartitionSize is the mean IVF partition size.
 	AvgPartitionSize float64
-	// NeedsRebuild mirrors the index monitor's growth trigger.
+	// SmallestPartition / LargestPartition are the observed smallest and
+	// largest IVF partition sizes (0 when the index has no partitions) —
+	// what incremental maintenance keeps inside the configured
+	// Options.MinPartitionSize/MaxPartitionSize bounds. Named differently
+	// from those knobs on purpose: one pair is policy, this pair is
+	// measurement.
+	SmallestPartition int64
+	LargestPartition  int64
+	// NeedsRebuild mirrors the legacy growth trigger; with incremental
+	// maintenance active it is informational (growth is absorbed by
+	// splits, never a full rebuild).
 	NeedsRebuild bool
+	// Maintenance accumulates the maintenance work done on this handle.
+	Maintenance MaintenanceTotals
+	// LastMaintainAction is the most recent maintenance pass's action
+	// ("" before the first pass).
+	LastMaintainAction string
 	// CacheBytes is current buffer-pool memory; CacheBudget the limit.
 	CacheBytes  int64
 	CacheBudget int64
@@ -743,12 +973,22 @@ func (db *DB) Stats() (Stats, error) {
 		out.DeltaCount = st.DeltaCount
 		out.NumPartitions = st.NumPartitions
 		out.AvgPartitionSize = st.AvgPartitionSize
+		out.SmallestPartition, out.LargestPartition, err = db.ix.PartitionSizeBounds(rt)
+		if err != nil {
+			return err
+		}
 		out.NeedsRebuild, err = db.ix.NeedsRebuild(rt)
 		return err
 	})
 	if err != nil {
 		return out, err
 	}
+	db.maintMu.Lock()
+	out.Maintenance = db.maintTotals
+	if db.lastMaint != nil {
+		out.LastMaintainAction = db.lastMaint.Action
+	}
+	db.maintMu.Unlock()
 	ss := db.store.Stats()
 	out.CacheBytes = ss.PoolBytes
 	out.CacheBudget = db.store.PoolBudget()
