@@ -651,3 +651,146 @@ func BenchmarkMaintenanceEpoch(b *testing.B) {
 	b.ReportMetric(recallSum/float64(b.N), "recall@10")
 	b.ReportMetric(float64(rowChanges)/float64(b.N), "row-changes/op")
 }
+
+// --- Sharding ---
+
+// benchShardedSearch measures search tail latency under a sustained upsert
+// stream at a given shard count (0 = the single-store baseline): a writer
+// goroutine streams batches with auto-maintain running while the measured
+// loop times queries and sums scanned bytes; recall@10 is then measured
+// against exact search on the quiesced final state (measuring it mid-storm
+// would compare against a moving ground truth). Reported metrics feed the
+// BENCH_* trajectory per variant: search-p99-ms, recall@10 and
+// scan-bytes/op.
+func benchShardedSearch(b *testing.B, shards int) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	opts := micronn.Options{
+		Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+		TargetPartitionSize: 100, Shards: shards,
+		AutoMaintain: true, MaintainInterval: 10 * time.Millisecond,
+	}
+	var db micronn.Store
+	if shards == 0 {
+		db, err = micronn.Open(filepath.Join(b.TempDir(), "sb.mnn"), opts)
+	} else {
+		db, err = micronn.OpenSharded(filepath.Join(b.TempDir(), "sb.d"), opts)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	insert := func(prefix string, lo, hi int) error {
+		items := make([]micronn.Item, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			items = append(items, micronn.Item{
+				ID:     fmt.Sprintf("%s-%d", prefix, i),
+				Vector: ds.Train.Row(i % ds.Train.Rows),
+			})
+		}
+		return db.UpsertBatch(items)
+	}
+	if err := insert("b", 0, ds.Train.Rows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Rebuild(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Sustained upserts for the whole measurement.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	werrCh := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := i * 100
+			if err := insert("w", lo, lo+100); err != nil {
+				werrCh <- err
+				return
+			}
+		}
+	}()
+
+	const measured = 32
+	var p99Sum float64
+	var bytesScanned int64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		durs := make([]float64, 0, measured)
+		for q := 0; q < measured; q++ {
+			qv := ds.Queries.Row(q % ds.Queries.Rows)
+			start := time.Now()
+			resp, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, NProbe: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			durs = append(durs, float64(time.Since(start).Nanoseconds())/1e6)
+			bytesScanned += resp.Plan.BytesScanned
+		}
+		sort.Float64s(durs)
+		p99Sum += durs[len(durs)*99/100]
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	select {
+	case werr := <-werrCh:
+		b.Fatal(werr)
+	default:
+	}
+	if _, err := db.Maintain(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Recall on the quiesced final state: approximate and exact search now
+	// see the same collection.
+	var recall float64
+	for q := 0; q < measured; q++ {
+		qv := ds.Queries.Row(q % ds.Queries.Rows)
+		resp, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, NProbe: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, Exact: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := make(map[string]bool, len(exact.Results))
+		for _, r := range exact.Results {
+			want[r.ID] = true
+		}
+		hits := 0
+		for _, r := range resp.Results {
+			if want[r.ID] {
+				hits++
+			}
+		}
+		if len(exact.Results) > 0 {
+			recall += float64(hits) / float64(len(exact.Results))
+		}
+	}
+	b.ReportMetric(p99Sum/float64(b.N), "search-p99-ms")
+	b.ReportMetric(recall/measured, "recall@10")
+	b.ReportMetric(float64(bytesScanned)/float64(b.N*measured), "scan-bytes/op")
+}
+
+// BenchmarkShardedSearch runs the sustained-upsert search workload on the
+// single-store baseline and at 1/2/4 shards (the `shards` scenario in
+// cmd/micronn-bench sweeps further and prints verdicts).
+func BenchmarkShardedSearch(b *testing.B) {
+	b.Run("single", func(b *testing.B) { benchShardedSearch(b, 0) })
+	b.Run("shards=1", func(b *testing.B) { benchShardedSearch(b, 1) })
+	b.Run("shards=2", func(b *testing.B) { benchShardedSearch(b, 2) })
+	b.Run("shards=4", func(b *testing.B) { benchShardedSearch(b, 4) })
+}

@@ -10,6 +10,11 @@
 //	micronn -db photos.mnn rebuild
 //	micronn -db photos.mnn search -id v00000042 -k 10
 //	micronn -db photos.mnn stats
+//
+// With create -shards N the path becomes a sharded database directory (one
+// independent store per shard plus a topology manifest); every other
+// command detects the manifest and routes through the sharded API
+// automatically.
 package main
 
 import (
@@ -23,8 +28,22 @@ import (
 
 	"micronn"
 	"micronn/internal/quant"
+	"micronn/internal/storage"
 	"micronn/internal/workload"
 )
+
+// openDB opens path as a sharded database when it is a directory carrying a
+// topology manifest, and as a single-store database otherwise.
+func openDB(path string, opts micronn.Options) (micronn.Store, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		if _, ok, err := storage.ReadManifest(path); err != nil {
+			return nil, err
+		} else if ok {
+			return micronn.OpenSharded(path, opts)
+		}
+	}
+	return micronn.Open(path, opts)
+}
 
 func main() {
 	db := flag.String("db", "micronn.mnn", "database path")
@@ -67,7 +86,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: micronn -db <path> <command> [flags]
 
 commands:
-  create  -dim N [-metric L2|cosine|dot] [-partition-size N] [-quant none|sq8]
+  create  -dim N [-metric L2|cosine|dot] [-partition-size N] [-quant none|sq8] [-shards N]
   load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
   rebuild                           full index rebuild
   flush                             incremental delta flush
@@ -86,6 +105,7 @@ func cmdCreate(path string, args []string) error {
 	metric := fs.String("metric", "L2", "distance metric: L2, cosine, dot")
 	partSize := fs.Int("partition-size", 100, "target IVF partition size")
 	quantName := fs.String("quant", "none", "partition-scan quantization: none, sq8")
+	shards := fs.Int("shards", 0, "hash-partition across N independent stores (path becomes a directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,7 +127,18 @@ func cmdCreate(path string, args []string) error {
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
-	d, err := micronn.Open(path, micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q})
+	opts := micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q}
+	if *shards > 0 {
+		opts.Shards = *shards
+		sd, err := micronn.OpenSharded(path, opts)
+		if err != nil {
+			return err
+		}
+		defer sd.Close()
+		fmt.Printf("created %s (dim=%d, metric=%s, shards=%d)\n", path, *dim, *metric, *shards)
+		return nil
+	}
+	d, err := micronn.Open(path, opts)
 	if err != nil {
 		return err
 	}
@@ -123,7 +154,7 @@ func cmdLoad(path string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := micronn.Open(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{})
 	if err != nil {
 		return err
 	}
@@ -151,7 +182,7 @@ func cmdLoad(path string, args []string) error {
 }
 
 func cmdRebuild(path string) error {
-	d, err := micronn.Open(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{})
 	if err != nil {
 		return err
 	}
@@ -166,7 +197,7 @@ func cmdRebuild(path string) error {
 }
 
 func cmdFlush(path string) error {
-	d, err := micronn.Open(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{})
 	if err != nil {
 		return err
 	}
@@ -189,7 +220,7 @@ func cmdMaintain(path string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := micronn.Open(path, micronn.Options{
+	d, err := openDB(path, micronn.Options{
 		FlushThreshold:   *flush,
 		MinPartitionSize: *min,
 		MaxPartitionSize: *max,
@@ -229,7 +260,7 @@ func cmdSearch(path string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := micronn.Open(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{})
 	if err != nil {
 		return err
 	}
@@ -280,7 +311,7 @@ func cmdDelete(path string, args []string) error {
 	if *id == "" {
 		return fmt.Errorf("delete: -id required")
 	}
-	d, err := micronn.Open(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{})
 	if err != nil {
 		return err
 	}
@@ -293,13 +324,22 @@ func cmdDelete(path string, args []string) error {
 }
 
 func cmdStats(path string) error {
-	d, err := micronn.Open(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	st, err := d.Stats()
-	if err != nil {
+	// On a sharded database collect the per-shard stats once and aggregate
+	// locally, so the totals and the breakdown describe the same pass.
+	var st micronn.Stats
+	var perShard []micronn.Stats
+	sd, sharded := d.(*micronn.ShardedDB)
+	if sharded {
+		if perShard, err = sd.ShardStats(); err != nil {
+			return err
+		}
+		st = micronn.AggregateStats(perShard)
+	} else if st, err = d.Stats(); err != nil {
 		return err
 	}
 	fmt.Printf("vectors:          %d\n", st.NumVectors)
@@ -310,5 +350,12 @@ func cmdStats(path string) error {
 		float64(st.CacheBytes)/(1<<20), float64(st.CacheBudget)/(1<<20), st.CacheHits, st.CacheMisses)
 	fmt.Printf("file size:        %.1f MiB (WAL %.1f MiB)\n",
 		float64(st.FileBytes)/(1<<20), float64(st.WALBytes)/(1<<20))
+	if sharded {
+		fmt.Printf("shards:           %d (hash seed %d)\n", sd.Shards(), sd.Manifest().HashSeed)
+		for i, s := range perShard {
+			fmt.Printf("  shard %03d:      %d vectors (%d delta), %d partitions, %.1f MiB\n",
+				i, s.NumVectors, s.DeltaCount, s.NumPartitions, float64(s.FileBytes)/(1<<20))
+		}
+	}
 	return nil
 }

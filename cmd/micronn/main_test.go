@@ -44,6 +44,38 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 }
 
+// TestCLIShardedWorkflow drives every command against a sharded database
+// directory: create -shards writes the manifest, and all later commands
+// detect it and route through the sharded API.
+func TestCLIShardedWorkflow(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "cli.d")
+
+	if err := cmdCreate(db, []string{"-dim", "16", "-partition-size", "50", "-shards", "3"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := cmdLoad(db, []string{"-n", "600", "-seed", "7"}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := cmdRebuild(db); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := cmdSearch(db, []string{"-id", "v00000042", "-k", "5"}); err != nil {
+		t.Fatalf("search by id: %v", err)
+	}
+	if err := cmdStats(db); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdDelete(db, []string{"-id", "v00000042"}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := cmdDelete(db, []string{"-id", "v00000042"}); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	if err := cmdMaintain(db, []string{"-flush-threshold", "50", "-max", "100"}); err != nil {
+		t.Fatalf("maintain: %v", err)
+	}
+}
+
 func TestCLIValidation(t *testing.T) {
 	db := filepath.Join(t.TempDir(), "v.mnn")
 	if err := cmdCreate(db, nil); err == nil {

@@ -6,10 +6,15 @@
 // incremental splits and merges — a built index is never stalled behind a
 // full rebuild. The example tracks recall against exact search throughout.
 //
-//	go run ./examples/streaming-updates
+// With -shards N the same stream runs against a sharded database: N
+// independent stores, each with its own background maintainer, behind one
+// scatter-gather handle.
+//
+//	go run ./examples/streaming-updates [-shards 4]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,13 +33,16 @@ const (
 )
 
 func main() {
+	shards := flag.Int("shards", 0, "hash-partition across N independent stores (0 = single store)")
+	flag.Parse()
+
 	dir, err := os.MkdirTemp("", "micronn-streaming-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := micronn.Open(filepath.Join(dir, "stream.mnn"), micronn.Options{
+	opts := micronn.Options{
 		Dim:                 dim,
 		TargetPartitionSize: 100,
 		FlushThreshold:      200, // flush the delta once it holds 200 vectors
@@ -42,11 +50,19 @@ func main() {
 		MinPartitionSize:    25,  // merge partitions below 25 vectors
 		AutoMaintain:        true,
 		MaintainInterval:    50 * time.Millisecond,
-	})
+		Shards:              *shards,
+	}
+	// micronn.Store runs the identical stream against either flavor.
+	var db micronn.Store
+	if *shards > 0 {
+		db, err = micronn.OpenSharded(filepath.Join(dir, "stream.d"), opts)
+	} else {
+		db, err = micronn.Open(filepath.Join(dir, "stream.mnn"), opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close() // Close drains the background maintainer
+	defer db.Close() // Close drains the background maintainer(s)
 
 	// Embedding-like data: a Gaussian mixture (real embedding spaces are
 	// clustered; isotropic noise would make any IVF index look bad).

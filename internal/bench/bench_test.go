@@ -174,6 +174,32 @@ func TestMaintenanceRunnerSmoke(t *testing.T) {
 	}
 }
 
+// TestShardsRunnerSmoke runs the sharding scenario at tiny scale and
+// asserts the acceptance criteria it prints: recall@10 parity within 1
+// point of the single store at every shard count (the p99 criterion is
+// judged only on multi-core hosts, where the scatter can actually overlap).
+func TestShardsRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	cfg := tinyConfig(t, &out)
+	cfg.Scale = 0.002
+	cfg.QuerySample = 10
+	if err := Shards(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"single-store", "1-shard", "2-shard", "4-shard", "8-shard"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("shards output missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "VIOLATION") {
+		t.Errorf("shards scenario reported a violation:\n%s", s)
+	}
+}
+
 // TestQuantizationScanBytesReduction asserts the acceptance criterion at
 // the bench layer: on the same dataset and probe settings, SQ8 scans at
 // least 2x fewer bytes than float32 while keeping recall@K within 95% of

@@ -21,6 +21,11 @@ type BatchOptions struct {
 	// RerankFactor overrides the quantized-search rerank multiplier
 	// (0 = Config.RerankFactor). Ignored on unquantized indexes.
 	RerankFactor int
+	// CandidatesOnly skips the per-query exact rerank on a quantized index
+	// and returns each query's RerankFactor*K approximate candidates
+	// (BatchInfo.CandidatesApprox is then set). Unquantized batches return
+	// their usual exact results. See SearchOptions.CandidatesOnly.
+	CandidatesOnly bool
 }
 
 // BatchInfo reports batch execution statistics.
@@ -40,6 +45,9 @@ type BatchInfo struct {
 	BytesScanned int64
 	// Reranked counts quantized candidates recomputed at full precision.
 	Reranked int64
+	// CandidatesApprox marks a CandidatesOnly batch whose distances are
+	// approximate SQ8 distances; the caller owes the exact rerank.
+	CandidatesApprox bool
 }
 
 // BatchSearch executes a batch of queries with multi-query optimization
@@ -145,7 +153,8 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 	}
 
 	out := make([][]topk.Result, nq)
-	if cb == nil {
+	if cb == nil || opts.CandidatesOnly {
+		info.CandidatesApprox = cb != nil
 		for i := range heaps {
 			out[i] = heaps[i].Results()
 		}

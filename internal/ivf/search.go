@@ -66,6 +66,14 @@ type SearchOptions struct {
 	// before the exact rerank (0 = Config.RerankFactor, default 4).
 	// Ignored on unquantized indexes.
 	RerankFactor int
+	// CandidatesOnly skips the final exact rerank on a quantized post-
+	// filter scan and returns the merged RerankFactor*K approximate
+	// candidates instead of the top K (PlanInfo.CandidatesApprox is then
+	// set). Paths that are already exact — unquantized scans, pre-filter
+	// plans, Exact searches — return their usual results unchanged. The
+	// sharded router uses this to pool candidates from every shard before
+	// one global rerank, so cross-shard recall matches a single store.
+	CandidatesOnly bool
 }
 
 // PlanInfo reports how a query executed.
@@ -84,6 +92,10 @@ type PlanInfo struct {
 	// Reranked counts quantized candidates recomputed at full precision
 	// against the raw store.
 	Reranked int
+	// CandidatesApprox marks a CandidatesOnly result whose distances are
+	// approximate SQ8 distances: the caller owes the exact rerank (see
+	// RerankCandidates).
+	CandidatesApprox bool
 }
 
 // Search performs (approximate or exact) K-nearest-neighbour search with
@@ -274,8 +286,12 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 	if ctx.qq == nil {
 		return topk.Merge(k, heaps...), nil
 	}
-	// Exact rerank of the approximate candidates (paper's refine step).
 	cands := topk.Merge(heapK, heaps...)
+	if opts.CandidatesOnly {
+		info.CandidatesApprox = true
+		return cands, nil
+	}
+	// Exact rerank of the approximate candidates (paper's refine step).
 	res, rerankBytes, err := ix.rerankExact(txn, q, cands, k)
 	if err != nil {
 		return nil, err
@@ -324,6 +340,26 @@ func (ix *Index) exactQuantScan(txn btree.ReadTxn, q []float32, opts SearchOptio
 	}
 	info.PartitionsScanned += nparts
 	return res, nil
+}
+
+// RerankCandidates recomputes exact distances for cands — typically the
+// pooled output of CandidatesOnly searches — against the raw store and
+// returns the top k with the raw bytes read. Every candidate must belong to
+// this index (its raw store holds the vid). Only valid on a quantized index.
+func (ix *Index) RerankCandidates(txn btree.ReadTxn, q []float32, cands []topk.Result, k int) ([]topk.Result, int64, error) {
+	if ix.rawvecs == nil {
+		return nil, 0, fmt.Errorf("ivf: RerankCandidates on an unquantized index")
+	}
+	return ix.rerankExact(txn, q, cands, k)
+}
+
+// ForEachAsset streams every stored asset id at txn's snapshot, in key
+// order. The sharded invariant battery uses it to prove no asset id lives in
+// two shards and that every id hashes to the shard holding it.
+func (ix *Index) ForEachAsset(txn btree.ReadTxn, fn func(asset string) error) error {
+	return ix.assets.ScanKeys(txn, nil, func(key reldb.Row) error {
+		return fn(key[0].Str)
+	})
 }
 
 // rerankExact recomputes full-precision distances for cands from the raw

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Sharded-database directory layout. A sharded MicroNN database is a
+// directory holding one fully independent store per shard — each with its
+// own page file, WAL and lock — plus a manifest that pins the topology:
+//
+//	<dir>/MANIFEST.json
+//	<dir>/shard-000/data.mnn      (+ -wal, .lock)
+//	<dir>/shard-001/data.mnn
+//	...
+//
+// The manifest records the shard count and the hash seed that routed items
+// to shards at write time. Both are immutable for the life of the database:
+// reopening with a different topology would silently mis-route every lookup,
+// so ValidateManifestDir refuses mismatched counts, missing shard
+// directories and stray shard directories alike.
+
+// ManifestName is the topology file's name inside a sharded database dir.
+const ManifestName = "MANIFEST.json"
+
+// manifestVersion is the current manifest format version.
+const manifestVersion = 1
+
+// Manifest pins a sharded database's topology.
+type Manifest struct {
+	// Version is the manifest format version (currently 1).
+	Version int `json:"version"`
+	// Shards is the immutable shard count items are hashed across.
+	Shards int `json:"shards"`
+	// HashSeed seeds the id hash; it must be identical on every open or
+	// ids would route to the wrong shard.
+	HashSeed uint64 `json:"hash_seed"`
+}
+
+func (m Manifest) validate() error {
+	if m.Version != manifestVersion {
+		return fmt.Errorf("storage: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("storage: manifest shard count %d, want >= 1", m.Shards)
+	}
+	return nil
+}
+
+// ShardDir returns the directory of shard i inside dir.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// ShardDBPath returns the page-store path of shard i inside dir.
+func ShardDBPath(dir string, i int) string {
+	return filepath.Join(ShardDir(dir, i), "data.mnn")
+}
+
+// WriteManifest creates dir (if needed) and persists the manifest. The file
+// is written to a temp name and renamed, so a crash mid-write never leaves a
+// half manifest behind.
+func WriteManifest(dir string, m Manifest) error {
+	m.Version = manifestVersion
+	if err := m.validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ManifestName))
+}
+
+// ReadManifest loads and validates dir's manifest. It returns ok=false with
+// a nil error when no manifest exists (dir is not a sharded database).
+func ReadManifest(dir string) (Manifest, bool, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return Manifest{}, false, err
+	}
+	return m, true, nil
+}
+
+// ValidateManifestDir cross-checks the manifest against the directory: every
+// declared shard directory must exist and no undeclared shard-* directory
+// may be present. Used on open and by the sharded invariant battery.
+func ValidateManifestDir(dir string, m Manifest) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	found := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			found[e.Name()] = true
+		}
+	}
+	for i := 0; i < m.Shards; i++ {
+		name := filepath.Base(ShardDir(dir, i))
+		if !found[name] {
+			return fmt.Errorf("storage: manifest declares %d shards but %s is missing", m.Shards, name)
+		}
+		delete(found, name)
+	}
+	if len(found) > 0 {
+		stray := make([]string, 0, len(found))
+		for name := range found {
+			stray = append(stray, name)
+		}
+		sort.Strings(stray)
+		return fmt.Errorf("storage: shard directories %v not declared by the manifest (%d shards)", stray, m.Shards)
+	}
+	return nil
+}

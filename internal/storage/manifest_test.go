@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db.d")
+	if _, ok, err := ReadManifest(dir); err != nil || ok {
+		t.Fatalf("missing dir: ok=%v err=%v, want absent", ok, err)
+	}
+	m := Manifest{Version: 1, Shards: 4, HashSeed: 0xdeadbeef}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadManifest: ok=%v err=%v", ok, err)
+	}
+	if got != m {
+		t.Fatalf("round trip %+v != %+v", got, m)
+	}
+}
+
+func TestManifestRejectsBadTopology(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db.d")
+	if err := WriteManifest(dir, Manifest{Shards: 0}); err == nil {
+		t.Error("zero shard count should fail validation")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"version":99,"shards":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadManifest(dir); err == nil {
+		t.Error("unknown manifest version should fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadManifest(dir); err == nil {
+		t.Error("corrupt manifest should fail")
+	}
+}
+
+func TestValidateManifestDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db.d")
+	m := Manifest{Version: 1, Shards: 2}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifestDir(dir, m); err == nil {
+		t.Error("missing shard dirs should fail")
+	}
+	for i := 0; i < 2; i++ {
+		if err := os.MkdirAll(ShardDir(dir, i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ValidateManifestDir(dir, m); err != nil {
+		t.Errorf("complete topology rejected: %v", err)
+	}
+	if err := os.MkdirAll(ShardDir(dir, 7), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifestDir(dir, m); err == nil {
+		t.Error("stray shard dir should fail")
+	}
+}

@@ -43,6 +43,23 @@
 // Stats reports the cumulative splits/merges/flushes and the current
 // partition-size bounds.
 //
+// # Sharding
+//
+// OpenSharded hash-partitions a collection across N fully independent
+// stores under one directory — each shard has its own page file, WAL, IVF
+// index, SQ8 codebook and background maintainer, and a manifest pins the
+// shard count and hash seed so every reopen routes identically (topology
+// mismatches fail fast). Point operations touch exactly one shard; Search
+// and BatchSearch scatter to every shard in parallel, spread the NProbe
+// budget over the shard set, and merge the per-shard candidates — on a
+// quantized database the pooled top RerankFactor*K candidates are reranked
+// exactly on their owning shards, so recall matches a single store. Stats,
+// Maintain and Snapshot aggregate across shards; Close drains every
+// shard's maintainer. Batched writes commit one transaction per shard
+// (atomic per shard, not across shards).
+//
+//	sdb, err := micronn.OpenSharded("photos.d", micronn.Options{Dim: 128, Shards: 4})
+//
 // # Quick start
 //
 //	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128})
@@ -62,6 +79,7 @@ import (
 	"sync"
 	"time"
 
+	"micronn/internal/btree"
 	"micronn/internal/ivf"
 	"micronn/internal/quant"
 	"micronn/internal/reldb"
@@ -205,6 +223,11 @@ type Options struct {
 	RerankFactor int
 	// Seed makes index construction deterministic.
 	Seed int64
+	// Shards is the shard count for OpenSharded (create time only): items
+	// are hashed by id across this many independent stores. The count is
+	// persisted in the directory manifest; reopening with a different
+	// non-zero value fails. Ignored by Open.
+	Shards int
 }
 
 // DB is an embedded MicroNN database. All methods are safe for concurrent
@@ -428,21 +451,29 @@ func (db *DB) DeleteBatch(ids []string) error {
 func (db *DB) Get(id string) (*Item, error) {
 	var item *Item
 	err := db.store.View(func(rt *storage.ReadTxn) error {
-		v, attrs, err := db.ix.GetVector(rt, id)
-		if errors.Is(err, ivf.ErrNotFound) {
-			return ErrNotFound
-		}
-		if err != nil {
-			return err
-		}
-		out := make(map[string]any, len(attrs))
-		for k, val := range attrs {
-			out[k] = valueToAny(val)
-		}
-		item = &Item{ID: id, Vector: v, Attributes: out}
-		return nil
+		var err error
+		item, err = getItem(db.ix, rt, id)
+		return err
 	})
 	return item, err
+}
+
+// getItem fetches one item at txn's snapshot, translating the index's
+// not-found error and converting attributes — shared by DB.Get,
+// Snapshot.Get and ShardedSnapshot.Get.
+func getItem(ix *ivf.Index, txn btree.ReadTxn, id string) (*Item, error) {
+	v, attrs, err := ix.GetVector(txn, id)
+	if errors.Is(err, ivf.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]any, len(attrs))
+	for k, val := range attrs {
+		out[k] = valueToAny(val)
+	}
+	return &Item{ID: id, Vector: v, Attributes: out}, nil
 }
 
 func convertAttrs(in map[string]any) (map[string]reldb.Value, error) {

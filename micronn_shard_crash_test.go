@@ -1,0 +1,380 @@
+package micronn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"micronn/internal/storage"
+)
+
+// shardCrashEnv drives the randomized-interleaving crash battery: a seeded
+// random schedule of upserts, deletes and maintenance runs against a
+// sharded DB while WAL failpoints trip at random frame offsets on random
+// shards. Every injected crash closes all shards without checkpointing (as
+// a power cut would), reopens them through recovery, reconciles the mirror
+// against what actually committed, and re-checks the full invariant
+// battery — per-shard index invariants plus the cross-shard placement and
+// manifest topology checks.
+type shardCrashEnv struct {
+	t    *testing.T
+	rng  *rand.Rand
+	dir  string
+	opts Options
+	sdb  *ShardedDB
+	// live mirrors the expected committed state; after an injected failure
+	// the touched ids are reconciled against the recovered database.
+	live   map[string][]float32
+	nextID int
+}
+
+func newShardCrashEnv(t *testing.T, rng *rand.Rand, opts Options) *shardCrashEnv {
+	e := &shardCrashEnv{
+		t: t, rng: rng,
+		dir:  filepath.Join(t.TempDir(), "crash.d"),
+		opts: opts,
+		live: make(map[string][]float32),
+	}
+	sdb, err := OpenSharded(e.dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.sdb = sdb
+	t.Cleanup(func() { e.sdb.Close() })
+	return e
+}
+
+// crash closes every shard without checkpointing and reopens the whole
+// sharded database through recovery.
+func (e *shardCrashEnv) crash() {
+	e.t.Helper()
+	for _, sh := range e.sdb.shards {
+		sh.stopMaintainer()
+		if err := sh.store.CloseWithoutCheckpoint(); err != nil {
+			e.t.Fatal(err)
+		}
+	}
+	reopened, err := OpenSharded(e.dir, e.opts)
+	if err != nil {
+		e.t.Fatalf("reopen after crash: %v", err)
+	}
+	e.sdb = reopened
+}
+
+func (e *shardCrashEnv) newVec() []float32 {
+	v := make([]float32, e.opts.Dim)
+	for j := range v {
+		v[j] = float32(e.rng.NormFloat64())
+	}
+	return v
+}
+
+// armRandomFailpoint arms a one-shot torn-frame injection on one random
+// shard at a random frame countdown, returning the armed shard.
+func (e *shardCrashEnv) armRandomFailpoint() int {
+	shard := e.rng.Intn(e.sdb.Shards())
+	e.sdb.Shard(shard).InternalStore().SetWALFailpoint(e.rng.Intn(40) + 1)
+	return shard
+}
+
+func (e *shardCrashEnv) disarmAll() {
+	for _, sh := range e.sdb.shards {
+		sh.store.SetWALFailpoint(-1)
+	}
+}
+
+// opUpsert runs one randomized upsert batch (new ids mixed with re-upserts
+// of live ids) and returns the items and the error.
+func (e *shardCrashEnv) opUpsert() ([]Item, error) {
+	n := e.rng.Intn(25) + 5
+	items := make([]Item, 0, n)
+	ids := e.liveIDs()
+	for i := 0; i < n; i++ {
+		var id string
+		if len(ids) > 0 && e.rng.Intn(3) == 0 {
+			id = ids[e.rng.Intn(len(ids))] // re-upsert moves an id
+		} else {
+			id = fmt.Sprintf("c-%05d", e.nextID)
+			e.nextID++
+		}
+		items = append(items, Item{ID: id, Vector: e.newVec()})
+	}
+	err := e.sdb.UpsertBatch(items)
+	if err == nil {
+		for _, it := range items {
+			e.live[it.ID] = it.Vector
+		}
+	}
+	return items, err
+}
+
+// opDelete removes a random handful of live ids.
+func (e *shardCrashEnv) opDelete() ([]string, error) {
+	ids := e.liveIDs()
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	n := e.rng.Intn(10) + 1
+	if n > len(ids) {
+		n = len(ids)
+	}
+	pick := make([]string, n)
+	for i := range pick {
+		pick[i] = ids[e.rng.Intn(len(ids))]
+	}
+	err := e.sdb.DeleteBatch(pick)
+	if err == nil {
+		for _, id := range pick {
+			delete(e.live, id)
+		}
+	}
+	return pick, err
+}
+
+func (e *shardCrashEnv) liveIDs() []string {
+	ids := make([]string, 0, len(e.live))
+	for id := range e.live {
+		ids = append(ids, id)
+	}
+	// Map order is random but not seeded; sort for schedule determinism.
+	sort.Strings(ids)
+	return ids
+}
+
+// reconcileUpsert resolves what an injected-failure upsert batch actually
+// committed. Sub-batches are per-shard transactions, so within one shard
+// the batch must be all-or-nothing; the mirror adopts whichever outcome the
+// recovered database shows.
+func (e *shardCrashEnv) reconcileUpsert(items []Item) {
+	e.t.Helper()
+	byShard := make(map[int][]Item)
+	for _, it := range items {
+		s := e.sdb.shardOf(it.ID)
+		byShard[s] = append(byShard[s], it)
+	}
+	for shard, group := range byShard {
+		applied := 0
+		for _, it := range group {
+			got, err := e.sdb.Get(it.ID)
+			switch {
+			case err == nil && vecEqual(got.Vector, it.Vector):
+				applied++
+				e.live[it.ID] = it.Vector
+			case err == nil:
+				// Old value survived (or a later re-upsert in the same batch
+				// targeted this id; the last write in the txn wins, which the
+				// all-or-nothing check below tolerates only for duplicates).
+			case errors.Is(err, ErrNotFound):
+				delete(e.live, it.ID)
+			default:
+				e.t.Fatalf("reconcile Get(%q): %v", it.ID, err)
+			}
+		}
+		if applied != 0 && applied != len(group) && !hasDuplicateIDs(group) {
+			e.t.Fatalf("shard %d sub-batch partially applied: %d of %d items (per-shard atomicity broken)", shard, applied, len(group))
+		}
+	}
+}
+
+func hasDuplicateIDs(items []Item) bool {
+	seen := make(map[string]bool, len(items))
+	for _, it := range items {
+		if seen[it.ID] {
+			return true
+		}
+		seen[it.ID] = true
+	}
+	return false
+}
+
+// reconcileDelete resolves an injected-failure delete batch the same way.
+func (e *shardCrashEnv) reconcileDelete(ids []string) {
+	e.t.Helper()
+	for _, id := range ids {
+		_, err := e.sdb.Get(id)
+		switch {
+		case err == nil:
+			// Delete did not commit; the mirror keeps its value.
+		case errors.Is(err, ErrNotFound):
+			delete(e.live, id)
+		default:
+			e.t.Fatalf("reconcile Get(%q): %v", id, err)
+		}
+	}
+}
+
+func vecEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verify runs the full sharded invariant battery plus mirror count, sample
+// lookups and a working search.
+func (e *shardCrashEnv) verify(step string) {
+	e.t.Helper()
+	if err := e.sdb.CheckInvariants(); err != nil {
+		e.t.Fatalf("%s: %v", step, err)
+	}
+	st, err := e.sdb.Stats()
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	if st.NumVectors != int64(len(e.live)) {
+		e.t.Fatalf("%s: NumVectors = %d, mirror holds %d", step, st.NumVectors, len(e.live))
+	}
+	checked := 0
+	for id, want := range e.live {
+		if checked >= 10 {
+			break
+		}
+		checked++
+		got, err := e.sdb.Get(id)
+		if err != nil {
+			e.t.Fatalf("%s: Get(%q): %v", step, id, err)
+		}
+		if !vecEqual(got.Vector, want) {
+			e.t.Fatalf("%s: Get(%q) returned a different vector", step, id)
+		}
+	}
+	if len(e.live) > 0 {
+		resp, err := e.sdb.Search(SearchRequest{Vector: e.newVec(), K: 5, NProbe: 4})
+		if err != nil {
+			e.t.Fatalf("%s: search: %v", step, err)
+		}
+		if len(resp.Results) == 0 {
+			e.t.Fatalf("%s: search returned nothing over %d vectors", step, len(e.live))
+		}
+	}
+}
+
+// TestShardedCrashRandomInterleavings extends the PR 2 crash battery with
+// seeded random schedules over the sharded DB: upsert/delete/maintain ops
+// interleave while WAL failpoints trip at random frame offsets on random
+// shards. Every injection crashes and recovers all shards, reconciles the
+// expected state (asserting per-shard sub-batch atomicity), and re-runs
+// ivf.CheckInvariants on every shard plus the cross-shard checks (no id in
+// two shards, every id on its hash-designated shard, manifest topology
+// matching the directories). The seed is logged for reproduction; override
+// it with MICRONN_CRASH_SEED.
+func TestShardedCrashRandomInterleavings(t *testing.T) {
+	baseSeed := time.Now().UnixNano()
+	if s := os.Getenv("MICRONN_CRASH_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MICRONN_CRASH_SEED %q: %v", s, err)
+		}
+		baseSeed = v
+	}
+	for _, qt := range []Quantization{QuantNone, QuantSQ8} {
+		t.Run(qt.String(), func(t *testing.T) {
+			seed := baseSeed + int64(qt)
+			t.Logf("schedule seed: %d (rerun with MICRONN_CRASH_SEED=%d)", seed, baseSeed)
+			rng := rand.New(rand.NewSource(seed))
+			e := newShardCrashEnv(t, rng, Options{
+				Dim: 8, Shards: 3, TargetPartitionSize: 20, Seed: 17,
+				Quantization: qt,
+			})
+
+			// Bootstrap and build so maintenance has splits/merges to do.
+			if _, err := e.opUpsert(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if _, err := e.opUpsert(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := e.sdb.Rebuild(); err != nil {
+				t.Fatal(err)
+			}
+			e.verify("bootstrap")
+
+			ops := 60
+			if testing.Short() {
+				ops = 25
+			}
+			injected := 0
+			for i := 0; i < ops; i++ {
+				armed := rng.Intn(2) == 0
+				if armed {
+					e.armRandomFailpoint()
+				}
+				var err error
+				var upserted []Item
+				var deleted []string
+				var op string
+				switch rng.Intn(4) {
+				case 0, 1:
+					op = "upsert"
+					upserted, err = e.opUpsert()
+				case 2:
+					op = "delete"
+					deleted, err = e.opDelete()
+				default:
+					op = "maintain"
+					_, err = e.sdb.Maintain()
+				}
+				e.disarmAll()
+				switch {
+				case err == nil:
+				case errors.Is(err, storage.ErrInjected):
+					injected++
+					e.crash()
+					// Maintenance never changes the logical content; write
+					// batches are reconciled per shard.
+					if op == "upsert" {
+						e.reconcileUpsert(upserted)
+					} else if op == "delete" {
+						e.reconcileDelete(deleted)
+					}
+					e.verify(fmt.Sprintf("op %d (%s) post-crash", i, op))
+				default:
+					t.Fatalf("op %d (%s): %v", i, op, err)
+				}
+				if i%10 == 9 {
+					e.verify(fmt.Sprintf("op %d checkpoint", i))
+				}
+			}
+
+			// A schedule of small ops can finish without tripping any
+			// failpoint; force one so every run exercises at least one
+			// crash-recover-verify cycle (hair-trigger countdown, large
+			// batches).
+			for attempt := 0; injected == 0 && attempt < 20; attempt++ {
+				e.sdb.Shard(rng.Intn(e.sdb.Shards())).InternalStore().SetWALFailpoint(1)
+				upserted, err := e.opUpsert()
+				e.disarmAll()
+				if errors.Is(err, storage.ErrInjected) {
+					injected++
+					e.crash()
+					e.reconcileUpsert(upserted)
+					e.verify("forced-injection post-crash")
+				} else if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// The interrupted maintenance backlog must drain cleanly.
+			if _, err := e.sdb.Maintain(); err != nil {
+				t.Fatal(err)
+			}
+			e.verify("final")
+			if injected == 0 {
+				t.Error("no failpoint fired; the battery exercised nothing")
+			}
+		})
+	}
+}

@@ -1,0 +1,893 @@
+package micronn
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"micronn/internal/ivf"
+	"micronn/internal/storage"
+	"micronn/internal/topk"
+	"micronn/internal/vec"
+)
+
+// Store is the method set shared by DB and ShardedDB — everything except
+// the snapshot constructors, whose concrete snapshot types differ. Code
+// that should run identically against a single store and a sharded one
+// (the CLI, benchmarks, examples) programs against this interface.
+type Store interface {
+	Close() error
+	Dim() int
+	Upsert(Item) error
+	UpsertBatch([]Item) error
+	Delete(string) error
+	DeleteBatch([]string) error
+	Get(string) (*Item, error)
+	Search(SearchRequest) (*SearchResponse, error)
+	BatchSearch(BatchSearchRequest) (*BatchSearchResponse, error)
+	Rebuild() (*MaintenanceReport, error)
+	FlushDelta() (*MaintenanceReport, error)
+	Maintain() (*MaintenanceReport, error)
+	Analyze() error
+	Checkpoint() error
+	DropCaches()
+	Stats() (Stats, error)
+}
+
+// Both database flavors implement Store.
+var (
+	_ Store = (*DB)(nil)
+	_ Store = (*ShardedDB)(nil)
+)
+
+// ShardedDB is a MicroNN database hash-partitioned across N fully
+// independent stores. Each shard is a complete single-store database — its
+// own page file, WAL, IVF index, SQ8 codebook and background maintainer —
+// living under one directory whose manifest pins the shard count and hash
+// seed (see storage.Manifest). Items route to shards by a seeded hash of
+// their id: point operations (Upsert, Delete, Get) touch exactly one shard,
+// searches scatter to every shard in parallel and merge the per-shard
+// candidates, and maintenance runs per shard so a split in one shard never
+// stalls writers in another.
+//
+// The probe budget is spread over the shard set: each shard scans
+// ceil(NProbe/N) partitions plus its own delta, so the total scanned volume
+// stays comparable to a single store at the same NProbe. On a quantized
+// database the shards return approximate candidates (CandidatesOnly) which
+// are pooled, cut to RerankFactor*K globally, and reranked exactly on their
+// owning shards — recall therefore matches the single-store rerank contract
+// rather than compounding per-shard approximations.
+//
+// Cross-shard guarantees are deliberately weaker than within a shard:
+// UpsertBatch/DeleteBatch commit one transaction per shard (atomic per
+// shard, not across shards), and a Snapshot pins each shard's own commit
+// horizon (consistent per shard, concurrent cross-shard writes may straddle
+// the horizons). All methods are safe for concurrent use.
+type ShardedDB struct {
+	dir      string
+	manifest storage.Manifest
+	shards   []*DB
+}
+
+// OpenSharded opens or creates a sharded database in dir. On creation
+// Options.Shards (>= 1) and Options.Dim are required; the shard count and
+// hash seed are persisted in the directory manifest and are immutable
+// thereafter — reopening validates them and fails on any topology mismatch
+// (a different Shards value, a missing shard directory, or a stray one).
+// All other Options apply to every shard; a zero Device.Workers is divided
+// across the shards so the scatter phase does not oversubscribe the cores,
+// and the Device cache budget is split evenly so the documented budget
+// bounds the whole database, not each shard.
+func OpenSharded(dir string, opts Options) (*ShardedDB, error) {
+	m, ok, err := storage.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	creating := !ok
+	if creating {
+		if opts.Shards < 1 {
+			return nil, fmt.Errorf("micronn: Shards required to create a sharded database")
+		}
+		if opts.Dim <= 0 {
+			return nil, fmt.Errorf("micronn: Dim required to create a sharded database")
+		}
+		m = storage.Manifest{Version: 1, Shards: opts.Shards, HashSeed: uint64(opts.Seed)}
+		for i := 0; i < m.Shards; i++ {
+			if err := os.MkdirAll(storage.ShardDir(dir, i), 0o755); err != nil {
+				return nil, err
+			}
+		}
+		// A create retried with a different Shards value must not adopt a
+		// half-created directory's leftover shards: committing a manifest
+		// that undercounts them would make every later open fail the
+		// topology check, bricking the database.
+		if err := storage.ValidateManifestDir(dir, m); err != nil {
+			return nil, err
+		}
+	} else {
+		if opts.Shards != 0 && opts.Shards != m.Shards {
+			return nil, fmt.Errorf("micronn: database has %d shards, Options.Shards = %d", m.Shards, opts.Shards)
+		}
+		if err := storage.ValidateManifestDir(dir, m); err != nil {
+			return nil, err
+		}
+	}
+
+	shOpts := opts
+	shOpts.Shards = 0
+	if shOpts.Device.CacheBytes == 0 {
+		shOpts.Device = DeviceLarge
+	}
+	if shOpts.Device.Workers == 0 {
+		shOpts.Device.Workers = runtime.GOMAXPROCS(0) / m.Shards
+		if shOpts.Device.Workers < 1 {
+			shOpts.Device.Workers = 1
+		}
+	}
+	shOpts.Device.CacheBytes /= int64(m.Shards)
+	if shOpts.Device.CacheBytes < 1<<20 {
+		shOpts.Device.CacheBytes = 1 << 20
+	}
+	if shOpts.Device.WriteBufferBytes > 0 {
+		shOpts.Device.WriteBufferBytes /= int64(m.Shards)
+		if shOpts.Device.WriteBufferBytes < 1<<20 {
+			shOpts.Device.WriteBufferBytes = 1 << 20
+		}
+	}
+
+	sdb := &ShardedDB{dir: dir, manifest: m, shards: make([]*DB, m.Shards)}
+	for i := range sdb.shards {
+		db, err := Open(storage.ShardDBPath(dir, i), shOpts)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				sdb.shards[j].Close()
+			}
+			return nil, fmt.Errorf("micronn: open shard %d: %w", i, err)
+		}
+		sdb.shards[i] = db
+	}
+	if creating {
+		// The manifest is the commit record of creation, written only once
+		// every shard store exists: a crash mid-create leaves a directory
+		// with no manifest, which the same create call completes on retry
+		// (existing shard stores just reopen).
+		if err := storage.WriteManifest(dir, m); err != nil {
+			sdb.Close()
+			return nil, err
+		}
+	}
+	return sdb, nil
+}
+
+// FNV-1a 64 parameters for the id hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardIndex routes an id: FNV-1a over the seed bytes then the id bytes,
+// reduced modulo the shard count. The seed lives in the manifest, so every
+// open of the same database routes identically.
+func shardIndex(seed uint64, id string, n int) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime64
+	}
+	return int(h % uint64(n))
+}
+
+func (s *ShardedDB) shardOf(id string) int {
+	return shardIndex(s.manifest.HashSeed, id, len(s.shards))
+}
+
+// Shards returns the shard count.
+func (s *ShardedDB) Shards() int { return len(s.shards) }
+
+// Shard exposes one underlying single-store database (benchmarks, tools and
+// the invariant battery).
+func (s *ShardedDB) Shard(i int) *DB { return s.shards[i] }
+
+// Manifest returns the pinned topology.
+func (s *ShardedDB) Manifest() storage.Manifest { return s.manifest }
+
+// Dim returns the configured vector dimensionality.
+func (s *ShardedDB) Dim() int { return s.shards[0].Dim() }
+
+// Close drains every shard's background maintainer in parallel, then
+// checkpoints and closes each shard. All shards are closed even if some
+// fail; the joined error is returned.
+func (s *ShardedDB) Close() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *DB) {
+			defer wg.Done()
+			errs[i] = sh.Close()
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// scatter runs fn once per shard concurrently and returns the first error.
+func (s *ShardedDB) scatter(fn func(i int, sh *DB) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *DB) {
+			defer wg.Done()
+			errs[i] = fn(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- point operations: route by hash ---
+
+// Upsert inserts or replaces one item on its hash-designated shard.
+func (s *ShardedDB) Upsert(item Item) error {
+	return s.shards[s.shardOf(item.ID)].Upsert(item)
+}
+
+// UpsertBatch groups the items by shard and commits one transaction per
+// shard, in parallel. Atomicity is per shard: a failure on one shard does
+// not roll back sub-batches already committed on others.
+func (s *ShardedDB) UpsertBatch(items []Item) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].UpsertBatch(items)
+	}
+	groups := make([][]Item, len(s.shards))
+	for _, item := range items {
+		i := s.shardOf(item.ID)
+		groups[i] = append(groups[i], item)
+	}
+	return s.scatter(func(i int, sh *DB) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return sh.UpsertBatch(groups[i])
+	})
+}
+
+// Delete removes the item from its hash-designated shard.
+func (s *ShardedDB) Delete(id string) error {
+	return s.shards[s.shardOf(id)].Delete(id)
+}
+
+// DeleteBatch groups ids by shard and commits one transaction per shard, in
+// parallel; absent ids are ignored. Atomicity is per shard.
+func (s *ShardedDB) DeleteBatch(ids []string) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].DeleteBatch(ids)
+	}
+	groups := make([][]string, len(s.shards))
+	for _, id := range ids {
+		i := s.shardOf(id)
+		groups[i] = append(groups[i], id)
+	}
+	return s.scatter(func(i int, sh *DB) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return sh.DeleteBatch(groups[i])
+	})
+}
+
+// Get returns the stored item from its hash-designated shard.
+func (s *ShardedDB) Get(id string) (*Item, error) {
+	return s.shards[s.shardOf(id)].Get(id)
+}
+
+// --- scatter-gather search ---
+
+// shardCand tags a per-shard candidate with its source shard: vector ids
+// are only unique within a shard, so the merge orders ties by (distance,
+// shard, vid) to stay deterministic.
+type shardCand struct {
+	topk.Result
+	shard int
+}
+
+func sortShardCands(cs []shardCand) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Distance != cs[j].Distance {
+			return cs[i].Distance < cs[j].Distance
+		}
+		if cs[i].shard != cs[j].shard {
+			return cs[i].shard < cs[j].shard
+		}
+		return cs[i].VectorID < cs[j].VectorID
+	})
+}
+
+// perShardProbe spreads the query's probe budget across the shards: each
+// shard holds ~1/N of the data in proportionally fewer partitions, so
+// probing ceil(NProbe/N) per shard scans about the same number of vectors
+// as a single store probing NProbe.
+func (s *ShardedDB) perShardProbe(nprobe int) int {
+	if nprobe <= 0 {
+		nprobe = 8
+	}
+	per := (nprobe + len(s.shards) - 1) / len(s.shards)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// rerankBudget resolves the global rerank multiplier times K.
+func (s *ShardedDB) rerankBudget(k, override int) int {
+	rr := override
+	if rr <= 0 {
+		rr = s.shards[0].ix.Config().RerankFactor
+	}
+	if rr < 1 {
+		rr = 1
+	}
+	return k * rr
+}
+
+// Search scatters the query to every shard in parallel and merges the
+// per-shard results (same semantics as DB.Search). On a quantized database
+// the shards return approximate candidates; the pooled top RerankFactor*K
+// are reranked exactly on their owning shards before the final top-K cut.
+func (s *ShardedDB) Search(req SearchRequest) (*SearchResponse, error) {
+	rts, err := s.beginReads()
+	if err != nil {
+		return nil, err
+	}
+	defer closeReads(rts)
+	return s.searchOn(rts, req)
+}
+
+// beginReads opens one read transaction per shard. Each pins its own
+// shard's commit horizon; see the type comment for the cross-shard
+// consistency contract.
+func (s *ShardedDB) beginReads() ([]*storage.ReadTxn, error) {
+	rts := make([]*storage.ReadTxn, len(s.shards))
+	for i, sh := range s.shards {
+		rt, err := sh.store.BeginRead()
+		if err != nil {
+			closeReads(rts[:i])
+			return nil, err
+		}
+		rts[i] = rt
+	}
+	return rts, nil
+}
+
+func closeReads(rts []*storage.ReadTxn) {
+	for _, rt := range rts {
+		if rt != nil {
+			rt.Close()
+		}
+	}
+}
+
+// searchOn is the scatter-gather core, running against pinned per-shard
+// read transactions (shared by Search and ShardedSnapshot.Search).
+func (s *ShardedDB) searchOn(rts []*storage.ReadTxn, req SearchRequest) (*SearchResponse, error) {
+	if req.K == 0 {
+		req.K = 10
+	}
+	sopts := ivf.SearchOptions{
+		K: req.K, NProbe: s.perShardProbe(req.NProbe), Filters: req.Filters,
+		Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
+		CandidatesOnly: true,
+	}
+
+	type shardOut struct {
+		res  []topk.Result
+		info *ivf.PlanInfo
+	}
+	outs := make([]shardOut, len(s.shards))
+	err := s.scatter(func(i int, sh *DB) error {
+		res, info, err := sh.ix.Search(rts[i], req.Vector, sopts)
+		if err != nil {
+			return err
+		}
+		outs[i] = shardOut{res: res, info: info}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather: shards on exact paths (float32 scans, pre-filter plans,
+	// Exact queries) contribute final results directly; shards that
+	// returned approximate SQ8 candidates feed the global rerank pool.
+	var exact, approx []shardCand
+	info := outs[0].info
+	agg := *info
+	agg.CandidatesApprox = false
+	for i, o := range outs {
+		if i > 0 {
+			agg.PartitionsScanned += o.info.PartitionsScanned
+			agg.VectorsScanned += o.info.VectorsScanned
+			agg.RowsFiltered += o.info.RowsFiltered
+			agg.BytesScanned += o.info.BytesScanned
+			agg.Reranked += o.info.Reranked
+		}
+		for _, r := range o.res {
+			if o.info.CandidatesApprox {
+				approx = append(approx, shardCand{Result: r, shard: i})
+			} else {
+				exact = append(exact, shardCand{Result: r, shard: i})
+			}
+		}
+	}
+
+	if len(approx) > 0 {
+		// Pool the approximate candidates, cut to the single-store rerank
+		// budget, and rerank each survivor on the shard whose raw store
+		// holds its exact vector.
+		sortShardCands(approx)
+		if budget := s.rerankBudget(req.K, req.RerankFactor); len(approx) > budget {
+			approx = approx[:budget]
+		}
+		groups := make([][]topk.Result, len(s.shards))
+		for _, c := range approx {
+			groups[c.shard] = append(groups[c.shard], c.Result)
+		}
+		reranked := make([][]topk.Result, len(s.shards))
+		var mu sync.Mutex
+		err := s.scatter(func(i int, sh *DB) error {
+			if len(groups[i]) == 0 {
+				return nil
+			}
+			res, rb, err := sh.ix.RerankCandidates(rts[i], req.Vector, groups[i], len(groups[i]))
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			agg.Reranked += len(groups[i])
+			agg.BytesScanned += rb
+			mu.Unlock()
+			reranked[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range reranked {
+			for _, r := range res {
+				exact = append(exact, shardCand{Result: r, shard: i})
+			}
+		}
+	}
+
+	sortShardCands(exact)
+	if len(exact) > req.K {
+		exact = exact[:req.K]
+	}
+	out := make([]Result, len(exact))
+	for i, c := range exact {
+		out[i] = Result{ID: c.AssetID, Distance: c.Distance}
+	}
+	return &SearchResponse{Results: out, Plan: agg}, nil
+}
+
+// BatchSearch scatters the whole batch to every shard — each shard runs its
+// own multi-query-optimized BatchSearch over the full query set, so the MQO
+// partition-scan sharing is preserved within every shard — then merges the
+// per-shard per-query candidates exactly like Search does.
+func (s *ShardedDB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
+	rts, err := s.beginReads()
+	if err != nil {
+		return nil, err
+	}
+	defer closeReads(rts)
+	return s.batchSearchOn(rts, req)
+}
+
+func (s *ShardedDB) batchSearchOn(rts []*storage.ReadTxn, req BatchSearchRequest) (*BatchSearchResponse, error) {
+	if req.K == 0 {
+		req.K = 10
+	}
+	if len(req.Vectors) == 0 {
+		return &BatchSearchResponse{}, nil
+	}
+	dim := s.Dim()
+	queries := vec.NewMatrix(len(req.Vectors), dim)
+	for i, q := range req.Vectors {
+		if len(q) != dim {
+			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
+		}
+		queries.SetRow(i, q)
+	}
+	nq := queries.Rows
+	bopts := ivf.BatchOptions{
+		K: req.K, NProbe: s.perShardProbe(req.NProbe),
+		RerankFactor: req.RerankFactor, CandidatesOnly: true,
+	}
+
+	type shardOut struct {
+		res  [][]topk.Result
+		info *ivf.BatchInfo
+	}
+	outs := make([]shardOut, len(s.shards))
+	err := s.scatter(func(i int, sh *DB) error {
+		res, info, err := sh.ix.BatchSearch(rts[i], queries, bopts)
+		if err != nil {
+			return err
+		}
+		outs[i] = shardOut{res: res, info: info}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	agg := *outs[0].info
+	agg.CandidatesApprox = false
+	for _, o := range outs[1:] {
+		agg.PartitionScans += o.info.PartitionScans
+		agg.QueryPartitionPairs += o.info.QueryPartitionPairs
+		agg.VectorsScanned += o.info.VectorsScanned
+		agg.DistancePairs += o.info.DistancePairs
+		agg.BytesScanned += o.info.BytesScanned
+		agg.Reranked += o.info.Reranked
+	}
+
+	// Gather per query, separating shards that returned final exact results
+	// from shards that returned approximate SQ8 candidates (same contract
+	// as searchOn: only approximate candidates owe a rerank). Approximate
+	// pools are cut to the single-store rerank budget before grouping back
+	// onto their owning shards. groups[shard][query] keeps order intact.
+	merged := make([][]shardCand, nq)
+	groups := make([]map[int][]topk.Result, len(s.shards))
+	for i := range groups {
+		groups[i] = make(map[int][]topk.Result)
+	}
+	anyApprox := false
+	for qi := 0; qi < nq; qi++ {
+		var exact, approx []shardCand
+		for i, o := range outs {
+			for _, r := range o.res[qi] {
+				c := shardCand{Result: r, shard: i}
+				if o.info.CandidatesApprox {
+					approx = append(approx, c)
+				} else {
+					exact = append(exact, c)
+				}
+			}
+		}
+		merged[qi] = exact
+		if len(approx) > 0 {
+			anyApprox = true
+			sortShardCands(approx)
+			if budget := s.rerankBudget(req.K, req.RerankFactor); len(approx) > budget {
+				approx = approx[:budget]
+			}
+			for _, c := range approx {
+				groups[c.shard][qi] = append(groups[c.shard][qi], c.Result)
+			}
+		}
+	}
+
+	if anyApprox {
+		reranked := make([]map[int][]topk.Result, len(s.shards))
+		var mu sync.Mutex
+		err := s.scatter(func(i int, sh *DB) error {
+			if len(groups[i]) == 0 {
+				return nil
+			}
+			out := make(map[int][]topk.Result, len(groups[i]))
+			var rerankedN, bytesRead int64
+			for qi, cands := range groups[i] {
+				res, rb, err := sh.ix.RerankCandidates(rts[i], queries.Row(qi), cands, len(cands))
+				if err != nil {
+					return err
+				}
+				rerankedN += int64(len(cands))
+				bytesRead += rb
+				out[qi] = res
+			}
+			mu.Lock()
+			agg.Reranked += rerankedN
+			agg.BytesScanned += bytesRead
+			mu.Unlock()
+			reranked[i] = out
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for qi := 0; qi < nq; qi++ {
+			for i, byQuery := range reranked {
+				if byQuery == nil {
+					continue
+				}
+				for _, r := range byQuery[qi] {
+					merged[qi] = append(merged[qi], shardCand{Result: r, shard: i})
+				}
+			}
+		}
+	}
+
+	out := make([][]Result, nq)
+	for qi, pool := range merged {
+		sortShardCands(pool)
+		if len(pool) > req.K {
+			pool = pool[:req.K]
+		}
+		out[qi] = make([]Result, len(pool))
+		for i, c := range pool {
+			out[qi][i] = Result{ID: c.AssetID, Distance: c.Distance}
+		}
+	}
+	return &BatchSearchResponse{Results: out, Info: agg}, nil
+}
+
+// --- maintenance and stats: aggregate over the shard set ---
+
+// mergeReports folds per-shard maintenance reports into one.
+func mergeReports(reps []*MaintenanceReport) *MaintenanceReport {
+	out := &MaintenanceReport{Action: "none"}
+	for _, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		if rep.Action != "" && rep.Action != "none" {
+			if out.Action == "none" {
+				out.Action = rep.Action
+			} else if out.Action != rep.Action {
+				out.Action += "+" + rep.Action
+			}
+		}
+		out.Steps += rep.Steps
+		out.Rebuilds += rep.Rebuilds
+		out.Flushes += rep.Flushes
+		out.Splits += rep.Splits
+		out.Merges += rep.Merges
+		out.Duration += rep.Duration
+		out.RowChanges += rep.RowChanges
+		out.VectorsAssigned += rep.VectorsAssigned
+		out.Partitions += rep.Partitions
+	}
+	return out
+}
+
+// Rebuild retrains every shard's IVF index in parallel and merges the
+// reports.
+func (s *ShardedDB) Rebuild() (*MaintenanceReport, error) {
+	reps := make([]*MaintenanceReport, len(s.shards))
+	err := s.scatter(func(i int, sh *DB) error {
+		rep, err := sh.Rebuild()
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeReports(reps), nil
+}
+
+// FlushDelta flushes every shard's delta-store in parallel.
+func (s *ShardedDB) FlushDelta() (*MaintenanceReport, error) {
+	reps := make([]*MaintenanceReport, len(s.shards))
+	err := s.scatter(func(i int, sh *DB) error {
+		rep, err := sh.FlushDelta()
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeReports(reps), nil
+}
+
+// Maintain runs the incremental maintenance policy on every shard in
+// parallel (each step in its own short per-shard write transaction) and
+// merges the reports.
+func (s *ShardedDB) Maintain() (*MaintenanceReport, error) {
+	reps := make([]*MaintenanceReport, len(s.shards))
+	err := s.scatter(func(i int, sh *DB) error {
+		rep, err := sh.Maintain()
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeReports(reps), nil
+}
+
+// Analyze refreshes every shard's attribute statistics.
+func (s *ShardedDB) Analyze() error {
+	return s.scatter(func(i int, sh *DB) error { return sh.Analyze() })
+}
+
+// Checkpoint folds every shard's WAL into its main file.
+func (s *ShardedDB) Checkpoint() error {
+	return s.scatter(func(i int, sh *DB) error { return sh.Checkpoint() })
+}
+
+// DropCaches empties every shard's buffer pool and in-memory caches.
+func (s *ShardedDB) DropCaches() {
+	for _, sh := range s.shards {
+		sh.DropCaches()
+	}
+}
+
+// AggregateStats folds per-shard stats into whole-database numbers: counts,
+// cache and file sizes sum; the partition-size bounds are the min/max over
+// shards; NeedsRebuild is true if any shard needs one. ShardedDB.Stats is
+// AggregateStats over ShardStats; callers that already hold the per-shard
+// slice (e.g. to print a breakdown) can aggregate it without a second
+// scatter.
+func AggregateStats(per []Stats) Stats {
+	var out Stats
+	for _, st := range per {
+		out.NumVectors += st.NumVectors
+		out.DeltaCount += st.DeltaCount
+		out.NumPartitions += st.NumPartitions
+		if st.SmallestPartition > 0 && (out.SmallestPartition == 0 || st.SmallestPartition < out.SmallestPartition) {
+			out.SmallestPartition = st.SmallestPartition
+		}
+		if st.LargestPartition > out.LargestPartition {
+			out.LargestPartition = st.LargestPartition
+		}
+		out.NeedsRebuild = out.NeedsRebuild || st.NeedsRebuild
+		out.Maintenance.Passes += st.Maintenance.Passes
+		out.Maintenance.Rebuilds += st.Maintenance.Rebuilds
+		out.Maintenance.Flushes += st.Maintenance.Flushes
+		out.Maintenance.Splits += st.Maintenance.Splits
+		out.Maintenance.Merges += st.Maintenance.Merges
+		out.Maintenance.Errors += st.Maintenance.Errors
+		if st.LastMaintainAction != "" {
+			out.LastMaintainAction = st.LastMaintainAction
+		}
+		out.CacheBytes += st.CacheBytes
+		out.CacheBudget += st.CacheBudget
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
+		out.WALBytes += st.WALBytes
+		out.FileBytes += st.FileBytes
+	}
+	if out.NumPartitions > 0 {
+		out.AvgPartitionSize = float64(out.NumVectors-out.DeltaCount) / float64(out.NumPartitions)
+	}
+	return out
+}
+
+// ShardStats returns each shard's stats, indexed by shard.
+func (s *ShardedDB) ShardStats() ([]Stats, error) {
+	per := make([]Stats, len(s.shards))
+	err := s.scatter(func(i int, sh *DB) error {
+		st, err := sh.Stats()
+		per[i] = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return per, nil
+}
+
+// Stats aggregates operational statistics over the shard set.
+func (s *ShardedDB) Stats() (Stats, error) {
+	per, err := s.ShardStats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return AggregateStats(per), nil
+}
+
+// CheckInvariants runs the whole sharded invariant battery: the manifest
+// must match the directory topology, every shard must pass the single-store
+// index invariants, and the id placement must be globally consistent — no
+// asset id present in two shards, and every id stored on exactly the shard
+// its hash designates. O(total rows); used by the crash battery and tests.
+func (s *ShardedDB) CheckInvariants() error {
+	m, ok, err := storage.ReadManifest(s.dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("micronn: sharded invariant: manifest missing from %s", s.dir)
+	}
+	if m != s.manifest {
+		return fmt.Errorf("micronn: sharded invariant: manifest %+v changed since open (%+v)", m, s.manifest)
+	}
+	if err := storage.ValidateManifestDir(s.dir, m); err != nil {
+		return fmt.Errorf("micronn: sharded invariant: %w", err)
+	}
+	seen := make(map[string]int)
+	for i, sh := range s.shards {
+		err := sh.store.View(func(rt *storage.ReadTxn) error {
+			if err := sh.ix.CheckInvariants(rt); err != nil {
+				return fmt.Errorf("micronn: shard %d: %w", i, err)
+			}
+			return sh.ix.ForEachAsset(rt, func(asset string) error {
+				if j, dup := seen[asset]; dup {
+					return fmt.Errorf("micronn: sharded invariant: asset %q present in shards %d and %d", asset, j, i)
+				}
+				seen[asset] = i
+				if want := s.shardOf(asset); want != i {
+					return fmt.Errorf("micronn: sharded invariant: asset %q stored in shard %d but hashes to shard %d", asset, i, want)
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- snapshots ---
+
+// ShardedSnapshot is a read-only view pinning one read transaction per
+// shard. Each shard's view is a consistent commit horizon; the horizons are
+// captured shard by shard, so a cross-shard write racing Snapshot may be
+// visible on one shard and not another (per-shard consistency, as
+// documented on ShardedDB). Close releases every pinned transaction.
+type ShardedSnapshot struct {
+	db  *ShardedDB
+	rts []*storage.ReadTxn
+}
+
+// Snapshot opens a read view across all shards. Callers must Close it.
+func (s *ShardedDB) Snapshot() (*ShardedSnapshot, error) {
+	rts, err := s.beginReads()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedSnapshot{db: s, rts: rts}, nil
+}
+
+// Close releases the snapshot. Idempotent.
+func (s *ShardedSnapshot) Close() {
+	closeReads(s.rts)
+}
+
+// Search runs a query against the pinned per-shard state.
+func (s *ShardedSnapshot) Search(req SearchRequest) (*SearchResponse, error) {
+	return s.db.searchOn(s.rts, req)
+}
+
+// BatchSearch runs a query batch against the pinned per-shard state.
+func (s *ShardedSnapshot) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
+	return s.db.batchSearchOn(s.rts, req)
+}
+
+// Get returns the item as of its shard's pinned horizon.
+func (s *ShardedSnapshot) Get(id string) (*Item, error) {
+	i := s.db.shardOf(id)
+	return getItem(s.db.shards[i].ix, s.rts[i], id)
+}
+
+// Stats aggregates index counters as of the pinned horizons.
+func (s *ShardedSnapshot) Stats() (Stats, error) {
+	per := make([]Stats, len(s.db.shards))
+	for i, sh := range s.db.shards {
+		st, err := sh.ix.Stats(s.rts[i])
+		if err != nil {
+			return Stats{}, err
+		}
+		per[i] = Stats{
+			NumVectors:    st.NumVectors,
+			DeltaCount:    st.DeltaCount,
+			NumPartitions: st.NumPartitions,
+		}
+	}
+	return AggregateStats(per), nil
+}

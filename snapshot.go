@@ -1,7 +1,6 @@
 package micronn
 
 import (
-	"errors"
 	"fmt"
 
 	"micronn/internal/ivf"
@@ -89,18 +88,7 @@ func (s *Snapshot) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, er
 
 // Get returns the item as of the snapshot.
 func (s *Snapshot) Get(id string) (*Item, error) {
-	v, attrs, err := s.db.ix.GetVector(s.rt, id)
-	if errors.Is(err, ivf.ErrNotFound) {
-		return nil, ErrNotFound
-	}
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]any, len(attrs))
-	for k, val := range attrs {
-		out[k] = valueToAny(val)
-	}
-	return &Item{ID: id, Vector: v, Attributes: out}, nil
+	return getItem(s.db.ix, s.rt, id)
 }
 
 // Stats returns index counters as of the snapshot.
