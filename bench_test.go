@@ -17,6 +17,7 @@ import (
 	"micronn"
 	"micronn/internal/clustering"
 	"micronn/internal/ivf"
+	"micronn/internal/storage"
 	"micronn/internal/vec"
 	"micronn/internal/workload"
 )
@@ -783,6 +784,102 @@ func benchShardedSearch(b *testing.B, shards int) {
 	b.ReportMetric(p99Sum/float64(b.N), "search-p99-ms")
 	b.ReportMetric(recall/measured, "recall@10")
 	b.ReportMetric(float64(bytesScanned)/float64(b.N*measured), "scan-bytes/op")
+}
+
+// benchBackendSearch measures hot and cold search on one page-store
+// backend under a tight 1 MiB pool budget (so the read path dominates),
+// reporting hot p50, cold p50 and recall@10 for the BENCH trajectory. The
+// `backends` scenario in cmd/micronn-bench prints the full comparison
+// table with verdicts.
+func benchBackendSearch(b *testing.B, kind micronn.Backend) {
+	if kind == micronn.BackendMmap && !storage.MmapSupported() {
+		b.Skip("mmap backend not supported on this platform")
+	}
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	dir := b.TempDir()
+	db, err := buildBenchDB(filepath.Join(dir, "backend.mnn"), ds, micronn.Options{
+		Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+		Backend: kind,
+		Device:  micronn.DeviceProfile{CacheBytes: 1 << 20, WriteBufferBytes: 4 << 20, Workers: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	const measured = 24
+	search := func(qi int) time.Duration {
+		start := time.Now()
+		if _, err := db.Search(micronn.SearchRequest{Vector: ds.Queries.Row(qi % ds.Queries.Rows), K: 10, NProbe: 8}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm round.
+	for q := 0; q < measured; q++ {
+		search(q)
+	}
+	var hotP50Sum, coldP50Sum float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		hot := make([]float64, 0, measured)
+		for q := 0; q < measured; q++ {
+			hot = append(hot, float64(search(q).Nanoseconds())/1e6)
+		}
+		sort.Float64s(hot)
+		hotP50Sum += hot[len(hot)/2]
+		cold := make([]float64, 0, measured)
+		for q := 0; q < measured; q++ {
+			db.DropCaches()
+			cold = append(cold, float64(search(q).Nanoseconds())/1e6)
+		}
+		sort.Float64s(cold)
+		coldP50Sum += cold[len(cold)/2]
+	}
+	b.StopTimer()
+
+	var recall float64
+	for q := 0; q < measured; q++ {
+		qv := ds.Queries.Row(q % ds.Queries.Rows)
+		resp, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, NProbe: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, Exact: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := make(map[string]bool, len(exact.Results))
+		for _, r := range exact.Results {
+			want[r.ID] = true
+		}
+		hits := 0
+		for _, r := range resp.Results {
+			if want[r.ID] {
+				hits++
+			}
+		}
+		if len(exact.Results) > 0 {
+			recall += float64(hits) / float64(len(exact.Results))
+		}
+	}
+	b.ReportMetric(hotP50Sum/float64(b.N), "hot-p50-ms")
+	b.ReportMetric(coldP50Sum/float64(b.N), "cold-p50-ms")
+	b.ReportMetric(recall/measured, "recall@10")
+}
+
+// BenchmarkBackendSearch compares the page-store backends on the hot and
+// cold search path (the acceptance trajectory for the multi-backend PR:
+// mmap must at least match file on hot p50 at identical recall).
+func BenchmarkBackendSearch(b *testing.B) {
+	b.Run("file", func(b *testing.B) { benchBackendSearch(b, micronn.BackendFile) })
+	b.Run("mmap", func(b *testing.B) { benchBackendSearch(b, micronn.BackendMmap) })
+	b.Run("memory", func(b *testing.B) { benchBackendSearch(b, micronn.BackendMemory) })
 }
 
 // BenchmarkShardedSearch runs the sustained-upsert search workload on the

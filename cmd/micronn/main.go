@@ -86,7 +86,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: micronn -db <path> <command> [flags]
 
 commands:
-  create  -dim N [-metric L2|cosine|dot] [-partition-size N] [-quant none|sq8] [-shards N]
+  create  -dim N [-metric L2|cosine|dot] [-partition-size N] [-quant none|sq8]
+          [-shards N] [-backend file|mmap|memory]
   load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
   rebuild                           full index rebuild
   flush                             incremental delta flush
@@ -106,6 +107,7 @@ func cmdCreate(path string, args []string) error {
 	partSize := fs.Int("partition-size", 100, "target IVF partition size")
 	quantName := fs.String("quant", "none", "partition-scan quantization: none, sq8")
 	shards := fs.Int("shards", 0, "hash-partition across N independent stores (path becomes a directory)")
+	backendName := fs.String("backend", "", "page-store backend: file (default), mmap, memory; recorded in the store for reopen")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,7 +129,14 @@ func cmdCreate(path string, args []string) error {
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
-	opts := micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q}
+	backend, err := micronn.ParseBackend(strings.ToLower(*backendName))
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	if backend == micronn.BackendMemory {
+		fmt.Fprintln(os.Stderr, "note: the memory backend is ephemeral; the database vanishes when this command exits")
+	}
+	opts := micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q, Backend: backend}
 	if *shards > 0 {
 		opts.Shards = *shards
 		sd, err := micronn.OpenSharded(path, opts)
@@ -135,7 +144,11 @@ func cmdCreate(path string, args []string) error {
 			return err
 		}
 		defer sd.Close()
-		fmt.Printf("created %s (dim=%d, metric=%s, shards=%d)\n", path, *dim, *metric, *shards)
+		st, err := sd.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created %s (dim=%d, metric=%s, shards=%d, backend=%s)\n", path, *dim, *metric, *shards, st.Backend)
 		return nil
 	}
 	d, err := micronn.Open(path, opts)
@@ -143,7 +156,11 @@ func cmdCreate(path string, args []string) error {
 		return err
 	}
 	defer d.Close()
-	fmt.Printf("created %s (dim=%d, metric=%s)\n", path, *dim, *metric)
+	st, err := d.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created %s (dim=%d, metric=%s, backend=%s)\n", path, *dim, *metric, st.Backend)
 	return nil
 }
 
@@ -346,8 +363,14 @@ func cmdStats(path string) error {
 	fmt.Printf("delta-store:      %d\n", st.DeltaCount)
 	fmt.Printf("partitions:       %d (avg size %.1f)\n", st.NumPartitions, st.AvgPartitionSize)
 	fmt.Printf("needs rebuild:    %v\n", st.NeedsRebuild)
-	fmt.Printf("page cache:       %.1f / %.1f MiB (hits %d, misses %d)\n",
-		float64(st.CacheBytes)/(1<<20), float64(st.CacheBudget)/(1<<20), st.CacheHits, st.CacheMisses)
+	fmt.Printf("backend:          %s\n", st.Backend)
+	hitRatio := 0.0
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		hitRatio = 100 * float64(st.CacheHits) / float64(total)
+	}
+	fmt.Printf("page cache:       %.1f / %.1f MiB (hit ratio %.1f%%: %d hits, %d misses, %d evictions)\n",
+		float64(st.CacheBytes)/(1<<20), float64(st.CacheBudget)/(1<<20),
+		hitRatio, st.CacheHits, st.CacheMisses, st.CacheEvictions)
 	fmt.Printf("file size:        %.1f MiB (WAL %.1f MiB)\n",
 		float64(st.FileBytes)/(1<<20), float64(st.WALBytes)/(1<<20))
 	if sharded {

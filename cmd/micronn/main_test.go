@@ -3,9 +3,21 @@ package main
 import (
 	"path/filepath"
 	"testing"
+
+	"micronn/internal/storage"
+	"micronn/internal/storage/storagetest"
 )
 
+// skipIfEphemeralBackend: every CLI command opens the database anew, so a
+// multi-command workflow needs persistence between invocations. Under the
+// MICRONN_TEST_BACKEND=memory matrix leg these workflows are skipped
+// explicitly (the memory backend discards the store at command exit).
+func skipIfEphemeralBackend(t *testing.T) {
+	storagetest.SkipIfEphemeral(t)
+}
+
 func TestCLIWorkflow(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	db := filepath.Join(t.TempDir(), "cli.mnn")
 
 	if err := cmdCreate(db, []string{"-dim", "16", "-metric", "L2", "-partition-size", "50"}); err != nil {
@@ -48,6 +60,7 @@ func TestCLIWorkflow(t *testing.T) {
 // directory: create -shards writes the manifest, and all later commands
 // detect it and route through the sharded API.
 func TestCLIShardedWorkflow(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	db := filepath.Join(t.TempDir(), "cli.d")
 
 	if err := cmdCreate(db, []string{"-dim", "16", "-partition-size", "50", "-shards", "3"}); err != nil {
@@ -73,6 +86,35 @@ func TestCLIShardedWorkflow(t *testing.T) {
 	}
 	if err := cmdMaintain(db, []string{"-flush-threshold", "50", "-max", "100"}); err != nil {
 		t.Fatalf("maintain: %v", err)
+	}
+}
+
+// TestCLIBackendWorkflow creates an mmap-backed database and drives the
+// usual commands against it: every later command must auto-detect the
+// backend from the store header (no flag needed after create).
+func TestCLIBackendWorkflow(t *testing.T) {
+	skipIfEphemeralBackend(t)
+	if !storage.MmapSupported() {
+		t.Skip("mmap backend not supported on this platform")
+	}
+	db := filepath.Join(t.TempDir(), "cli-mmap.mnn")
+	if err := cmdCreate(db, []string{"-dim", "16", "-backend", "mmap", "-partition-size", "50"}); err != nil {
+		t.Fatalf("create -backend mmap: %v", err)
+	}
+	if err := cmdLoad(db, []string{"-n", "400", "-seed", "3"}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := cmdRebuild(db); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := cmdSearch(db, []string{"-id", "v00000007", "-k", "5"}); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if err := cmdStats(db); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdCreate(db, []string{"-dim", "16", "-backend", "tape"}); err == nil {
+		t.Error("create with unknown backend should fail")
 	}
 }
 

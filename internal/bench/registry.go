@@ -29,6 +29,7 @@ var Experiments = []Experiment{
 	{Name: "quant", Desc: "Quantization: SQ8 scan bytes/throughput/recall vs float32", Run: Quantization, Alias: []string{"sq8"}},
 	{Name: "maintenance", Desc: "Maintenance: search tail latency during sustained upserts (auto-maintain vs full rebuild)", Run: Maintenance, Alias: []string{"maint"}},
 	{Name: "shards", Desc: "Sharding: scatter-gather search p50/p99, scanned bytes and recall at 1/2/4/8 shards under concurrent upserts", Run: Shards, Alias: []string{"sharding"}},
+	{Name: "backends", Desc: "Backends: cold-start and hot search p50/p99 across file, read-mmap and memory page stores", Run: Backends, Alias: []string{"backend"}},
 }
 
 // Lookup resolves an experiment by name or alias.

@@ -11,6 +11,7 @@ import (
 	"testing/quick"
 
 	"micronn/internal/storage"
+	"micronn/internal/storage/storagetest"
 )
 
 func testStore(t *testing.T) *storage.Store {
@@ -578,6 +579,7 @@ func TestPrefixScanProperty(t *testing.T) {
 }
 
 func TestTreePersistsAcrossReopen(t *testing.T) {
+	storagetest.SkipIfEphemeral(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.db")
 	opts := storage.Options{Sync: storage.SyncOff, CheckpointFrames: -1}

@@ -10,6 +10,7 @@ import (
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
+	"micronn/internal/storage/storagetest"
 	"micronn/internal/topk"
 	"micronn/internal/vec"
 )
@@ -587,6 +588,7 @@ func TestSnapshotSearchDuringWrites(t *testing.T) {
 }
 
 func TestPersistAcrossReopen(t *testing.T) {
+	storagetest.SkipIfEphemeral(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.db")
 	opts := storage.Options{Sync: storage.SyncOff, CheckpointFrames: -1}

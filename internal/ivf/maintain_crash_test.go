@@ -9,6 +9,7 @@ import (
 	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/storage"
+	"micronn/internal/storage/storagetest"
 )
 
 // crashEnv is a reopenable index environment for the crash battery — unlike
@@ -25,6 +26,7 @@ type crashEnv struct {
 }
 
 func newCrashEnv(t *testing.T, cfg Config) *crashEnv {
+	storagetest.SkipIfEphemeral(t)
 	e := &crashEnv{
 		t:    t,
 		path: filepath.Join(t.TempDir(), "crash.db"),

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"micronn/internal/storage"
+	"micronn/internal/storage/storagetest"
 )
 
 func testDB(t *testing.T) *DB {
@@ -364,6 +365,7 @@ func TestCreateIndexBackfills(t *testing.T) {
 }
 
 func TestCatalogPersistsAcrossReopen(t *testing.T) {
+	storagetest.SkipIfEphemeral(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.db")
 	opts := storage.Options{Sync: storage.SyncOff, CheckpointFrames: -1}

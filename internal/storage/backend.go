@@ -1,0 +1,370 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// A Backend materializes the base page array — the file that checkpoints
+// fold the WAL into and that readers consult for pages with no WAL version.
+// The Store keeps all transactional machinery (WAL, buffer pool, snapshot
+// isolation) above this seam, so a backend only has to be a dumb page
+// array. Three implementations ship:
+//
+//   - file: pread/pwrite on an *os.File. The default, matches the paper.
+//   - mmap: the base file mapped read-only (MAP_SHARED); page reads return
+//     slices of the mapping, skipping the read syscall and the buffer
+//     pool's copy. Writes still go through the file descriptor (the
+//     unified page cache keeps the mapping coherent) and the mapping is
+//     re-established after checkpoints grow the file.
+//   - memory: pages live in RAM and nothing touches the filesystem. The
+//     store is ephemeral: Close discards it, reopening the same path
+//     creates a fresh empty database.
+//
+// # Backend contract
+//
+// Implementations must provide, in order of load-bearing importance:
+//
+//   - WritePage durability ordering: WritePage calls made before a Sync
+//     must be observable by every later ReadPage once Sync returns, and —
+//     for persistent backends — survive a crash after Sync returns. The
+//     checkpoint protocol depends on this: it writes every folded page,
+//     Syncs, and only then truncates the WAL.
+//   - Read stability: a slice returned with direct=true references
+//     backend-owned memory. Its contents must stay unchanged for as long
+//     as any snapshot that could have produced the read is open. The
+//     store guarantees checkpoints never overwrite a page a live reader
+//     resolves from the base array (readers pinned to older horizons
+//     block the checkpoint; current-horizon readers resolve all
+//     checkpointed pages from the WAL), so backends only need to keep
+//     retired mappings/buffers alive until Close — they never need
+//     copy-on-write.
+//   - Sparse reads: reading a page inside the backend's Size that was
+//     never written returns zeroes (os.File hole semantics); reading past
+//     Size fails with io.EOF.
+//   - Close invalidates every direct slice. The store must not be used
+//     concurrently with or after Close.
+//
+// Backends are not responsible for locking (the store's advisory flock),
+// the WAL (always a walFile), or caching (the pool; direct backends opt
+// out of base-page caching entirely via direct=true).
+type Backend interface {
+	// Kind identifies the implementation.
+	Kind() BackendKind
+	// ReadPage returns the page image. When direct is true the returned
+	// slice references backend-owned memory (an mmap mapping or an in-RAM
+	// page) that the caller must treat as read-only and must not retain
+	// past Close. When direct is false the image was copied into buf (or
+	// a fresh allocation if buf was nil or mis-sized).
+	ReadPage(pageNo uint32, buf []byte) (data []byte, direct bool, err error)
+	// WritePage stores the page image. data is borrowed for the duration
+	// of the call only.
+	WritePage(pageNo uint32, data []byte) error
+	// Sync makes previous WritePage calls durable (no-op for memory).
+	Sync() error
+	// Size returns the page array's extent in bytes.
+	Size() (int64, error)
+	// Remap refreshes any growth-dependent state after the base array was
+	// extended (checkpoints call it after folding + Sync). Only the mmap
+	// backend does work here.
+	Remap() error
+	// Close releases files, mappings and memory.
+	Close() error
+}
+
+// BackendKind selects a page-store backend implementation.
+type BackendKind uint8
+
+const (
+	// BackendDefault resolves to the kind recorded in the store header
+	// (set when the database was created), or BackendFile for a fresh
+	// database. The MICRONN_TEST_BACKEND environment variable, when set,
+	// overrides this resolution — it exists so the test suite can run the
+	// whole stack over every backend.
+	BackendDefault BackendKind = iota
+	// BackendFile reads and writes the base file with pread/pwrite.
+	BackendFile
+	// BackendMmap maps the base file read-only; WAL appends and
+	// checkpoint writes stay file-based.
+	BackendMmap
+	// BackendMemory keeps pages (and the WAL) entirely in RAM. Nothing
+	// is persisted; no lock file is taken.
+	BackendMemory
+)
+
+// String returns the parseable name of the kind.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendDefault:
+		return "default"
+	case BackendFile:
+		return "file"
+	case BackendMmap:
+		return "mmap"
+	case BackendMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("backend(%d)", uint8(k))
+	}
+}
+
+// ParseBackend parses a backend name. The empty string and "default" mean
+// BackendDefault; "read-mmap" is accepted as an alias for "mmap".
+func ParseBackend(name string) (BackendKind, error) {
+	switch name {
+	case "", "default":
+		return BackendDefault, nil
+	case "file":
+		return BackendFile, nil
+	case "mmap", "read-mmap":
+		return BackendMmap, nil
+	case "memory", "mem":
+		return BackendMemory, nil
+	default:
+		return BackendDefault, fmt.Errorf("storage: unknown backend %q (want file, mmap or memory)", name)
+	}
+}
+
+// MmapSupported reports whether the read-mmap backend is available on this
+// platform.
+func MmapSupported() bool { return mmapSupported }
+
+// EnvBackendVar is the environment variable the test matrix uses to force
+// a backend on every Open that did not choose one explicitly.
+const EnvBackendVar = "MICRONN_TEST_BACKEND"
+
+// EnvBackend reports the backend forced by EnvBackendVar, if any. Tests
+// whose assertions require persistence across reopen use this to skip
+// themselves explicitly under the memory backend.
+func EnvBackend() (BackendKind, bool) {
+	k, ok, err := envBackend()
+	if err != nil {
+		return BackendDefault, false
+	}
+	return k, ok
+}
+
+func envBackend() (BackendKind, bool, error) {
+	v, ok := os.LookupEnv(EnvBackendVar)
+	if !ok || v == "" {
+		return BackendDefault, false, nil
+	}
+	k, err := ParseBackend(v)
+	if err != nil {
+		return BackendDefault, false, fmt.Errorf("storage: %s: %w", EnvBackendVar, err)
+	}
+	return k, k != BackendDefault, nil
+}
+
+// --- file backend ---
+
+// fileBackend is the classic implementation: every base-page read is a
+// pread (cached above by the buffer pool), every checkpoint write a
+// pwrite.
+type fileBackend struct {
+	f        *os.File
+	pageSize uint32
+}
+
+func newFileBackend(f *os.File, pageSize uint32) *fileBackend {
+	return &fileBackend{f: f, pageSize: pageSize}
+}
+
+func (b *fileBackend) Kind() BackendKind { return BackendFile }
+
+func (b *fileBackend) ReadPage(pageNo uint32, buf []byte) ([]byte, bool, error) {
+	if uint32(len(buf)) != b.pageSize {
+		buf = make([]byte, b.pageSize)
+	}
+	if _, err := b.f.ReadAt(buf, int64(pageNo)*int64(b.pageSize)); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func (b *fileBackend) WritePage(pageNo uint32, data []byte) error {
+	_, err := b.f.WriteAt(data, int64(pageNo)*int64(b.pageSize))
+	return err
+}
+
+func (b *fileBackend) Sync() error { return b.f.Sync() }
+
+func (b *fileBackend) Size() (int64, error) {
+	st, err := b.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (b *fileBackend) Remap() error { return nil }
+
+func (b *fileBackend) Close() error { return b.f.Close() }
+
+// --- memory backend ---
+
+// memBackend keeps the page array in RAM: one buffer per page. Reads are
+// zero-copy (WritePage installs a fresh copy, so a previously returned
+// buffer is never mutated, only superseded). Holes — pages inside the
+// extent that were never written — read as a shared zero page, matching
+// sparse-file semantics.
+type memBackend struct {
+	pageSize uint32
+	zero     []byte
+	mu       sync.RWMutex
+	pages    [][]byte
+}
+
+func newMemBackend(pageSize uint32) *memBackend {
+	return &memBackend{pageSize: pageSize, zero: make([]byte, pageSize)}
+}
+
+func (b *memBackend) Kind() BackendKind { return BackendMemory }
+
+func (b *memBackend) ReadPage(pageNo uint32, _ []byte) ([]byte, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if int(pageNo) >= len(b.pages) {
+		return nil, false, io.EOF
+	}
+	if p := b.pages[pageNo]; p != nil {
+		return p, true, nil
+	}
+	return b.zero, true, nil
+}
+
+func (b *memBackend) WritePage(pageNo uint32, data []byte) error {
+	cp := append([]byte(nil), data...)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for int(pageNo) >= len(b.pages) {
+		b.pages = append(b.pages, nil)
+	}
+	b.pages[pageNo] = cp
+	return nil
+}
+
+func (b *memBackend) Sync() error { return nil }
+
+func (b *memBackend) Size() (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return int64(len(b.pages)) * int64(b.pageSize), nil
+}
+
+func (b *memBackend) Remap() error { return nil }
+
+func (b *memBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pages = nil
+	return nil
+}
+
+// --- WAL files ---
+
+// walFile is the byte-level substrate under the write-ahead log. The WAL's
+// framing, CRCs and recovery are backend-independent; only where the bytes
+// live differs (an os.File for the file and mmap backends, RAM for the
+// memory backend — an in-RAM store must not leave a WAL on disk).
+type walFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Size() (int64, error)
+	Close() error
+}
+
+// osWALFile adapts *os.File to walFile.
+type osWALFile struct{ *os.File }
+
+func (f osWALFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// memFile is an in-RAM walFile. Reads copy out under a shared lock, so the
+// backing slice may be reallocated by growth without invalidating anything.
+type memFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("storage: memfile: negative offset")
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("storage: memfile: negative offset")
+	}
+	f.grow(off + int64(len(p)))
+	return copy(f.data[off:], p), nil
+}
+
+// grow extends the file to at least size bytes, zero-filling the gap.
+// Capacity doubles so a stream of appends stays amortized O(1); stale
+// bytes past a Truncate shrink are zeroed on re-extension, so they can
+// never resurface as file content.
+func (f *memFile) grow(size int64) {
+	if size <= int64(len(f.data)) {
+		return
+	}
+	old := len(f.data)
+	if size <= int64(cap(f.data)) {
+		f.data = f.data[:size]
+		gap := f.data[old:]
+		for i := range gap {
+			gap[i] = 0
+		}
+		return
+	}
+	newCap := 2 * cap(f.data)
+	if int64(newCap) < size {
+		newCap = int(size)
+	}
+	grown := make([]byte, size, newCap)
+	copy(grown, f.data[:old])
+	f.data = grown
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+	} else {
+		f.grow(size)
+	}
+	return nil
+}
+
+func (f *memFile) Sync() error { return nil }
+
+func (f *memFile) Size() (int64, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data)), nil
+}
+
+func (f *memFile) Close() error { return nil }

@@ -1,0 +1,485 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The backend conformance battery runs the store's core guarantees —
+// transactional round-trips, snapshot isolation, spills, checkpoints,
+// torture, and the WAL-failpoint crash battery — over every Backend
+// implementation. Persistence-dependent assertions (crash-reopen recovery)
+// run only on persistent backends; the memory backend skips them
+// explicitly (see runTorture/runFailpointBattery) and instead asserts its
+// documented ephemeral contract: a reopen is a fresh, empty store.
+
+type backendCase struct {
+	name       string
+	kind       BackendKind
+	persistent bool
+}
+
+func conformanceBackends(t *testing.T) []backendCase {
+	t.Helper()
+	cases := []backendCase{{"file", BackendFile, true}}
+	if mmapSupported {
+		cases = append(cases, backendCase{"mmap", BackendMmap, true})
+	} else {
+		t.Log("mmap backend not supported on this platform; skipping its conformance leg")
+	}
+	return append(cases, backendCase{"memory", BackendMemory, false})
+}
+
+func conformOpts(kind BackendKind) Options {
+	o := testOpts()
+	o.Backend = kind
+	return o
+}
+
+// TestBackendConformanceRoundTrip checks the single-open transactional
+// contract on every backend: committed writes are visible, rollbacks leave
+// no trace, spilled transactions re-read their own writes, snapshots are
+// isolated, checkpoints fold the WAL without losing data, and DropCaches
+// never affects correctness.
+func TestBackendConformanceRoundTrip(t *testing.T) {
+	for _, bc := range conformanceBackends(t) {
+		t.Run(bc.name, func(t *testing.T) {
+			opts := conformOpts(bc.kind)
+			s, _ := openTemp(t, opts)
+			if s.Kind() != bc.kind {
+				t.Fatalf("Kind() = %v, want %v", s.Kind(), bc.kind)
+			}
+			if s.Persistent() != bc.persistent {
+				t.Fatalf("Persistent() = %v, want %v", s.Persistent(), bc.persistent)
+			}
+
+			// Commit pages, spilling along the way, and read them back.
+			const n = 48
+			pages := make([]uint32, n)
+			err := s.Update(func(wt *WriteTxn) error {
+				for i := 0; i < n; i++ {
+					pg, buf, err := wt.Allocate()
+					if err != nil {
+						return err
+					}
+					pages[i] = pg
+					buf[0] = byte(i)
+					buf[len(buf)-1] = 0xEE
+					if err := wt.SpillIfNeeded(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			readAll := func(stage string) {
+				t.Helper()
+				err := s.View(func(rt *ReadTxn) error {
+					for i, pg := range pages {
+						p, err := rt.Get(pg)
+						if err != nil {
+							return err
+						}
+						if p[0] != byte(i) || p[len(p)-1] != 0xEE {
+							t.Errorf("%s: page %d = %d,%x", stage, pg, p[0], p[len(p)-1])
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+			}
+			readAll("after commit")
+
+			// Rollback leaves no trace.
+			wt, err := s.BeginWrite()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pg := range pages[:8] {
+				buf, err := wt.GetMut(pg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[0] = 0xFF
+			}
+			wt.Rollback()
+			readAll("after rollback")
+
+			// Snapshot isolation across a concurrent commit.
+			rt, err := s.BeginRead()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Update(func(wt *WriteTxn) error {
+				buf, err := wt.GetMut(pages[0])
+				if err != nil {
+					return err
+				}
+				buf[0] = 0xAB
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if p, err := rt.Get(pages[0]); err != nil || p[0] != 0 {
+				t.Errorf("old snapshot sees %v, %v; want 0", p[0], err)
+			}
+			rt.Close()
+			if err := s.View(func(rt *ReadTxn) error {
+				p, err := rt.Get(pages[0])
+				if err != nil {
+					return err
+				}
+				if p[0] != 0xAB {
+					t.Errorf("new snapshot sees %x, want ab", p[0])
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Checkpoint folds the WAL; reads now come from the backend's
+			// base array (zero-copy for mmap/memory).
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if st := s.Stats(); st.WALFrames != 0 {
+				t.Errorf("WAL frames after checkpoint = %d", st.WALFrames)
+			}
+			if err := s.View(func(rt *ReadTxn) error {
+				p, err := rt.Get(pages[0])
+				if err != nil {
+					return err
+				}
+				if p[0] != 0xAB || p[len(p)-1] != 0xEE {
+					t.Errorf("post-checkpoint page = %x,%x", p[0], p[len(p)-1])
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Cold start: dropping caches must not affect correctness.
+			s.DropCaches()
+			if err := s.View(func(rt *ReadTxn) error {
+				for i, pg := range pages[1:] {
+					p, err := rt.Get(pg)
+					if err != nil {
+						return err
+					}
+					if p[0] != byte(i+1) {
+						t.Errorf("post-drop page %d = %d", pg, p[0])
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Writes after a checkpoint keep working (mmap: this is the
+			// grown-file + remap path; the new pages live beyond the
+			// original mapping until the next checkpoint remaps).
+			if err := s.Update(func(wt *WriteTxn) error {
+				pg, buf, err := wt.Allocate()
+				if err != nil {
+					return err
+				}
+				buf[0] = 0x77
+				pages = append(pages, pg)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.View(func(rt *ReadTxn) error {
+				p, err := rt.Get(pages[len(pages)-1])
+				if err != nil {
+					return err
+				}
+				if p[0] != 0x77 {
+					t.Errorf("post-growth page = %x", p[0])
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBackendConformanceTorture replays the randomized durability torture
+// battery on every backend.
+func TestBackendConformanceTorture(t *testing.T) {
+	for _, bc := range conformanceBackends(t) {
+		t.Run(bc.name, func(t *testing.T) {
+			opts := Options{Sync: SyncOff, MaxDirtyPages: 4, CheckpointFrames: -1, Backend: bc.kind}
+			runTorture(t, opts, bc.persistent)
+		})
+	}
+}
+
+// TestBackendConformanceFailpoint replays the WAL torn-commit crash
+// battery on every backend.
+func TestBackendConformanceFailpoint(t *testing.T) {
+	for _, bc := range conformanceBackends(t) {
+		t.Run(bc.name, func(t *testing.T) {
+			opts := Options{Sync: SyncOff, MaxDirtyPages: 4, CheckpointFrames: -1, Backend: bc.kind}
+			runFailpointBattery(t, opts, bc.persistent)
+		})
+	}
+}
+
+// TestBackendAutoDetect proves the header records the backend: a database
+// created with mmap reopens as mmap when Options.Backend is left default,
+// and an explicit file override still opens (shared on-disk format).
+func TestBackendAutoDetect(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap backend not supported on this platform")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "auto.db")
+	opts := conformOpts(BackendMmap)
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg uint32
+	if err := s.Update(func(wt *WriteTxn) error {
+		n, buf, err := wt.Allocate()
+		pg = n
+		copy(buf, []byte("via mmap"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default reopen auto-detects mmap from the header.
+	def := testOpts()
+	if v := os.Getenv(EnvBackendVar); v != "" {
+		t.Logf("%s=%s set: auto-detect is overridden by the env matrix, checking explicit opens only", EnvBackendVar, v)
+	} else {
+		s2, err := Open(path, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Kind() != BackendMmap {
+			t.Errorf("auto-detected kind = %v, want mmap", s2.Kind())
+		}
+		if err := s2.View(func(rt *ReadTxn) error {
+			p, err := rt.Get(pg)
+			if err != nil {
+				return err
+			}
+			if !bytes.HasPrefix(p, []byte("via mmap")) {
+				t.Errorf("content = %q", p[:8])
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Explicit file open of an mmap-created database works: one format.
+	s3, err := Open(path, conformOpts(BackendFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Kind() != BackendFile {
+		t.Errorf("explicit kind = %v, want file", s3.Kind())
+	}
+	if err := s3.View(func(rt *ReadTxn) error {
+		p, err := rt.Get(pg)
+		if err != nil {
+			return err
+		}
+		if !bytes.HasPrefix(p, []byte("via mmap")) {
+			t.Errorf("content via file backend = %q", p[:8])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoryBackendEphemeral asserts the documented memory-backend
+// contract: nothing touches the filesystem, no lock is taken, and a
+// "reopen" of the same path is a fresh empty store.
+func TestMemoryBackendEphemeral(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ephemeral.db")
+	opts := conformOpts(BackendMemory)
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg uint32
+	if err := s.Update(func(wt *WriteTxn) error {
+		n, buf, err := wt.Allocate()
+		pg = n
+		copy(buf, []byte("volatile"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No files: not the page file, not the WAL, not the lock.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("memory backend created files: %v", names)
+	}
+
+	// A second concurrent open is allowed (no lock) and independent.
+	s2, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("second memory open: %v", err)
+	}
+	if err := s2.View(func(rt *ReadTxn) error {
+		if _, err := rt.Get(pg); !errors.Is(err, ErrBadPage) {
+			t.Errorf("fresh memory store has page %d (err=%v), want ErrBadPage", pg, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMmapRemapGrowth grows an mmap-backed store across several
+// checkpoints while a reader retains zero-copy page slices, proving the
+// retired-mapping strategy: slices handed out before a remap stay valid
+// and unchanged.
+func TestMmapRemapGrowth(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap backend not supported on this platform")
+	}
+	opts := conformOpts(BackendMmap)
+	s, _ := openTemp(t, opts)
+
+	var first uint32
+	if err := s.Update(func(wt *WriteTxn) error {
+		n, buf, err := wt.Allocate()
+		first = n
+		copy(buf, []byte("generation-0"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grab a zero-copy slice of the first page from the current mapping.
+	rt, err := s.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := rt.Get(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	// Grow the file through several checkpoint cycles (each one remaps).
+	for round := 0; round < 4; round++ {
+		if err := s.Update(func(wt *WriteTxn) error {
+			for i := 0; i < 128; i++ {
+				_, buf, err := wt.Allocate()
+				if err != nil {
+					return err
+				}
+				buf[0] = byte(round + 1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The pre-remap slice is still mapped and still holds its content.
+	if !bytes.HasPrefix(held, []byte("generation-0")) {
+		t.Errorf("held slice corrupted after remaps: %q", held[:12])
+	}
+	// And fresh reads of old and new pages work through the new mapping.
+	if err := s.View(func(rt *ReadTxn) error {
+		p, err := rt.Get(first)
+		if err != nil {
+			return err
+		}
+		if !bytes.HasPrefix(p, []byte("generation-0")) {
+			t.Errorf("page %d = %q", first, p[:12])
+		}
+		last := uint32(1 + 4*128)
+		p, err = rt.Get(last)
+		if err != nil {
+			return err
+		}
+		if p[0] != 4 {
+			t.Errorf("page %d = %d, want 4", last, p[0])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseBackend covers the name round-trip used by the CLI, the env
+// matrix and the shard manifest.
+func TestParseBackend(t *testing.T) {
+	cases := map[string]BackendKind{
+		"":          BackendDefault,
+		"default":   BackendDefault,
+		"file":      BackendFile,
+		"mmap":      BackendMmap,
+		"read-mmap": BackendMmap,
+		"memory":    BackendMemory,
+		"mem":       BackendMemory,
+	}
+	for in, want := range cases {
+		got, err := ParseBackend(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("tape"); err == nil {
+		t.Error("ParseBackend(tape) should fail")
+	}
+	for _, k := range []BackendKind{BackendFile, BackendMmap, BackendMemory} {
+		rt, err := ParseBackend(k.String())
+		if err != nil || rt != k {
+			t.Errorf("round-trip %v -> %q -> %v, %v", k, k.String(), rt, err)
+		}
+	}
+}

@@ -20,7 +20,8 @@ const (
 	offFreelistHead = 16 // u32, first free page or 0
 	offFreelistLen  = 20 // u32, number of pages on the freelist
 	offCatalogRoot  = 24 // u32, root page of the client catalog or 0
-	offHeaderEnd    = 28
+	offBackend      = 28 // u8, BackendKind the database was last opened with
+	offHeaderEnd    = 29
 )
 
 // header is the decoded form of page 0.
@@ -30,6 +31,13 @@ type header struct {
 	freelistHead uint32
 	freelistLen  uint32
 	catalogRoot  uint32
+	// backend records the BackendKind in effect at the last commit, so a
+	// reopen with Options.Backend left at BackendDefault auto-detects the
+	// engine the database was created with. Zero (files from before the
+	// byte existed, or BackendDefault) resolves to the file backend. It
+	// is a preference, not a format marker: file and mmap share one
+	// on-disk format, so switching between them is always safe.
+	backend uint8
 }
 
 func decodeHeader(p []byte) (header, error) {
@@ -45,6 +53,7 @@ func decodeHeader(p []byte) (header, error) {
 	h.freelistHead = binary.LittleEndian.Uint32(p[offFreelistHead:])
 	h.freelistLen = binary.LittleEndian.Uint32(p[offFreelistLen:])
 	h.catalogRoot = binary.LittleEndian.Uint32(p[offCatalogRoot:])
+	h.backend = p[offBackend]
 	return h, nil
 }
 
@@ -55,4 +64,5 @@ func encodeHeader(p []byte, h header) {
 	binary.LittleEndian.PutUint32(p[offFreelistHead:], h.freelistHead)
 	binary.LittleEndian.PutUint32(p[offFreelistLen:], h.freelistLen)
 	binary.LittleEndian.PutUint32(p[offCatalogRoot:], h.catalogRoot)
+	p[offBackend] = h.backend
 }

@@ -39,6 +39,14 @@ type Manifest struct {
 	// HashSeed seeds the id hash; it must be identical on every open or
 	// ids would route to the wrong shard.
 	HashSeed uint64 `json:"hash_seed"`
+	// Backend records an explicitly chosen page-store backend for every
+	// shard ("file", "mmap", "memory"). Empty means the creator left the
+	// choice to BackendDefault: each shard then auto-detects from its own
+	// store header. Unlike Shards/HashSeed this is a preference, not a
+	// routing invariant — but reopening with a conflicting explicit
+	// choice still fails fast so a fleet of shards never runs mixed
+	// engines by accident.
+	Backend string `json:"backend,omitempty"`
 }
 
 func (m Manifest) validate() error {
@@ -48,7 +56,20 @@ func (m Manifest) validate() error {
 	if m.Shards < 1 {
 		return fmt.Errorf("storage: manifest shard count %d, want >= 1", m.Shards)
 	}
+	if _, err := ParseBackend(m.Backend); err != nil {
+		return fmt.Errorf("storage: manifest backend: %w", err)
+	}
 	return nil
+}
+
+// BackendKindOf returns the manifest's backend as a kind (BackendDefault
+// when unset).
+func (m Manifest) BackendKindOf() BackendKind {
+	k, err := ParseBackend(m.Backend)
+	if err != nil {
+		return BackendDefault
+	}
+	return k
 }
 
 // ShardDir returns the directory of shard i inside dir.

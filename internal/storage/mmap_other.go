@@ -1,0 +1,17 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the read-mmap backend per platform.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("storage: mmap backend is not supported on this platform; use the file backend")
+
+func newMmapBackend(f *os.File, pageSize uint32) (Backend, error) {
+	return nil, errMmapUnsupported
+}

@@ -1,0 +1,157 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// mmapSupported gates the read-mmap backend per platform.
+const mmapSupported = true
+
+// mmapBackend serves base-page reads from a read-only MAP_SHARED mapping
+// of the database file: a page read is a bounds check and a slice, with no
+// read syscall and no copy into the buffer pool (the OS page cache is the
+// cache). Writes — checkpoint folds and fresh-database initialization —
+// still go through the file descriptor; the unified page cache keeps the
+// mapping coherent with them.
+//
+// Growth: the base file only ever grows (checkpoints append pages, the
+// freelist recycles interior ones). Remap over-maps — it maps twice the
+// current file size, and zero-copy reads are gated on the validated file
+// extent rather than the mapping length — so most growth steps only bump
+// the extent and a new mapping is needed just O(log growth) times.
+// Touching a mapped page past EOF would SIGBUS, but ReadPage never
+// dereferences beyond the extent, and once the file grows to cover a
+// mapped offset the access is valid (MAP_SHARED mappings track the file).
+// Old mappings are retired, not unmapped, until Close: readers may still
+// hold slices handed out before a remap, the doubling bounds the retired
+// list, and all mappings share one set of physical pages. Reads past the
+// extent (pages checkpointed after the last Remap, or declared by a
+// recovered WAL but never folded) fall back to pread.
+type mmapBackend struct {
+	f        *os.File
+	pageSize uint32
+
+	// mu guards data/extent/retired; reads take the read lock only long
+	// enough to grab the current mapping slice and extent.
+	mu      sync.RWMutex
+	data    []byte // current mapping; len may exceed the file size
+	extent  int64  // file bytes (whole pages) valid for zero-copy reads
+	retired [][]byte
+}
+
+func newMmapBackend(f *os.File, pageSize uint32) (*mmapBackend, error) {
+	b := &mmapBackend{f: f, pageSize: pageSize}
+	if err := b.Remap(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *mmapBackend) Kind() BackendKind { return BackendMmap }
+
+func (b *mmapBackend) ReadPage(pageNo uint32, buf []byte) ([]byte, bool, error) {
+	off := int64(pageNo) * int64(b.pageSize)
+	b.mu.RLock()
+	m, ext := b.data, b.extent
+	b.mu.RUnlock()
+	if end := off + int64(b.pageSize); end <= ext && end <= int64(len(m)) {
+		return m[off : off+int64(b.pageSize) : off+int64(b.pageSize)], true, nil
+	}
+	if uint32(len(buf)) != b.pageSize {
+		buf = make([]byte, b.pageSize)
+	}
+	if _, err := b.f.ReadAt(buf, off); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func (b *mmapBackend) WritePage(pageNo uint32, data []byte) error {
+	_, err := b.f.WriteAt(data, int64(pageNo)*int64(b.pageSize))
+	return err
+}
+
+func (b *mmapBackend) Sync() error { return b.f.Sync() }
+
+func (b *mmapBackend) Size() (int64, error) {
+	st, err := b.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Remap refreshes the zero-copy extent after the file grew (open time and
+// every checkpoint fold+sync). When the current mapping already covers the
+// new extent this is just a bookkeeping bump; otherwise a new mapping of
+// twice the file size is created and the old one is retired.
+func (b *mmapBackend) Remap() error {
+	st, err := b.f.Stat()
+	if err != nil {
+		return err
+	}
+	// Whole pages only; a ragged tail (torn by a crashed direct write) is
+	// served by the pread fallback like any beyond-extent read.
+	size := st.Size() - st.Size()%int64(b.pageSize)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if size <= int64(len(b.data)) {
+		b.extent = size
+		return nil
+	}
+	// Over-map 2x on 64-bit, where address space is free. On 32-bit it is
+	// the scarce resource, so map the exact extent (more remaps, but each
+	// retired mapping is as small as possible) and clamp to the largest
+	// whole-page int if the file outgrows the address space — reads past
+	// the mapping fall back to pread.
+	mapLen := 2 * size
+	const maxInt = int64(^uint(0) >> 1)
+	if bits.UintSize == 32 {
+		mapLen = size
+	}
+	if mapLen > maxInt {
+		mapLen = maxInt - maxInt%int64(b.pageSize)
+	}
+	if mapLen <= int64(len(b.data)) {
+		// Clamped below the file size and already mapped that much:
+		// nothing to gain from an identical mapping.
+		b.extent = size
+		return nil
+	}
+	m, err := syscall.Mmap(int(b.f.Fd()), 0, int(mapLen), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("storage: mmap %d bytes: %w", mapLen, err)
+	}
+	if b.data != nil {
+		b.retired = append(b.retired, b.data)
+	}
+	b.data = m
+	b.extent = size
+	return nil
+}
+
+func (b *mmapBackend) Close() error {
+	b.mu.Lock()
+	maps := b.retired
+	if b.data != nil {
+		maps = append(maps, b.data)
+	}
+	b.data, b.retired = nil, nil
+	b.mu.Unlock()
+	var first error
+	for _, m := range maps {
+		if err := syscall.Munmap(m); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := b.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -22,8 +22,9 @@ type bufferPool struct {
 	lru      *list.List // front = most recently used
 	entries  map[poolKey]*list.Element
 
-	hits   uint64
-	misses uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type poolKey struct {
@@ -80,6 +81,7 @@ func (p *bufferPool) put(key poolKey, data []byte) {
 		be := back.Value.(*poolEntry)
 		delete(p.entries, be.key)
 		p.lru.Remove(back)
+		p.evictions++
 	}
 }
 
@@ -138,9 +140,9 @@ func (p *bufferPool) bytes() int64 {
 	return int64(len(p.entries)) * p.pageSize
 }
 
-// stats returns cumulative hit/miss counters.
-func (p *bufferPool) stats() (hits, misses uint64) {
+// stats returns cumulative hit/miss/eviction counters.
+func (p *bufferPool) stats() (hits, misses, evictions uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.hits, p.misses
+	return p.hits, p.misses, p.evictions
 }

@@ -1,0 +1,21 @@
+// Package storagetest holds test helpers shared by every package whose
+// tests run under the MICRONN_TEST_BACKEND backend matrix.
+package storagetest
+
+import (
+	"testing"
+
+	"micronn/internal/storage"
+)
+
+// SkipIfEphemeral skips tests whose assertions require persistence across
+// reopen when the backend matrix forces the memory backend — explicitly,
+// as the backend contract demands, never silently. Every test that closes
+// a store and expects its data back on the next open must call this (or
+// pin storage.Options.Backend to a persistent engine).
+func SkipIfEphemeral(t testing.TB) {
+	t.Helper()
+	if k, ok := storage.EnvBackend(); ok && k == storage.BackendMemory {
+		t.Skipf("%s=memory: the memory backend is ephemeral; reopen/crash-persistence assertions do not apply", storage.EnvBackendVar)
+	}
+}

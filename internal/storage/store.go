@@ -11,6 +11,21 @@
 // serialized, and a crash at any point preserves the last committed state
 // (frames after a torn write fail CRC validation and are discarded on
 // recovery).
+//
+// # Backends
+//
+// How the base page array is materialized is pluggable (Options.Backend):
+// the file backend preads/pwrites an os.File, the read-mmap backend maps
+// the base file read-only so page reads skip the syscall and the buffer
+// pool (WAL appends and checkpoint writes stay file-based, with a remap
+// after checkpoints grow the file), and the memory backend keeps pages and
+// WAL entirely in RAM for ephemeral stores. The kind used at create time
+// is recorded in the store header, so reopening with BackendDefault
+// auto-detects it. See the Backend interface for the exact ordering and
+// sync guarantees every implementation must provide. Buffer-pool
+// accounting is backend-aware: zero-copy backends (mmap, memory) bypass
+// the pool for base pages — only WAL-resident page images are cached —
+// since the OS page cache (or RAM itself) already holds the base image.
 package storage
 
 import (
@@ -54,6 +69,13 @@ type Options struct {
 	// DisableLock skips the advisory file lock (useful for read-only
 	// inspection tooling).
 	DisableLock bool
+	// Backend selects how the base page array is materialized: file
+	// (default), read-mmap, or memory. BackendDefault auto-detects the
+	// kind recorded in an existing store's header (falling back to file),
+	// after honoring the MICRONN_TEST_BACKEND environment override used
+	// by the test matrix. The memory backend is ephemeral: it never
+	// touches the filesystem and takes no lock.
+	Backend BackendKind
 }
 
 func (o *Options) fillDefaults() {
@@ -89,7 +111,12 @@ type Store struct {
 	path string
 	opts Options
 
-	db   *os.File
+	backend Backend
+	kind    BackendKind
+	// directBase is set for zero-copy backends (mmap, memory): base-page
+	// reads return backend-owned memory and bypass the buffer pool.
+	directBase bool
+
 	wal  *wal
 	pool *bufferPool
 	lock *fileLock
@@ -118,63 +145,136 @@ type Store struct {
 // Open opens or creates the store at path.
 func Open(path string, opts Options) (*Store, error) {
 	opts.fillDefaults()
+	kind := opts.Backend
+	if kind == BackendDefault {
+		ek, ok, err := envBackend()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kind = ek
+		}
+	}
 	s := &Store{
 		path:    path,
 		opts:    opts,
 		readers: make(map[uint64]int),
 	}
-	if !opts.DisableLock {
-		l, err := acquireFileLock(path + ".lock")
+
+	var wf walFile
+	var existing *header
+	if kind == BackendMemory {
+		// Fully in-RAM: no base file, no WAL file, no lock file. Every
+		// open is a fresh, empty, ephemeral store.
+		s.backend = newMemBackend(opts.PageSize)
+		wf = &memFile{}
+	} else {
+		if !opts.DisableLock {
+			l, err := acquireFileLock(path + ".lock")
+			if err != nil {
+				return nil, err
+			}
+			s.lock = l
+		}
+		db, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
+			s.release()
+			return nil, fmt.Errorf("storage: open db: %w", err)
+		}
+		st, err := db.Stat()
+		if err != nil {
+			db.Close()
+			s.release()
 			return nil, err
 		}
-		s.lock = l
+		if st.Size() > 0 {
+			// Validate the header and, with BackendDefault, adopt the
+			// recorded kind before choosing the engine.
+			page := make([]byte, opts.PageSize)
+			if _, err := db.ReadAt(page, 0); err != nil {
+				db.Close()
+				s.release()
+				return nil, fmt.Errorf("storage: read header: %w", err)
+			}
+			h, err := decodeHeader(page)
+			if err != nil {
+				db.Close()
+				s.release()
+				return nil, err
+			}
+			if h.pageSize != opts.PageSize {
+				db.Close()
+				s.release()
+				return nil, fmt.Errorf("storage: page size mismatch: file=%d opts=%d", h.pageSize, opts.PageSize)
+			}
+			if kind == BackendDefault {
+				switch rec := BackendKind(h.backend); {
+				case rec == BackendFile:
+					kind = rec
+				case rec == BackendMmap && mmapSupported:
+					kind = rec
+				case rec == BackendMmap:
+					// The byte is a preference, not a format marker: a
+					// database created with mmap elsewhere must still
+					// open on a platform without it.
+					kind = BackendFile
+				}
+			}
+			existing = &h
+		}
+		if kind == BackendDefault {
+			kind = BackendFile
+		}
+		switch kind {
+		case BackendFile:
+			s.backend = newFileBackend(db, opts.PageSize)
+		case BackendMmap:
+			mb, err := newMmapBackend(db, opts.PageSize)
+			if err != nil {
+				db.Close()
+				s.release()
+				return nil, err
+			}
+			s.backend = mb
+		default:
+			db.Close()
+			s.release()
+			return nil, fmt.Errorf("storage: invalid backend %s", kind)
+		}
+		owf, err := os.OpenFile(path+"-wal", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			s.release()
+			return nil, fmt.Errorf("storage: open wal: %w", err)
+		}
+		wf = osWALFile{owf}
 	}
-	db, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		s.release()
-		return nil, fmt.Errorf("storage: open db: %w", err)
-	}
-	s.db = db
-	st, err := db.Stat()
-	if err != nil {
-		s.release()
-		return nil, err
-	}
-	if st.Size() == 0 {
-		// Fresh database: write the header page directly.
+	s.kind = kind
+	s.directBase = kind == BackendMmap || kind == BackendMemory
+
+	if existing != nil {
+		s.pageCount = existing.pageCount
+	} else {
+		// Fresh database (every memory open is one): write the header.
 		page := make([]byte, opts.PageSize)
-		encodeHeader(page, header{pageSize: opts.PageSize, pageCount: 1})
-		if _, err := db.WriteAt(page, 0); err != nil {
+		encodeHeader(page, header{pageSize: opts.PageSize, pageCount: 1, backend: uint8(kind)})
+		if err := s.backend.WritePage(0, page); err != nil {
 			s.release()
 			return nil, fmt.Errorf("storage: init db: %w", err)
 		}
 		if opts.Sync == SyncNormal {
-			if err := db.Sync(); err != nil {
+			if err := s.backend.Sync(); err != nil {
 				s.release()
 				return nil, err
 			}
 		}
-		s.pageCount = 1
-	} else {
-		page := make([]byte, opts.PageSize)
-		if _, err := db.ReadAt(page, 0); err != nil {
-			s.release()
-			return nil, fmt.Errorf("storage: read header: %w", err)
-		}
-		h, err := decodeHeader(page)
-		if err != nil {
+		if err := s.backend.Remap(); err != nil {
 			s.release()
 			return nil, err
 		}
-		if h.pageSize != opts.PageSize {
-			s.release()
-			return nil, fmt.Errorf("storage: page size mismatch: file=%d opts=%d", h.pageSize, opts.PageSize)
-		}
-		s.pageCount = h.pageCount
+		s.pageCount = 1
 	}
 
-	w, err := openWAL(path+"-wal", opts.PageSize)
+	w, err := openWALOn(wf, opts.PageSize)
 	if err != nil {
 		s.release()
 		return nil, err
@@ -196,8 +296,8 @@ func Open(path string, opts Options) (*Store, error) {
 }
 
 func (s *Store) release() {
-	if s.db != nil {
-		s.db.Close()
+	if s.backend != nil {
+		s.backend.Close()
 	}
 	if s.wal != nil {
 		s.wal.close()
@@ -264,40 +364,51 @@ func (s *Store) SetWALFailpoint(n int) { s.wal.failAfter.Store(int64(n)) }
 
 // Stats reports operational counters.
 type Stats struct {
-	PoolBytes    int64
-	PoolHits     uint64
-	PoolMisses   uint64
-	WALFrames    uint32
-	WALBytes     int64
-	PageCount    uint32
-	Commits      uint64
-	Checkpoints  uint64
-	PagesWritten uint64
+	Backend       BackendKind
+	PoolBytes     int64
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
+	WALFrames     uint32
+	WALBytes      int64
+	PageCount     uint32
+	Commits       uint64
+	Checkpoints   uint64
+	PagesWritten  uint64
 }
 
 // Stats returns a snapshot of operational counters.
 func (s *Store) Stats() Stats {
-	hits, misses := s.pool.stats()
+	hits, misses, evictions := s.pool.stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		PoolBytes:    s.pool.bytes(),
-		PoolHits:     hits,
-		PoolMisses:   misses,
-		WALFrames:    s.wal.frames.Load(),
-		WALBytes:     s.wal.size(),
-		PageCount:    s.pageCount,
-		Commits:      s.statCommits,
-		Checkpoints:  s.statCheckpoints,
-		PagesWritten: s.statPagesOut,
+		Backend:       s.kind,
+		PoolBytes:     s.pool.bytes(),
+		PoolHits:      hits,
+		PoolMisses:    misses,
+		PoolEvictions: evictions,
+		WALFrames:     s.wal.frames.Load(),
+		WALBytes:      s.wal.size(),
+		PageCount:     s.pageCount,
+		Commits:       s.statCommits,
+		Checkpoints:   s.statCheckpoints,
+		PagesWritten:  s.statPagesOut,
 	}
 }
 
 // PoolBudget returns the configured buffer-pool byte budget.
 func (s *Store) PoolBudget() int64 { return s.opts.PoolBytes }
 
+// Kind returns the backend the store resolved at open time.
+func (s *Store) Kind() BackendKind { return s.kind }
+
+// Persistent reports whether the backend outlives the process (false only
+// for the memory backend).
+func (s *Store) Persistent() bool { return s.kind != BackendMemory }
+
 // readPage resolves pageNo at the given snapshot through WAL index, buffer
-// pool and base file. The returned buffer is shared and read-only.
+// pool and base backend. The returned buffer is shared and read-only.
 func (s *Store) readPage(pageNo uint32, snapshot uint64) ([]byte, error) {
 	s.resolveMu.RLock()
 	defer s.resolveMu.RUnlock()
@@ -309,6 +420,18 @@ func (s *Store) readPage(pageNo uint32, snapshot uint64) ([]byte, error) {
 	}
 	frame, inWAL := s.idx.lookup(pageNo, snapshot)
 	s.mu.Unlock()
+
+	if !inWAL && s.directBase {
+		// Zero-copy backends serve base pages from their own memory (the
+		// mmap mapping, or the in-RAM page array): no pool lookup, no
+		// pool insert — the OS page cache / RAM already holds the bytes,
+		// and caching them again would double-count the budget.
+		data, _, err := s.backend.ReadPage(pageNo, nil)
+		if err != nil {
+			return nil, wrapReadErr(pageNo, err)
+		}
+		return data, nil
+	}
 
 	key := poolKey{pageNo: pageNo}
 	if inWAL {
@@ -323,16 +446,21 @@ func (s *Store) readPage(pageNo uint32, snapshot uint64) ([]byte, error) {
 			return nil, err
 		}
 	} else {
-		off := int64(pageNo) * int64(s.opts.PageSize)
-		if _, err := s.db.ReadAt(buf, off); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil, fmt.Errorf("%w: page %d beyond end of file", ErrBadPage, pageNo)
-			}
-			return nil, fmt.Errorf("storage: read page %d: %w", pageNo, err)
+		data, _, err := s.backend.ReadPage(pageNo, buf)
+		if err != nil {
+			return nil, wrapReadErr(pageNo, err)
 		}
+		buf = data
 	}
 	s.pool.put(key, buf)
 	return buf, nil
+}
+
+func wrapReadErr(pageNo uint32, err error) error {
+	if errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: page %d beyond end of file", ErrBadPage, pageNo)
+	}
+	return fmt.Errorf("storage: read page %d: %w", pageNo, err)
 }
 
 // --- read transactions ---
@@ -633,6 +761,7 @@ func (t *WriteTxn) Commit() error {
 		freelistHead: t.hdr.freelistHead,
 		freelistLen:  t.hdr.freelistLen,
 		catalogRoot:  t.hdr.catalogRoot,
+		backend:      uint8(s.kind),
 	})
 
 	type cached struct {
@@ -735,24 +864,39 @@ func (s *Store) checkpointLocked() error {
 			}
 			data = buf
 		}
-		off := int64(pageNo) * int64(s.opts.PageSize)
-		if _, err := s.db.WriteAt(data, off); err != nil {
+		if err := s.backend.WritePage(pageNo, data); err != nil {
 			return fmt.Errorf("storage: checkpoint page %d: %w", pageNo, err)
 		}
 	}
 	if s.opts.Sync == SyncNormal {
-		if err := s.db.Sync(); err != nil {
+		if err := s.backend.Sync(); err != nil {
 			return err
 		}
 	}
 
-	// Exclude concurrent page resolution while the WAL disappears.
+	// Exclude concurrent page resolution while the WAL disappears. The
+	// fold is already synced, so the ordering below is safe for every
+	// backend — and it must refresh the backend's view of the (possibly
+	// grown) base array BEFORE truncating the WAL: if Remap fails, the
+	// WAL index still points at live frames and the store stays fully
+	// readable; the reverse order would strand the index on a truncated
+	// log.
 	s.resolveMu.Lock()
 	defer s.resolveMu.Unlock()
+	if err := s.backend.Remap(); err != nil {
+		return err
+	}
 	if err := s.wal.reset(); err != nil {
 		return err
 	}
-	s.pool.checkpointRekey(latest)
+	if s.directBase {
+		// Every pool entry is WAL-keyed (base pages bypass the pool) and
+		// the WAL just vanished: drop them all rather than promoting to
+		// base keys that no read path would ever consult.
+		s.pool.drop()
+	} else {
+		s.pool.checkpointRekey(latest)
+	}
 	s.mu.Lock()
 	s.idx = newWALIndex()
 	s.statCheckpoints++

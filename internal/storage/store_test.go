@@ -15,6 +15,15 @@ func testOpts() Options {
 	return Options{Sync: SyncOff, PoolBytes: 1 << 20, MaxDirtyPages: 16, CheckpointFrames: -1}
 }
 
+// fileOpts pins the file backend for tests that assert file-format or
+// cross-reopen behavior regardless of the MICRONN_TEST_BACKEND matrix;
+// the backend conformance battery covers mmap and memory explicitly.
+func fileOpts() Options {
+	o := testOpts()
+	o.Backend = BackendFile
+	return o
+}
+
 func openTemp(t *testing.T, opts Options) (*Store, string) {
 	t.Helper()
 	dir := t.TempDir()
@@ -368,7 +377,7 @@ func TestSpilledRollbackInvisible(t *testing.T) {
 func TestReopenPersists(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "test.db")
-	opts := testOpts()
+	opts := fileOpts()
 	s, err := Open(path, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -417,7 +426,7 @@ func TestReopenPersists(t *testing.T) {
 func TestCrashRecoveryFromWAL(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "test.db")
-	opts := testOpts()
+	opts := fileOpts()
 	s, err := Open(path, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -467,7 +476,7 @@ func TestCrashRecoveryFromWAL(t *testing.T) {
 func TestRecoveryDiscardsTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "test.db")
-	opts := testOpts()
+	opts := fileOpts()
 	s, err := Open(path, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -528,7 +537,7 @@ func TestRecoveryDiscardsTornTail(t *testing.T) {
 }
 
 func TestCheckpointFoldsWAL(t *testing.T) {
-	s, path := openTemp(t, testOpts())
+	s, path := openTemp(t, fileOpts())
 	var pg uint32
 	if err := s.Update(func(wt *WriteTxn) error {
 		n, buf, err := wt.Allocate()
@@ -791,7 +800,7 @@ func TestDropCaches(t *testing.T) {
 func TestLockingExcludesSecondOpen(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "test.db")
-	opts := testOpts()
+	opts := fileOpts()
 	s, err := Open(path, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -843,14 +852,14 @@ func TestAutoCheckpoint(t *testing.T) {
 func TestPageSizeMismatchRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.db")
-	s, err := Open(path, testOpts())
+	s, err := Open(path, fileOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	opts := testOpts()
+	opts := fileOpts()
 	opts.PageSize = 8192
 	if _, err := Open(path, opts); err == nil {
 		t.Error("expected page size mismatch error")

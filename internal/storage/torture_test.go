@@ -12,11 +12,22 @@ import (
 // sequences of commits, rollbacks, spills, checkpoints and crash-reopens,
 // checking after every step that committed state matches an in-memory
 // reference model. This is the storage engine's main durability property
-// test.
+// test. It runs here against the file backend; the conformance battery
+// replays it on mmap and memory too.
 func TestTortureRandomOpsWithReopen(t *testing.T) {
+	runTorture(t, Options{Sync: SyncOff, MaxDirtyPages: 4, CheckpointFrames: -1, Backend: BackendFile}, true)
+}
+
+// runTorture is the torture battery body, parameterized over backend
+// options. persistent=false (the memory backend) replaces the reopen ops
+// with checkpoints — the store is ephemeral, so cross-open assertions are
+// skipped explicitly here rather than silently passing on empty state.
+func runTorture(t *testing.T, opts Options, persistent bool) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "torture.db")
-	opts := Options{Sync: SyncOff, MaxDirtyPages: 4, CheckpointFrames: -1}
+	if !persistent {
+		t.Log("ephemeral backend: reopen/crash steps replaced with checkpoints, cross-open persistence not asserted")
+	}
 
 	s, err := Open(path, opts)
 	if err != nil {
@@ -117,6 +128,12 @@ func TestTortureRandomOpsWithReopen(t *testing.T) {
 				t.Fatalf("step %d checkpoint: %v", step, err)
 			}
 		case op < 9: // crash + recover
+			if !persistent {
+				if err := s.Checkpoint(); err != nil && err != ErrBusy {
+					t.Fatalf("step %d checkpoint: %v", step, err)
+				}
+				break
+			}
 			if err := s.CloseWithoutCheckpoint(); err != nil {
 				t.Fatal(err)
 			}
@@ -125,6 +142,12 @@ func TestTortureRandomOpsWithReopen(t *testing.T) {
 				t.Fatalf("step %d reopen after crash: %v", step, err)
 			}
 		default: // clean close + reopen
+			if !persistent {
+				if err := s.Checkpoint(); err != nil && err != ErrBusy {
+					t.Fatalf("step %d checkpoint: %v", step, err)
+				}
+				break
+			}
 			if err := s.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +169,7 @@ func TestTortureRandomOpsWithReopen(t *testing.T) {
 func TestFreelistSurvivesCrash(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "fl.db")
-	opts := Options{Sync: SyncOff, CheckpointFrames: -1}
+	opts := Options{Sync: SyncOff, CheckpointFrames: -1, Backend: BackendFile}
 	s, err := Open(path, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -83,9 +83,12 @@ func (idx *walIndex) latest() map[uint32]uint32 {
 }
 
 // wal wraps the WAL file. It is not internally synchronized; the Store
-// serializes writers and guards the index with its own mutex.
+// serializes writers and guards the index with its own mutex. The file is
+// a walFile so the framing and recovery logic is shared by every backend:
+// an os.File for the file and mmap backends, an in-RAM memFile for the
+// memory backend.
 type wal struct {
-	f        *os.File
+	f        walFile
 	salt     uint32
 	pageSize uint32
 	// frames is the frame count in the file; atomic because Stats reads
@@ -97,19 +100,25 @@ type wal struct {
 	failAfter atomic.Int64
 }
 
+// openWAL opens (or creates) a file-based WAL at path.
 func openWAL(path string, pageSize uint32) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
+	return openWALOn(osWALFile{f}, pageSize)
+}
+
+// openWALOn wraps an existing walFile (file-backed or in-RAM).
+func openWALOn(f walFile, pageSize uint32) (*wal, error) {
 	w := &wal{f: f, pageSize: pageSize}
 	w.failAfter.Store(-1)
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		if err := w.writeHeader(); err != nil {
 			f.Close()
 			return nil, err
@@ -254,12 +263,12 @@ type recoveredTxn struct {
 // crash-recovery contract of a WAL.
 func (w *wal) recover() (idx *walIndex, commits uint64, pageCount uint32, maxTxnID uint64, err error) {
 	idx = newWALIndex()
-	st, err := w.f.Stat()
+	size, err := w.f.Size()
 	if err != nil {
 		return nil, 0, 0, 0, err
 	}
 	frameSize := int64(walFrameHeaderLen) + int64(w.pageSize)
-	avail := st.Size() - walHeaderSize
+	avail := size - walHeaderSize
 	if avail < 0 {
 		avail = 0
 	}
@@ -321,20 +330,23 @@ func (w *wal) recover() (idx *walIndex, commits uint64, pageCount uint32, maxTxn
 	return idx, uint64(len(committed)), pageCount, maxTxnID, nil
 }
 
+// close closes the underlying walFile but deliberately keeps w.f set: a
+// Stats or page read racing Close then gets a clean error from the closed
+// file (exactly the pre-interface *os.File behavior) instead of a
+// nil-interface panic, and w.f is never written after openWALOn so there
+// is no unsynchronized interface-word write to race with.
 func (w *wal) close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.f.Close()
-	w.f = nil
-	return err
+	return w.f.Close()
 }
 
-// size returns the WAL file size in bytes.
+// size returns the WAL file size in bytes (0 once closed).
 func (w *wal) size() int64 {
-	st, err := w.f.Stat()
+	n, err := w.f.Size()
 	if err != nil {
 		return 0
 	}
-	return st.Size()
+	return n
 }

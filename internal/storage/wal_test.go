@@ -173,9 +173,12 @@ func TestBufferPoolLRUAndRekey(t *testing.T) {
 		t.Error("stale WAL-keyed entry survived rekey")
 	}
 
-	hits, misses := p.stats()
+	hits, misses, evictions := p.stats()
 	if hits == 0 || misses == 0 {
 		t.Errorf("stats = %d, %d", hits, misses)
+	}
+	if evictions == 0 {
+		t.Errorf("evictions = %d, want > 0 (page 2 was evicted)", evictions)
 	}
 	p.drop()
 	if p.bytes() != 0 {

@@ -43,6 +43,21 @@
 // Stats reports the cumulative splits/merges/flushes and the current
 // partition-size bounds.
 //
+// # Backends
+//
+// The page store under everything is pluggable (Options.Backend). The
+// file backend — the default and the paper's configuration — preads pages
+// through a byte-budgeted buffer pool. The read-mmap backend maps the
+// database file read-only so hot page reads skip both the read syscall
+// and the pool copy; writes, the WAL and checkpoints stay file-based, so
+// durability is identical and the two backends share one on-disk format.
+// The memory backend keeps the entire store (pages and WAL) in RAM: no
+// files, no lock, gone at Close — made for ephemeral caches and tests.
+// The backend used at create time is recorded in the store header, so
+// reopening with BackendDefault picks the right engine automatically.
+//
+//	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128, Backend: micronn.BackendMmap})
+//
 // # Sharding
 //
 // OpenSharded hash-partitions a collection across N fully independent
@@ -97,6 +112,32 @@ const (
 	Cosine = vec.Cosine
 	Dot    = vec.Dot
 )
+
+// Backend selects the page-store engine (see Options.Backend).
+type Backend = storage.BackendKind
+
+// Page-store backends.
+const (
+	// BackendDefault auto-detects the backend recorded in an existing
+	// database's header and falls back to BackendFile.
+	BackendDefault = storage.BackendDefault
+	// BackendFile reads and writes the database file with pread/pwrite
+	// through the buffer pool — the paper's configuration.
+	BackendFile = storage.BackendFile
+	// BackendMmap maps the database file read-only: page reads skip the
+	// read syscall and the buffer pool's copy (the OS page cache is the
+	// cache). Writes, WAL and checkpoints stay file-based; durability is
+	// identical to BackendFile.
+	BackendMmap = storage.BackendMmap
+	// BackendMemory keeps the whole store in RAM: nothing touches the
+	// filesystem, Close discards everything. For ephemeral caches and
+	// fast tests.
+	BackendMemory = storage.BackendMemory
+)
+
+// ParseBackend parses a backend name ("file", "mmap", "memory"; "" means
+// BackendDefault).
+func ParseBackend(name string) (Backend, error) { return storage.ParseBackend(name) }
 
 // Quantization selects the partition-scan vector encoding.
 type Quantization = quant.Type
@@ -221,6 +262,15 @@ type Options struct {
 	// reopening an existing database. Ignored when Quantization is
 	// QuantNone.
 	RerankFactor int
+	// Backend selects the page-store engine: BackendFile (default),
+	// BackendMmap (read-only mapping of the database file; hot reads skip
+	// the read syscall and the buffer-pool copy), or BackendMemory (fully
+	// in-RAM and ephemeral). The choice is recorded in the store header,
+	// so reopening with BackendDefault auto-detects the engine the
+	// database was created with; file and mmap share one on-disk format
+	// and may be switched freely. On a sharded database the manifest
+	// additionally pins an explicitly chosen backend for every shard.
+	Backend Backend
 	// Seed makes index construction deterministic.
 	Seed int64
 	// Shards is the shard count for OpenSharded (create time only): items
@@ -287,6 +337,7 @@ func Open(path string, opts Options) (*DB, error) {
 		PoolBytes:     device.CacheBytes,
 		Sync:          sync,
 		MaxDirtyPages: maxDirty,
+		Backend:       opts.Backend,
 	})
 	if err != nil {
 		return nil, err
@@ -980,12 +1031,20 @@ type Stats struct {
 	// LastMaintainAction is the most recent maintenance pass's action
 	// ("" before the first pass).
 	LastMaintainAction string
+	// Backend names the page-store engine serving this database ("file",
+	// "mmap" or "memory").
+	Backend string
 	// CacheBytes is current buffer-pool memory; CacheBudget the limit.
 	CacheBytes  int64
 	CacheBudget int64
-	// CacheHits / CacheMisses are cumulative buffer-pool counters.
-	CacheHits   uint64
-	CacheMisses uint64
+	// CacheHits / CacheMisses / CacheEvictions are cumulative buffer-pool
+	// counters. Note the pool's scope is backend-dependent: under the
+	// mmap and memory backends base pages bypass the pool (only
+	// WAL-resident page images are cached), so low traffic here is
+	// expected and healthy.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
 	// WALBytes is the current write-ahead log size.
 	WALBytes int64
 	// FileBytes is the main database file size (pages * page size).
@@ -1021,10 +1080,12 @@ func (db *DB) Stats() (Stats, error) {
 	}
 	db.maintMu.Unlock()
 	ss := db.store.Stats()
+	out.Backend = ss.Backend.String()
 	out.CacheBytes = ss.PoolBytes
 	out.CacheBudget = db.store.PoolBudget()
 	out.CacheHits = ss.PoolHits
 	out.CacheMisses = ss.PoolMisses
+	out.CacheEvictions = ss.PoolEvictions
 	out.WALBytes = ss.WALBytes
 	out.FileBytes = int64(ss.PageCount) * int64(db.store.PageSize())
 	return out, nil

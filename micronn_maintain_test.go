@@ -67,6 +67,7 @@ func TestMaintainSplitsInsteadOfRebuild(t *testing.T) {
 // underneath them. Sized to stay fast under the CI `-race -short` job,
 // which is where its value lives.
 func TestAutoMaintainConcurrentOps(t *testing.T) {
+	skipIfEphemeralBackend(t) // bootstrap-then-reopen structure needs persistence
 	path := filepath.Join(t.TempDir(), "auto.mnn")
 
 	// Bootstrap and build without the maintainer, so any rebuild observed

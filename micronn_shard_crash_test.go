@@ -270,6 +270,7 @@ func (e *shardCrashEnv) verify(step string) {
 // matching the directories). The seed is logged for reproduction; override
 // it with MICRONN_CRASH_SEED.
 func TestShardedCrashRandomInterleavings(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	baseSeed := time.Now().UnixNano()
 	if s := os.Getenv("MICRONN_CRASH_SEED"); s != "" {
 		v, err := strconv.ParseInt(s, 10, 64)

@@ -270,6 +270,7 @@ func TestShardedEquivalence(t *testing.T) {
 // mismatched shard count, a missing shard directory and a stray shard
 // directory must all fail fast, while Shards=0 reopens cleanly.
 func TestShardedTopologyValidation(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	dir := filepath.Join(t.TempDir(), "topo.d")
 	sdb, err := OpenSharded(dir, Options{Dim: 8, Shards: 2})
 	if err != nil {
@@ -327,6 +328,7 @@ func TestShardedTopologyValidation(t *testing.T) {
 // manifest-less directory that plain reopens reject but the same create
 // call completes (existing shard stores just reopen).
 func TestShardedCreateRetryAfterCrash(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	dir := filepath.Join(t.TempDir(), "retry.d")
 	sdb, err := OpenSharded(dir, Options{Dim: 8, Shards: 3})
 	if err != nil {
@@ -451,6 +453,7 @@ func TestShardedSnapshot(t *testing.T) {
 // shard's background maintainer flushes, splits and merges underneath them.
 // Sized for the CI `-race -short` job.
 func TestShardedConcurrentOps(t *testing.T) {
+	skipIfEphemeralBackend(t) // bootstrap-then-reopen structure needs persistence
 	dir := filepath.Join(t.TempDir(), "hammer.d")
 
 	// Bootstrap and build without maintainers so later rebuilds would be a

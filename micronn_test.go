@@ -347,6 +347,7 @@ func TestConcurrentSearchesAndWrites(t *testing.T) {
 }
 
 func TestReopenKeepsEverything(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "p.mnn")
 	db, err := Open(path, Options{Dim: 4, TargetPartitionSize: 10, Seed: 5,
@@ -509,6 +510,7 @@ func TestSQ8OptionEndToEnd(t *testing.T) {
 }
 
 func TestSQ8ReopenKeepsCodebook(t *testing.T) {
+	skipIfEphemeralBackend(t)
 	const dim = 8
 	dir := t.TempDir()
 	path := filepath.Join(dir, "q.mnn")

@@ -95,21 +95,31 @@ func OpenSharded(dir string, opts Options) (*ShardedDB, error) {
 			return nil, fmt.Errorf("micronn: Dim required to create a sharded database")
 		}
 		m = storage.Manifest{Version: 1, Shards: opts.Shards, HashSeed: uint64(opts.Seed)}
-		for i := 0; i < m.Shards; i++ {
-			if err := os.MkdirAll(storage.ShardDir(dir, i), 0o755); err != nil {
+		if opts.Backend != BackendDefault {
+			// Record an explicit backend choice so every reopen runs the
+			// same engine on every shard.
+			m.Backend = opts.Backend.String()
+		}
+		if opts.Backend != BackendMemory {
+			for i := 0; i < m.Shards; i++ {
+				if err := os.MkdirAll(storage.ShardDir(dir, i), 0o755); err != nil {
+					return nil, err
+				}
+			}
+			// A create retried with a different Shards value must not adopt
+			// a half-created directory's leftover shards: committing a
+			// manifest that undercounts them would make every later open
+			// fail the topology check, bricking the database.
+			if err := storage.ValidateManifestDir(dir, m); err != nil {
 				return nil, err
 			}
-		}
-		// A create retried with a different Shards value must not adopt a
-		// half-created directory's leftover shards: committing a manifest
-		// that undercounts them would make every later open fail the
-		// topology check, bricking the database.
-		if err := storage.ValidateManifestDir(dir, m); err != nil {
-			return nil, err
 		}
 	} else {
 		if opts.Shards != 0 && opts.Shards != m.Shards {
 			return nil, fmt.Errorf("micronn: database has %d shards, Options.Shards = %d", m.Shards, opts.Shards)
+		}
+		if mk := m.BackendKindOf(); opts.Backend != BackendDefault && mk != BackendDefault && opts.Backend != mk {
+			return nil, fmt.Errorf("micronn: database backend is %s, Options.Backend = %s", mk, opts.Backend)
 		}
 		if err := storage.ValidateManifestDir(dir, m); err != nil {
 			return nil, err
@@ -118,6 +128,11 @@ func OpenSharded(dir string, opts Options) (*ShardedDB, error) {
 
 	shOpts := opts
 	shOpts.Shards = 0
+	if shOpts.Backend == BackendDefault {
+		// A manifest-pinned backend applies to every shard; otherwise each
+		// shard auto-detects from its own store header.
+		shOpts.Backend = m.BackendKindOf()
+	}
 	if shOpts.Device.CacheBytes == 0 {
 		shOpts.Device = DeviceLarge
 	}
@@ -149,17 +164,26 @@ func OpenSharded(dir string, opts Options) (*ShardedDB, error) {
 		}
 		sdb.shards[i] = db
 	}
-	if creating {
+	if creating && opts.Backend != BackendMemory {
 		// The manifest is the commit record of creation, written only once
 		// every shard store exists: a crash mid-create leaves a directory
 		// with no manifest, which the same create call completes on retry
-		// (existing shard stores just reopen).
+		// (existing shard stores just reopen). An explicitly memory-backed
+		// database writes neither manifest nor shard directories — the
+		// ephemeral contract is that nothing touches the filesystem, so a
+		// "reopen" finds nothing and must be a full create again.
 		if err := storage.WriteManifest(dir, m); err != nil {
 			sdb.Close()
 			return nil, err
 		}
 	}
 	return sdb, nil
+}
+
+// ephemeral reports whether this sharded database was explicitly created
+// on the memory backend (no manifest or shard directories on disk).
+func (s *ShardedDB) ephemeral() bool {
+	return s.manifest.BackendKindOf() == BackendMemory
 }
 
 // FNV-1a 64 parameters for the id hash.
@@ -719,11 +743,20 @@ func (s *ShardedDB) Checkpoint() error {
 	return s.scatter(func(i int, sh *DB) error { return sh.Checkpoint() })
 }
 
-// DropCaches empties every shard's buffer pool and in-memory caches.
+// DropCaches empties every shard's buffer pool and in-memory centroid
+// cache in parallel, simulating the paper's ColdStart scenario across the
+// whole database — the cold-start legs of the bench scenarios drive
+// sharded databases through this exactly like single stores.
 func (s *ShardedDB) DropCaches() {
+	var wg sync.WaitGroup
 	for _, sh := range s.shards {
-		sh.DropCaches()
+		wg.Add(1)
+		go func(sh *DB) {
+			defer wg.Done()
+			sh.DropCaches()
+		}(sh)
 	}
+	wg.Wait()
 }
 
 // AggregateStats folds per-shard stats into whole-database numbers: counts,
@@ -754,10 +787,16 @@ func AggregateStats(per []Stats) Stats {
 		if st.LastMaintainAction != "" {
 			out.LastMaintainAction = st.LastMaintainAction
 		}
+		if st.Backend != "" {
+			// All shards run one engine (the manifest pins any explicit
+			// choice), so the last one stands for the database.
+			out.Backend = st.Backend
+		}
 		out.CacheBytes += st.CacheBytes
 		out.CacheBudget += st.CacheBudget
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses
+		out.CacheEvictions += st.CacheEvictions
 		out.WALBytes += st.WALBytes
 		out.FileBytes += st.FileBytes
 	}
@@ -796,18 +835,20 @@ func (s *ShardedDB) Stats() (Stats, error) {
 // asset id present in two shards, and every id stored on exactly the shard
 // its hash designates. O(total rows); used by the crash battery and tests.
 func (s *ShardedDB) CheckInvariants() error {
-	m, ok, err := storage.ReadManifest(s.dir)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return fmt.Errorf("micronn: sharded invariant: manifest missing from %s", s.dir)
-	}
-	if m != s.manifest {
-		return fmt.Errorf("micronn: sharded invariant: manifest %+v changed since open (%+v)", m, s.manifest)
-	}
-	if err := storage.ValidateManifestDir(s.dir, m); err != nil {
-		return fmt.Errorf("micronn: sharded invariant: %w", err)
+	if !s.ephemeral() {
+		m, ok, err := storage.ReadManifest(s.dir)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("micronn: sharded invariant: manifest missing from %s", s.dir)
+		}
+		if m != s.manifest {
+			return fmt.Errorf("micronn: sharded invariant: manifest %+v changed since open (%+v)", m, s.manifest)
+		}
+		if err := storage.ValidateManifestDir(s.dir, m); err != nil {
+			return fmt.Errorf("micronn: sharded invariant: %w", err)
+		}
 	}
 	seen := make(map[string]int)
 	for i, sh := range s.shards {
