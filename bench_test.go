@@ -7,6 +7,7 @@ package micronn_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -890,4 +891,120 @@ func BenchmarkShardedSearch(b *testing.B) {
 	b.Run("shards=1", func(b *testing.B) { benchShardedSearch(b, 1) })
 	b.Run("shards=2", func(b *testing.B) { benchShardedSearch(b, 2) })
 	b.Run("shards=4", func(b *testing.B) { benchShardedSearch(b, 4) })
+}
+
+// --- Result cache ---
+
+// BenchmarkCachedSearch drives a Zipfian repeated-query stream (the
+// type-ahead / repeated-RAG shape the result cache targets) through one
+// database twice — cache bypassed, then cache on — and reports both p50s,
+// the hit ratio and recall@10 for the BENCH trajectory (the acceptance
+// criterion for the result-cache PR: cached hot p50 at least 5x below
+// uncached at identical recall, since a hit replays the scan's own
+// results). Interleaved upserts keep ~1 in 30 lookups honestly
+// invalidated, so the hit ratio reported is earned under updates, not on a
+// frozen store. The `cache` scenario in cmd/micronn-bench prints the full
+// phase table with verdicts.
+func BenchmarkCachedSearch(b *testing.B) {
+	spec, err := workload.ByName("SIFT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	db, err := buildBenchDB(filepath.Join(b.TempDir(), "cache.mnn"), ds, micronn.Options{
+		Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+		ResultCache: micronn.ResultCacheOptions{Enabled: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	const streamLen = 96
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 2, uint64(min(ds.Queries.Rows, 24)-1))
+	stream := make([]int, streamLen)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+
+	runStream := func(noCache bool, iter int) []float64 {
+		durs := make([]float64, 0, streamLen)
+		for i, qi := range stream {
+			if i%30 == 29 {
+				// A small upsert batch moves the generation: cached runs
+				// must revalidate, exactly like production streams.
+				items := []micronn.Item{{
+					ID:     fmt.Sprintf("c-%d-%d-%v", iter, i, noCache),
+					Vector: ds.Train.Row((iter*streamLen + i) % ds.Train.Rows),
+				}}
+				if err := db.UpsertBatch(items); err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := time.Now()
+			if _, err := db.Search(micronn.SearchRequest{
+				Vector: ds.Queries.Row(qi), K: 10, NProbe: 8, NoCache: noCache,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			durs = append(durs, float64(time.Since(start).Nanoseconds())/1e6)
+		}
+		sort.Float64s(durs)
+		return durs
+	}
+
+	var cachedP50Sum, uncachedP50Sum float64
+	statsBefore := db.ResultCacheStats()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		un := runStream(true, 2*n)
+		uncachedP50Sum += un[len(un)/2]
+		ca := runStream(false, 2*n+1)
+		cachedP50Sum += ca[len(ca)/2]
+	}
+	b.StopTimer()
+	statsAfter := db.ResultCacheStats()
+	lookups := (statsAfter.Hits - statsBefore.Hits) +
+		(statsAfter.Misses - statsBefore.Misses) +
+		(statsAfter.Invalidations - statsBefore.Invalidations)
+	hitRatio := 0.0
+	if lookups > 0 {
+		hitRatio = float64(statsAfter.Hits-statsBefore.Hits) / float64(lookups)
+	}
+
+	// Recall@10 through the cache on the quiesced state (byte-identical to
+	// the uncached path by the staleness-oracle contract, so one number
+	// stands for both).
+	const measured = 24
+	var recall float64
+	for q := 0; q < measured; q++ {
+		qv := ds.Queries.Row(q % ds.Queries.Rows)
+		resp, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, NProbe: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, Exact: true, NoCache: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := make(map[string]bool, len(exact.Results))
+		for _, r := range exact.Results {
+			want[r.ID] = true
+		}
+		hits := 0
+		for _, r := range resp.Results {
+			if want[r.ID] {
+				hits++
+			}
+		}
+		if len(exact.Results) > 0 {
+			recall += float64(hits) / float64(len(exact.Results))
+		}
+	}
+	b.ReportMetric(cachedP50Sum/float64(b.N), "cached-p50-ms")
+	b.ReportMetric(uncachedP50Sum/float64(b.N), "uncached-p50-ms")
+	b.ReportMetric(hitRatio, "hit-ratio")
+	b.ReportMetric(recall/measured, "recall@10")
 }

@@ -96,6 +96,8 @@ commands:
                                     split/merge partitions outside [min, max];
                                     -watch repeats every interval (e.g. 5s)
   search  -id <asset> | -vec "f,f,..."  [-k N] [-nprobe N] [-exact] [-rerank N]
+          [-repeat N] [-no-cache]       -repeat re-runs the query (repeats hit
+                                        the result cache; -no-cache bypasses it)
   delete  -id <asset>
   stats`)
 }
@@ -274,10 +276,12 @@ func cmdSearch(path string, args []string) error {
 	nprobe := fs.Int("nprobe", 8, "partitions to scan")
 	exact := fs.Bool("exact", false, "exhaustive KNN")
 	rerank := fs.Int("rerank", 0, "quantized-search rerank multiplier (0 = default)")
+	repeat := fs.Int("repeat", 1, "run the query N times (repeats are served by the result cache)")
+	noCache := fs.Bool("no-cache", false, "bypass the result cache (every run scans the store)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := openDB(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{ResultCache: micronn.ResultCacheOptions{Enabled: true}})
 	if err != nil {
 		return err
 	}
@@ -303,12 +307,23 @@ func cmdSearch(path string, args []string) error {
 		return fmt.Errorf("search: -id or -vec required")
 	}
 
-	start := time.Now()
-	resp, err := d.Search(micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact, RerankFactor: *rerank})
-	if err != nil {
-		return err
+	req := micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact, RerankFactor: *rerank, NoCache: *noCache}
+	if *repeat < 1 {
+		*repeat = 1
 	}
-	elapsed := time.Since(start)
+	var resp *micronn.SearchResponse
+	var elapsed, firstRun time.Duration
+	for run := 0; run < *repeat; run++ {
+		start := time.Now()
+		resp, err = d.Search(req)
+		if err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+		if run == 0 {
+			firstRun = elapsed
+		}
+	}
 	for i, r := range resp.Results {
 		fmt.Printf("%2d. %-16s %.6f\n", i+1, r.ID, r.Distance)
 	}
@@ -316,6 +331,15 @@ func cmdSearch(path string, args []string) error {
 		len(resp.Results), elapsed.Round(time.Microsecond),
 		resp.Plan.PartitionsScanned, resp.Plan.VectorsScanned,
 		resp.Plan.BytesScanned/1024, resp.Plan.Reranked)
+	if *repeat > 1 {
+		st, err := d.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d runs: first %v, last %v; cache %d hits / %d misses)\n",
+			*repeat, firstRun.Round(time.Microsecond), elapsed.Round(time.Microsecond),
+			st.Cache.Hits, st.Cache.Misses)
+	}
 	return nil
 }
 
@@ -356,6 +380,8 @@ func cmdStats(path string) error {
 			return err
 		}
 		st = micronn.AggregateStats(perShard)
+		// The result cache lives at the router, not in any shard.
+		st.Cache = sd.ResultCacheStats()
 	} else if st, err = d.Stats(); err != nil {
 		return err
 	}
@@ -371,6 +397,13 @@ func cmdStats(path string) error {
 	fmt.Printf("page cache:       %.1f / %.1f MiB (hit ratio %.1f%%: %d hits, %d misses, %d evictions)\n",
 		float64(st.CacheBytes)/(1<<20), float64(st.CacheBudget)/(1<<20),
 		hitRatio, st.CacheHits, st.CacheMisses, st.CacheEvictions)
+	if c := st.Cache; c.Enabled {
+		fmt.Printf("result cache:     %d entries, %.1f KiB (hit ratio %.1f%%: %d hits, %d misses, %d invalidations, %d evictions, %d shard scans skipped)\n",
+			c.Entries, float64(c.Bytes)/(1<<10), 100*c.HitRatio(),
+			c.Hits, c.Misses, c.Invalidations, c.Evictions, c.SkippedShardScans)
+	} else {
+		fmt.Printf("result cache:     disabled\n")
+	}
 	fmt.Printf("file size:        %.1f MiB (WAL %.1f MiB)\n",
 		float64(st.FileBytes)/(1<<20), float64(st.WALBytes)/(1<<20))
 	if sharded {

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"micronn"
+	"micronn/internal/workload"
+)
+
+// ResultCache measures the generation-versioned query result cache on the
+// workload it was built for: a Zipfian stream of repeated queries (the
+// type-ahead / repeated-RAG-lookup shape) over a store that keeps
+// absorbing upserts. Three phases on one database:
+//
+//   - uncached: the stream with NoCache — the baseline every cached number
+//     is compared against;
+//   - cached, read-only: the same stream through the cache — hot repeats
+//     are served without scanning;
+//   - cached under updates: the same stream with an upsert batch landing
+//     every few queries, exercising invalidation and (on a sharded run)
+//     partial per-shard reuse; every Nth response is spot-checked
+//     byte-identical against a cache-off oracle run.
+//
+// Verdicts assert the PR acceptance criteria: cached hot p50 at least 5x
+// below uncached p50, identical recall@10 (cached responses are replayed
+// results, not approximations), a usable hit ratio under the Zipfian
+// stream, and zero oracle divergences.
+func ResultCache(cfg Config) error {
+	cfg.fill()
+	scale := cfg.Scale
+	const minScale = 0.01
+	if scale < minScale {
+		fmt.Fprintf(cfg.Out, "(cache: raising scale %.4g -> %.4g so a scan costs enough to cache)\n", scale, minScale)
+		scale = minScale
+	}
+	cfg.header("Result cache: Zipfian repeats, invalidation under upserts")
+
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		return err
+	}
+	spec = spec.Scaled(scale)
+	ds := spec.Generate()
+
+	sample := cfg.QuerySample
+	if sample > ds.Queries.Rows {
+		sample = ds.Queries.Rows
+	}
+	const nprobe = 16
+	const streamLen = 600
+
+	path := filepath.Join(cfg.Dir, "cache.mnn")
+	os.Remove(path)
+	os.Remove(path + "-wal")
+	os.Remove(path + ".lock")
+	db, err := micronn.Open(path, micronn.Options{
+		Dim:         spec.Dim,
+		Metric:      spec.Metric,
+		Seed:        spec.Seed,
+		ResultCache: micronn.ResultCacheOptions{Enabled: true},
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	const chunk = 2000
+	items := make([]micronn.Item, 0, chunk)
+	for i := 0; i < ds.Train.Rows; i++ {
+		items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+		if len(items) == chunk || i == ds.Train.Rows-1 {
+			if err := db.UpsertBatch(items); err != nil {
+				return err
+			}
+			items = items[:0]
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		return err
+	}
+
+	// The Zipfian stream: query ranks drawn so the hottest few queries
+	// dominate, replayed identically in every phase.
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	zipf := rand.NewZipf(rng, 1.3, 2, uint64(sample-1))
+	stream := make([]int, streamLen)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+
+	runStream := func(noCache bool, updates bool) (latencyStats, int64, error) {
+		db.DropCaches() // each phase starts cold (result cache included)
+		durs := make([]time.Duration, 0, len(stream))
+		var divergences int64
+		next := ds.Train.Rows
+		for i, qi := range stream {
+			if updates && i%20 == 19 {
+				batch := make([]micronn.Item, 25)
+				for j := range batch {
+					batch[j] = micronn.Item{ID: workload.AssetID(next), Vector: ds.Train.Row(next % ds.Train.Rows)}
+					next++
+				}
+				if err := db.UpsertBatch(batch); err != nil {
+					return latencyStats{}, 0, err
+				}
+			}
+			req := micronn.SearchRequest{Vector: ds.Queries.Row(qi), K: 10, NProbe: nprobe, NoCache: noCache}
+			start := time.Now()
+			resp, err := db.Search(req)
+			if err != nil {
+				return latencyStats{}, 0, err
+			}
+			durs = append(durs, time.Since(start))
+			if !noCache && i%25 == 0 {
+				oracle := req
+				oracle.NoCache = true
+				want, err := db.Search(oracle)
+				if err != nil {
+					return latencyStats{}, 0, err
+				}
+				if len(resp.Results) != len(want.Results) {
+					divergences++
+				} else {
+					for r := range resp.Results {
+						if resp.Results[r] != want.Results[r] {
+							divergences++
+							break
+						}
+					}
+				}
+			}
+		}
+		return summarize(durs), divergences, nil
+	}
+
+	uncached, _, err := runStream(true, false)
+	if err != nil {
+		return err
+	}
+	cachedStart := db.ResultCacheStats()
+	cached, _, err := runStream(false, false)
+	if err != nil {
+		return err
+	}
+	cachedStats := db.ResultCacheStats()
+	hitRatio := ratioSince(cachedStart, cachedStats)
+
+	updStart := db.ResultCacheStats()
+	underUpdates, divergences, err := runStream(false, true)
+	if err != nil {
+		return err
+	}
+	updStats := db.ResultCacheStats()
+	updRatio := ratioSince(updStart, updStats)
+
+	// Recall@10 on the quiesced state: cached and uncached must agree
+	// exactly (a cache hit replays the scan's own results).
+	var recallCached, recallUncached float64
+	for qi := 0; qi < sample; qi++ {
+		q := ds.Queries.Row(qi)
+		exact, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, Exact: true, NoCache: true})
+		if err != nil {
+			return err
+		}
+		want := make(map[string]bool, len(exact.Results))
+		for _, r := range exact.Results {
+			want[r.ID] = true
+		}
+		recallOf := func(noCache bool) (float64, error) {
+			resp, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: nprobe, NoCache: noCache})
+			if err != nil {
+				return 0, err
+			}
+			hits := 0
+			for _, r := range resp.Results {
+				if want[r.ID] {
+					hits++
+				}
+			}
+			if len(exact.Results) == 0 {
+				return 0, nil
+			}
+			return float64(hits) / float64(len(exact.Results)), nil
+		}
+		ru, err := recallOf(true)
+		if err != nil {
+			return err
+		}
+		rc, err := recallOf(false)
+		if err != nil {
+			return err
+		}
+		recallUncached += ru
+		recallCached += rc
+	}
+	recallCached /= float64(sample)
+	recallUncached /= float64(sample)
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Phase\tp50 ms\tp99 ms\tHit ratio\tRecall@10")
+	fmt.Fprintf(tw, "uncached\t%s\t%s\t-\t%.3f\n", ms(uncached.p50), ms(uncached.p99), recallUncached)
+	fmt.Fprintf(tw, "cached\t%s\t%s\t%.1f%%\t%.3f\n", ms(cached.p50), ms(cached.p99), 100*hitRatio, recallCached)
+	fmt.Fprintf(tw, "cached+upserts\t%s\t%s\t%.1f%%\t-\n", ms(underUpdates.p50), ms(underUpdates.p99), 100*updRatio)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	verdict := func(ok bool, msg string) {
+		tag := "OK"
+		if !ok {
+			tag = "VIOLATION"
+		}
+		fmt.Fprintf(cfg.Out, "%-9s %s\n", tag+":", msg)
+	}
+	fmt.Fprintln(cfg.Out)
+	verdict(cached.p50*5 <= uncached.p50,
+		fmt.Sprintf("cached hot p50 %s ms >= 5x below uncached %s ms", ms(cached.p50), ms(uncached.p50)))
+	verdict(recallCached == recallUncached,
+		fmt.Sprintf("recall@10 identical cached vs uncached (%.4f = %.4f): hits replay results, never approximate them", recallCached, recallUncached))
+	verdict(hitRatio >= 0.5,
+		fmt.Sprintf("hit ratio %.1f%% >= 50%% on the read-only Zipfian stream", 100*hitRatio))
+	verdict(divergences == 0,
+		fmt.Sprintf("%d oracle divergences under interleaved upserts (cached responses byte-identical to cache-off runs)", divergences))
+	fmt.Fprintf(cfg.Out, "%-9s under upserts the hit ratio drops to %.1f%% — every committed batch moves the generation and honestly invalidates\n",
+		"NOTE:", 100*updRatio)
+	return nil
+}
+
+// ratioSince computes the hit ratio of the lookups between two cache-stat
+// snapshots.
+func ratioSince(before, after micronn.CacheStats) float64 {
+	hits := after.Hits - before.Hits
+	total := hits + (after.Misses - before.Misses) + (after.Invalidations - before.Invalidations)
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

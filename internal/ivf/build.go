@@ -144,6 +144,7 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 		st.DeltaCount, st.NumPartitions, st.AvgSizeAtBuild = 0, 0, 0
 		st.NextPartID = 1
 		st.Generation++
+		st.DataGen++
 		if err := ix.putState(wt, st); err != nil {
 			return nil, err
 		}
@@ -270,6 +271,7 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 	st.AvgSizeAtBuild = float64(len(keys)) / float64(k)
 	st.NextPartID = int64(k) + 1
 	st.Generation++
+	st.DataGen++
 	if err := ix.putState(wt, st); err != nil {
 		return nil, err
 	}
@@ -396,6 +398,7 @@ func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 
 	st.DeltaCount = 0
 	st.Generation++
+	st.DataGen++
 	if err := ix.putState(wt, st); err != nil {
 		return nil, err
 	}
@@ -421,7 +424,11 @@ func (ix *Index) freshCounts(txn btree.ReadTxn, ids []int64) ([]int64, error) {
 	return counts, err
 }
 
-// AnalyzeAttributes refreshes the optimizer's attribute statistics.
+// AnalyzeAttributes refreshes the optimizer's attribute statistics. It
+// bumps the data generation even though no rows change: fresh statistics
+// can flip the optimizer's pre/post-filter choice, and the two plans may
+// rank borderline candidates differently — a cached response must not
+// outlive the plan decision that produced it.
 func (ix *Index) AnalyzeAttributes(wt *storage.WriteTxn) error {
 	if len(ix.cfg.Attributes) == 0 {
 		return nil
@@ -430,7 +437,10 @@ func (ix *Index) AnalyzeAttributes(wt *storage.WriteTxn) error {
 	if err != nil {
 		return err
 	}
-	return stats.Save(ix.db, wt, tblAttrs, ts)
+	if err := stats.Save(ix.db, wt, tblAttrs, ts); err != nil {
+		return err
+	}
+	return ix.bumpDataGen(wt)
 }
 
 func l2Only(m vec.Metric, norms []float32) []float32 {

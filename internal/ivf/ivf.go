@@ -140,6 +140,18 @@ type state struct {
 	// Generation increments on every operation that changes centroids
 	// (rebuild, flush, split, merge); it keys the in-memory centroid cache.
 	Generation int64 `json:"generation"`
+	// DataGen increments inside every committed transaction that can
+	// change any query-visible data: upserts, deletes, flushes, splits,
+	// merges, rebuilds and attribute-statistics refreshes. It is strictly
+	// finer-grained than Generation (every Generation bump is also a
+	// DataGen bump, but point writes bump only DataGen, so the centroid
+	// and codebook caches survive streaming updates). The micronn result
+	// cache records it per entry: an unchanged DataGen at a later read
+	// snapshot proves the visible data is identical, so a cached response
+	// may be served verbatim. Absent (zero) in databases created before
+	// the result cache existed; they simply start counting at their next
+	// write.
+	DataGen int64 `json:"data_gen,omitempty"`
 }
 
 // Index is the disk-resident IVF index.
@@ -471,6 +483,9 @@ type Stats struct {
 	// full build; the monitor compares growth against it.
 	AvgSizeAtBuild float64
 	Generation     int64
+	// DataGen is the data-generation counter backing the result cache
+	// (see state.DataGen).
+	DataGen int64
 }
 
 // Stats reads the monitor counters at the transaction's snapshot.
@@ -485,11 +500,38 @@ func (ix *Index) Stats(txn btree.ReadTxn) (Stats, error) {
 		NumPartitions:  st.NumPartitions,
 		AvgSizeAtBuild: st.AvgSizeAtBuild,
 		Generation:     st.Generation,
+		DataGen:        st.DataGen,
 	}
 	if st.NumPartitions > 0 {
 		s.AvgPartitionSize = float64(st.NumVectors-st.DeltaCount) / float64(st.NumPartitions)
 	}
 	return s, nil
+}
+
+// DataGeneration returns the data-generation counter visible at txn's
+// snapshot. The counter increments inside every committed transaction that
+// can change query-visible data (upserts, deletes, flushes, splits,
+// merges, rebuilds, statistics refreshes) and is persisted in the meta
+// state row, transactionally with the changes it versions — two read
+// snapshots observing the same value observe identical data. The micronn
+// result cache is keyed on it.
+func (ix *Index) DataGeneration(txn btree.ReadTxn) (int64, error) {
+	st, err := ix.getState(txn)
+	if err != nil {
+		return 0, err
+	}
+	return st.DataGen, nil
+}
+
+// bumpDataGen increments the data generation inside wt — for mutating
+// operations that do not otherwise rewrite the state row.
+func (ix *Index) bumpDataGen(wt *storage.WriteTxn) error {
+	st, err := ix.getState(wt)
+	if err != nil {
+		return err
+	}
+	st.DataGen++
+	return ix.putState(wt, st)
 }
 
 // NeedsRebuild reports whether the index monitor's growth threshold is
@@ -578,6 +620,7 @@ func (ix *Index) Upsert(wt *storage.WriteTxn, asset string, vector []float32, at
 
 	st.NumVectors++
 	st.DeltaCount++
+	st.DataGen++
 	if err := ix.putState(wt, st); err != nil {
 		return err
 	}
@@ -597,6 +640,7 @@ func (ix *Index) Delete(wt *storage.WriteTxn, asset string) error {
 	if !removed {
 		return ErrNotFound
 	}
+	st.DataGen++
 	if err := ix.putState(wt, st); err != nil {
 		return err
 	}

@@ -401,6 +401,7 @@ func (ix *Index) SplitPartition(wt *storage.WriteTxn, part int64) (*MaintenanceS
 	st.NumPartitions += int64(nonEmpty - 1)
 	st.NextPartID = next
 	st.Generation++
+	st.DataGen++
 	if err := ix.putState(wt, st); err != nil {
 		return nil, err
 	}
@@ -529,6 +530,7 @@ func (ix *Index) MergePartitions(wt *storage.WriteTxn, parts ...int64) (*Mainten
 	}
 
 	st.Generation++
+	st.DataGen++
 	if err := ix.putState(wt, st); err != nil {
 		return nil, err
 	}

@@ -58,6 +58,34 @@
 //
 //	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128, Backend: micronn.BackendMmap})
 //
+// # Result cache
+//
+// Interactive on-device workloads repeat queries — the same type-ahead
+// search keystroke after keystroke, the same RAG lookup across turns —
+// while the store keeps absorbing streaming updates. With
+// Options.ResultCache.Enabled, MicroNN serves such repeats from a bounded
+// LRU result cache whose invalidation is exact rather than heuristic:
+// every committed write transaction (upsert, delete, flush, split, merge,
+// rebuild, analyze) bumps a persistent per-store generation counter, each
+// cached response records the generation it was computed at, and an entry
+// is served only when the generation visible at the caller's read snapshot
+// still matches — in which case the visible data is identical and the
+// cached response is byte-identical to re-running the query. Entries are
+// keyed by a canonicalized fingerprint of the whole request (vector,
+// K/NProbe/RerankFactor, plan, and the filter set normalized so that
+// filter order, duplicates, NaN payloads and signed zeros cannot split
+// semantically equal queries), concurrent identical misses are deduplicated
+// by a singleflight so the scan runs once, and memory is bounded by
+// ResultCacheOptions.MaxEntries and MaxBytes (LRU eviction). On a sharded
+// database validation is per shard: a query whose generations all match is
+// answered without touching any shard, and when only some shards changed,
+// the cached per-shard candidates are reused and only the changed shards
+// are re-scanned. SearchRequest.NoCache bypasses the cache per query;
+// Stats.Cache reports hits, misses, invalidations and bytes; DropCaches
+// clears cached results along with the other caches. The cache is
+// process-local and never persisted, so crash recovery cannot resurrect a
+// stale entry.
+//
 // # Sharding
 //
 // OpenSharded hash-partitions a collection across N fully independent
@@ -90,6 +118,7 @@ package micronn
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -98,10 +127,17 @@ import (
 	"micronn/internal/ivf"
 	"micronn/internal/quant"
 	"micronn/internal/reldb"
+	"micronn/internal/rescache"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
 	"micronn/internal/vec"
 )
+
+// EnvCacheVar is an environment variable for the test matrix: setting it to
+// "1" force-enables the result cache in every Open and OpenSharded that did
+// not configure one, so the whole suite can re-run with caching on (the CI
+// cache leg, mirroring the MICRONN_TEST_BACKEND matrix).
+const EnvCacheVar = "MICRONN_TEST_CACHE"
 
 // Metric is the vector distance metric.
 type Metric = vec.Metric
@@ -271,6 +307,11 @@ type Options struct {
 	// and may be switched freely. On a sharded database the manifest
 	// additionally pins an explicitly chosen backend for every shard.
 	Backend Backend
+	// ResultCache configures the generation-versioned query result cache
+	// (off by default; see the package documentation's "Result cache"
+	// section for the exactness contract). On a sharded database one
+	// cache serves the whole router with per-shard validation.
+	ResultCache ResultCacheOptions
 	// Seed makes index construction deterministic.
 	Seed int64
 	// Shards is the shard count for OpenSharded (create time only): items
@@ -280,6 +321,36 @@ type Options struct {
 	Shards int
 }
 
+// ResultCacheOptions configures the query result cache.
+type ResultCacheOptions struct {
+	// Enabled turns the cache on. The MICRONN_TEST_CACHE=1 environment
+	// variable force-enables it regardless (the CI cache matrix leg).
+	Enabled bool
+	// MaxEntries bounds the number of cached responses (0 = 1024).
+	MaxEntries int
+	// MaxBytes bounds the cache's approximate memory (0 = 8 MiB).
+	MaxBytes int64
+
+	// ignoreEnv suppresses the MICRONN_TEST_CACHE override — set on the
+	// per-shard Options by OpenSharded, whose router-level cache already
+	// honors it (shard-level caches under a router would never be
+	// consulted, only waste memory).
+	ignoreEnv bool
+}
+
+// resolve applies the environment override and defaults, returning the
+// cache to use (nil when disabled).
+func (o ResultCacheOptions) resolve() *rescache.Cache {
+	enabled := o.Enabled
+	if !o.ignoreEnv && os.Getenv(EnvCacheVar) == "1" {
+		enabled = true
+	}
+	if !enabled {
+		return nil
+	}
+	return rescache.New(o.MaxEntries, o.MaxBytes)
+}
+
 // DB is an embedded MicroNN database. All methods are safe for concurrent
 // use: reads run against consistent snapshots, writes are serialized.
 type DB struct {
@@ -287,6 +358,9 @@ type DB struct {
 	rdb   *reldb.DB
 	ix    *ivf.Index
 	opts  Options
+
+	// cache is the generation-versioned result cache (nil when disabled).
+	cache *rescache.Cache
 
 	// Background maintainer lifecycle (nil channels when AutoMaintain is
 	// off). maintStop is closed exactly once by stopMaintainer; maintDone
@@ -395,7 +469,7 @@ func Open(path string, opts Options) (*DB, error) {
 	if opts.FlushThreshold == 0 {
 		opts.FlushThreshold = ix.Config().TargetPartitionSize
 	}
-	db := &DB{store: store, rdb: rdb, ix: ix, opts: opts}
+	db := &DB{store: store, rdb: rdb, ix: ix, opts: opts, cache: opts.ResultCache.resolve()}
 	if opts.AutoMaintain {
 		interval := opts.MaintainInterval
 		if interval <= 0 {
@@ -590,11 +664,15 @@ func (db *DB) Checkpoint() error {
 	return err
 }
 
-// DropCaches empties the buffer pool and in-memory centroid cache,
-// simulating a cold start (used by benchmarks).
+// DropCaches empties the buffer pool, the in-memory centroid cache and the
+// query result cache, simulating a cold start (used by benchmarks — a cold
+// run must pay the scan, not replay a cached response).
 func (db *DB) DropCaches() {
 	db.store.DropCaches()
 	db.ix.DropCaches()
+	if db.cache != nil {
+		db.cache.Clear()
+	}
 }
 
 // Internal accessors for the bench harness.
@@ -687,6 +765,12 @@ type SearchRequest struct {
 	// this query (0 = the Options default). Ignored on unquantized
 	// databases.
 	RerankFactor int
+	// NoCache bypasses the result cache for this query: the search always
+	// runs against the store and its response is not cached. A no-op when
+	// the cache is disabled. (The staleness-oracle tests use it to obtain
+	// ground truth beside cached responses; the CLI exposes it as
+	// `search -no-cache`.)
+	NoCache bool
 }
 
 // PlanInfo describes how a query was executed.
@@ -698,28 +782,214 @@ type SearchResponse struct {
 	Plan    PlanInfo
 }
 
-// Search runs a K-nearest-neighbour query.
+// searchAt runs the query at rt's snapshot (the uncached core).
+func (db *DB) searchAt(rt *storage.ReadTxn, req SearchRequest) (*SearchResponse, error) {
+	res, info, err := db.ix.Search(rt, req.Vector, ivf.SearchOptions{
+		K: req.K, NProbe: req.NProbe, Filters: req.Filters,
+		Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.AssetID, Distance: r.Distance}
+	}
+	return &SearchResponse{Results: out, Plan: *info}, nil
+}
+
+// Search runs a K-nearest-neighbour query. With the result cache enabled a
+// repeat of a semantically identical query is served from the cache as
+// long as the store's data generation has not moved — the response is then
+// byte-identical to re-running the search.
 func (db *DB) Search(req SearchRequest) (*SearchResponse, error) {
 	if req.K == 0 {
 		req.K = 10
 	}
-	var resp *SearchResponse
-	err := db.store.View(func(rt *storage.ReadTxn) error {
-		res, info, err := db.ix.Search(rt, req.Vector, ivf.SearchOptions{
-			K: req.K, NProbe: req.NProbe, Filters: req.Filters,
-			Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
+	if db.cache == nil || req.NoCache {
+		var resp *SearchResponse
+		err := db.store.View(func(rt *storage.ReadTxn) error {
+			var serr error
+			resp, serr = db.searchAt(rt, req)
+			return serr
 		})
+		return resp, err
+	}
+	return cachedQuery(db, db.searchCacheKey(req), cloneSearchResponse, searchResponseSize,
+		func(rt *storage.ReadTxn) (*SearchResponse, error) { return db.searchAt(rt, req) })
+}
+
+// flightResult carries a singleflight computation's response together with
+// the generations its snapshot observed, so joiners can revalidate.
+type flightResult[T any] struct {
+	resp T
+	gens []int64
+}
+
+// cachedQuery runs the cached-query protocol for a single-store query:
+//
+//  1. Fast path: a counted lookup at a fresh snapshot's generation serves
+//     a valid entry without entering the flight (concurrent hits never
+//     serialize).
+//  2. Miss or stale: concurrent identical computations coalesce in a
+//     singleflight. The leader re-validates at its own snapshot (another
+//     flight may have just filled the entry), computes, and stores the
+//     response stamped with the generation it was computed at — never a
+//     newer counter.
+//  3. A caller that merely JOINED a flight re-validates the shared result:
+//     the flight's snapshot may predate the caller's (the caller could
+//     already have observed a later write, e.g. its own), so the shared
+//     response is served only when its generations equal the ones the
+//     caller read itself; otherwise the caller recomputes at a fresh
+//     snapshot. This preserves read-your-writes under coalescing.
+//
+// run executes the query at a pinned snapshot; clone copies the shared
+// cached value before handing it to the caller; size feeds the byte
+// budget.
+func cachedQuery[T any](db *DB, key rescache.Key, clone func(T) T, size func(T) int64, run func(*storage.ReadTxn) (T, error)) (T, error) {
+	var zero T
+	readGen := func() ([]int64, error) {
+		rt, err := db.store.BeginRead()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		out := make([]Result, len(res))
-		for i, r := range res {
-			out[i] = Result{ID: r.AssetID, Distance: r.Distance}
+		defer rt.Close()
+		gen, err := db.ix.DataGeneration(rt)
+		if err != nil {
+			return nil, err
 		}
-		resp = &SearchResponse{Results: out, Plan: *info}
-		return nil
+		return []int64{gen}, nil
+	}
+	compute := func() (T, []int64, error) {
+		rt, err := db.store.BeginRead()
+		if err != nil {
+			return zero, nil, err
+		}
+		defer rt.Close()
+		gen, err := db.ix.DataGeneration(rt)
+		if err != nil {
+			return zero, nil, err
+		}
+		gens := []int64{gen}
+		if v, _, out := db.cache.Lookup(key, gens); out == rescache.Hit {
+			return v.(T), gens, nil
+		}
+		resp, err := run(rt)
+		if err != nil {
+			return zero, nil, err
+		}
+		db.cache.Put(key, gens, resp, size(resp))
+		return resp, gens, nil
+	}
+
+	gens, err := readGen()
+	if err != nil {
+		return zero, err
+	}
+	if v, _, out := db.cache.Get(key, gens); out == rescache.Hit {
+		return clone(v.(T)), nil
+	}
+	v, shared, err := db.cache.Do(key, func() (any, error) {
+		resp, fgens, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return flightResult[T]{resp: resp, gens: fgens}, nil
 	})
-	return resp, err
+	if err != nil {
+		return zero, err
+	}
+	fr := v.(flightResult[T])
+	if shared && !rescache.GensEqual(fr.gens, gens) {
+		resp, _, err := compute()
+		if err != nil {
+			return zero, err
+		}
+		return clone(resp), nil
+	}
+	return clone(fr.resp), nil
+}
+
+// searchCacheKey fingerprints req in canonical form. Database-insensitive
+// knobs are normalized here so equal-by-behavior requests collide: the
+// engine's K/NProbe defaults are applied, NProbe and RerankFactor are
+// zeroed under Exact (the exhaustive path reads neither), RerankFactor is
+// zeroed on unquantized stores (it is ignored there) and resolved to the
+// configured default on quantized ones, and the plan override is zeroed
+// for filterless queries (there is no pre/post choice without filters).
+func (db *DB) searchCacheKey(req SearchRequest) rescache.Key {
+	return rescache.KeyOf(rescache.Request{
+		Kind:         rescache.KindSearch,
+		K:            req.K,
+		NProbe:       db.canonNProbe(req.NProbe, req.Exact),
+		RerankFactor: db.canonRerank(req.RerankFactor, req.Exact),
+		Plan:         canonPlan(req.Plan, req.Filters),
+		Exact:        req.Exact,
+		Vectors:      [][]float32{req.Vector},
+		Filters:      req.Filters,
+	})
+}
+
+func (db *DB) canonNProbe(nprobe int, exact bool) int {
+	if exact {
+		return 0
+	}
+	if nprobe <= 0 {
+		return 8
+	}
+	return nprobe
+}
+
+func (db *DB) canonRerank(rr int, exact bool) int {
+	if exact || db.ix.Config().Quantization == QuantNone {
+		return 0
+	}
+	if rr <= 0 {
+		return db.ix.Config().RerankFactor
+	}
+	return rr
+}
+
+func canonPlan(p PlanType, filters []Filter) int {
+	if len(filters) == 0 {
+		return 0
+	}
+	return int(p)
+}
+
+// cloneSearchResponse copies a cached response before handing it to a
+// caller: cached values are shared, and callers own what they receive.
+func cloneSearchResponse(r *SearchResponse) *SearchResponse {
+	return &SearchResponse{Results: append([]Result(nil), r.Results...), Plan: r.Plan}
+}
+
+func cloneBatchSearchResponse(r *BatchSearchResponse) *BatchSearchResponse {
+	out := &BatchSearchResponse{Results: make([][]Result, len(r.Results)), Info: r.Info}
+	for i, rs := range r.Results {
+		out.Results[i] = append([]Result(nil), rs...)
+	}
+	return out
+}
+
+// searchResponseSize estimates a response's memory footprint for the
+// cache's byte budget.
+func searchResponseSize(r *SearchResponse) int64 {
+	n := int64(96)
+	for _, res := range r.Results {
+		n += 24 + int64(len(res.ID))
+	}
+	return n
+}
+
+func batchSearchResponseSize(r *BatchSearchResponse) int64 {
+	n := int64(96)
+	for _, rs := range r.Results {
+		n += 24
+		for _, res := range rs {
+			n += 24 + int64(len(res.ID))
+		}
+	}
+	return n
 }
 
 // BatchSearchRequest parameterizes BatchSearch.
@@ -733,6 +1003,9 @@ type BatchSearchRequest struct {
 	// RerankFactor overrides the quantized-search rerank multiplier
 	// (0 = the Options default). Ignored on unquantized databases.
 	RerankFactor int
+	// NoCache bypasses the result cache for this batch (see
+	// SearchRequest.NoCache).
+	NoCache bool
 }
 
 // BatchInfo re-exports batch execution statistics.
@@ -744,10 +1017,28 @@ type BatchSearchResponse struct {
 	Info    BatchInfo
 }
 
+// batchSearchAt runs the batch at rt's snapshot (the uncached core).
+func (db *DB) batchSearchAt(rt *storage.ReadTxn, queries *vec.Matrix, req BatchSearchRequest) (*BatchSearchResponse, error) {
+	res, info, err := db.ix.BatchSearch(rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe, RerankFactor: req.RerankFactor})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(res))
+	for qi, rs := range res {
+		out[qi] = make([]Result, len(rs))
+		for i, r := range rs {
+			out[qi][i] = Result{ID: r.AssetID, Distance: r.Distance}
+		}
+	}
+	return &BatchSearchResponse{Results: out, Info: *info}, nil
+}
+
 // BatchSearch executes many queries with multi-query optimization: each
 // needed IVF partition is scanned once and shared across all queries that
 // probe it, which cuts amortized per-query latency substantially for large
-// batches (paper §3.4).
+// batches (paper §3.4). With the result cache enabled, a repeated
+// identical batch (same vectors in the same order) is served whole from
+// the cache while the data generation holds.
 func (db *DB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
 	if req.K == 0 {
 		req.K = 10
@@ -763,23 +1054,29 @@ func (db *DB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) 
 		}
 		queries.SetRow(i, q)
 	}
-	var resp *BatchSearchResponse
-	err := db.store.View(func(rt *storage.ReadTxn) error {
-		res, info, err := db.ix.BatchSearch(rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe, RerankFactor: req.RerankFactor})
-		if err != nil {
-			return err
-		}
-		out := make([][]Result, len(res))
-		for qi, rs := range res {
-			out[qi] = make([]Result, len(rs))
-			for i, r := range rs {
-				out[qi][i] = Result{ID: r.AssetID, Distance: r.Distance}
-			}
-		}
-		resp = &BatchSearchResponse{Results: out, Info: *info}
-		return nil
+	if db.cache == nil || req.NoCache {
+		var resp *BatchSearchResponse
+		err := db.store.View(func(rt *storage.ReadTxn) error {
+			var berr error
+			resp, berr = db.batchSearchAt(rt, queries, req)
+			return berr
+		})
+		return resp, err
+	}
+	return cachedQuery(db, db.batchCacheKey(req), cloneBatchSearchResponse, batchSearchResponseSize,
+		func(rt *storage.ReadTxn) (*BatchSearchResponse, error) { return db.batchSearchAt(rt, queries, req) })
+}
+
+// batchCacheKey fingerprints a batch request (vector order preserved —
+// results are positional).
+func (db *DB) batchCacheKey(req BatchSearchRequest) rescache.Key {
+	return rescache.KeyOf(rescache.Request{
+		Kind:         rescache.KindBatch,
+		K:            req.K,
+		NProbe:       db.canonNProbe(req.NProbe, false),
+		RerankFactor: db.canonRerank(req.RerankFactor, false),
+		Vectors:      req.Vectors,
 	})
-	return resp, err
 }
 
 // --- maintenance ---
@@ -1049,7 +1346,60 @@ type Stats struct {
 	WALBytes int64
 	// FileBytes is the main database file size (pages * page size).
 	FileBytes int64
+	// Cache reports the query result cache (all zeros when disabled). On
+	// a sharded database the one router-level cache is reported.
+	Cache CacheStats
 }
+
+// CacheStats reports the query result cache.
+type CacheStats struct {
+	// Enabled is true when the database serves from a result cache.
+	Enabled bool
+	// Hits counts queries answered entirely from the cache; Misses
+	// queries with no usable entry; Invalidations queries that found an
+	// entry whose data generation had moved (the entry was recomputed).
+	Hits, Misses, Invalidations uint64
+	// Evictions counts entries displaced by the LRU bounds.
+	Evictions uint64
+	// SkippedShardScans counts per-shard scans avoided by partial reuse
+	// on a sharded database (shards whose generation had not moved).
+	SkippedShardScans uint64
+	// Entries and Bytes describe the current contents.
+	Entries int
+	Bytes   int64
+}
+
+// HitRatio returns hits / (hits + misses + invalidations), or 0 before any
+// lookup.
+func (c CacheStats) HitRatio() float64 {
+	total := c.Hits + c.Misses + c.Invalidations
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// cacheStatsOf converts a rescache snapshot.
+func cacheStatsOf(c *rescache.Cache) CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := c.Stats()
+	return CacheStats{
+		Enabled:           true,
+		Hits:              st.Hits,
+		Misses:            st.Misses,
+		Invalidations:     st.Invalidations,
+		Evictions:         st.Evictions,
+		SkippedShardScans: st.SkippedScans,
+		Entries:           st.Entries,
+		Bytes:             st.Bytes,
+	}
+}
+
+// ResultCacheStats returns the result cache counters (zeros when the cache
+// is disabled).
+func (db *DB) ResultCacheStats() CacheStats { return cacheStatsOf(db.cache) }
 
 // Stats returns a consistent snapshot of operational statistics.
 func (db *DB) Stats() (Stats, error) {
@@ -1088,5 +1438,6 @@ func (db *DB) Stats() (Stats, error) {
 	out.CacheEvictions = ss.PoolEvictions
 	out.WALBytes = ss.WALBytes
 	out.FileBytes = int64(ss.PageCount) * int64(db.store.PageSize())
+	out.Cache = cacheStatsOf(db.cache)
 	return out, nil
 }

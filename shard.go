@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"micronn/internal/ivf"
+	"micronn/internal/rescache"
 	"micronn/internal/storage"
 	"micronn/internal/topk"
 	"micronn/internal/vec"
@@ -70,6 +71,13 @@ type ShardedDB struct {
 	dir      string
 	manifest storage.Manifest
 	shards   []*DB
+
+	// cache is the router-level result cache (nil when disabled). One
+	// cache serves the whole database; entries record one data generation
+	// per shard plus the per-shard candidate sets, so a lookup whose
+	// generations partially match can reuse the unchanged shards'
+	// candidates and re-scan only the shards that moved.
+	cache *rescache.Cache
 }
 
 // OpenSharded opens or creates a sharded database in dir. On creation
@@ -128,6 +136,10 @@ func OpenSharded(dir string, opts Options) (*ShardedDB, error) {
 
 	shOpts := opts
 	shOpts.Shards = 0
+	// Result caching happens at the router (with per-shard validation);
+	// shard-level caches would never be consulted, so they stay off even
+	// under the MICRONN_TEST_CACHE override.
+	shOpts.ResultCache = ResultCacheOptions{ignoreEnv: true}
 	if shOpts.Backend == BackendDefault {
 		// A manifest-pinned backend applies to every shard; otherwise each
 		// shard auto-detects from its own store header.
@@ -153,7 +165,7 @@ func OpenSharded(dir string, opts Options) (*ShardedDB, error) {
 		}
 	}
 
-	sdb := &ShardedDB{dir: dir, manifest: m, shards: make([]*DB, m.Shards)}
+	sdb := &ShardedDB{dir: dir, manifest: m, shards: make([]*DB, m.Shards), cache: opts.ResultCache.resolve()}
 	for i := range sdb.shards {
 		db, err := Open(storage.ShardDBPath(dir, i), shOpts)
 		if err != nil {
@@ -371,13 +383,81 @@ func (s *ShardedDB) rerankBudget(k, override int) int {
 // per-shard results (same semantics as DB.Search). On a quantized database
 // the shards return approximate candidates; the pooled top RerankFactor*K
 // are reranked exactly on their owning shards before the final top-K cut.
+// With the result cache enabled, a repeat whose per-shard data generations
+// all still match is served without touching any shard, and a repeat where
+// only some shards changed re-scans just those shards, merging their fresh
+// candidates with the cached ones.
 func (s *ShardedDB) Search(req SearchRequest) (*SearchResponse, error) {
 	rts, err := s.beginReads()
 	if err != nil {
 		return nil, err
 	}
 	defer closeReads(rts)
-	return s.searchOn(rts, req)
+	if s.cache == nil || req.NoCache {
+		return s.searchOn(rts, req)
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	key := s.shards[0].searchCacheKey(req)
+	gens, err := s.readGens(rts)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: a fully valid entry serves without entering the flight.
+	if v, _, out := s.cache.Get(key, gens); out == rescache.Hit {
+		return cloneSearchResponse(v.(*shardSearchEntry).resp), nil
+	}
+	// Miss or stale: concurrent identical live queries coalesce into one
+	// scatter; a joiner revalidates the shared result against its own
+	// pinned generations (read-your-writes — see cachedShardedQuery).
+	return cachedShardedQuery(s, key, gens, cloneSearchResponse, func() (*SearchResponse, []int64, error) {
+		return s.cachedSearchOn(rts, req, key, gens, false, true)
+	})
+}
+
+// cachedShardedQuery is the singleflight half of the sharded cached-query
+// protocol (the counterpart of the single-store cachedQuery, for callers
+// that hold pinned per-shard read transactions): the leader computes at
+// its own snapshots; a joiner serves the shared response only when its
+// recorded generations equal the ones the joiner read from its OWN pinned
+// transactions, and otherwise recomputes there — a flight started before
+// this caller's write committed must not answer for it. compute closes
+// over the caller's transactions, so it is always safe to re-run locally.
+func cachedShardedQuery[T any](s *ShardedDB, key rescache.Key, gens []int64, clone func(T) T, compute func() (T, []int64, error)) (T, error) {
+	var zero T
+	v, shared, err := s.cache.Do(key, func() (any, error) {
+		resp, fgens, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return flightResult[T]{resp: resp, gens: fgens}, nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	fr := v.(flightResult[T])
+	if shared && !rescache.GensEqual(fr.gens, gens) {
+		resp, _, err := compute()
+		if err != nil {
+			return zero, err
+		}
+		return clone(resp), nil
+	}
+	return clone(fr.resp), nil
+}
+
+// readGens reads each shard's data generation at its pinned snapshot.
+func (s *ShardedDB) readGens(rts []*storage.ReadTxn) ([]int64, error) {
+	gens := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		g, err := sh.ix.DataGeneration(rts[i])
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	return gens, nil
 }
 
 // beginReads opens one read transaction per shard. Each pins its own
@@ -404,24 +484,130 @@ func closeReads(rts []*storage.ReadTxn) {
 	}
 }
 
+// shardOut is one shard's scan contribution to a scatter-gather search:
+// the (possibly approximate) candidate set and its execution info. Cached
+// entries retain these per shard so a later query can reuse the unchanged
+// shards' candidates; both fields are treated as immutable once produced.
+type shardOut struct {
+	res  []topk.Result
+	info *ivf.PlanInfo
+}
+
+// shardSearchEntry is the cached form of one scatter-gather search: the
+// per-shard pre-merge candidates for partial reuse plus the merged
+// response served verbatim on a full generation match.
+type shardSearchEntry struct {
+	outs []shardOut
+	resp *SearchResponse
+}
+
 // searchOn is the scatter-gather core, running against pinned per-shard
-// read transactions (shared by Search and ShardedSnapshot.Search).
+// read transactions (shared by Search and ShardedSnapshot.Search). The
+// result cache, when enabled, is consulted against the generations visible
+// at exactly these transactions — so snapshot searches can only be served
+// entries matching their pinned horizon.
 func (s *ShardedDB) searchOn(rts []*storage.ReadTxn, req SearchRequest) (*SearchResponse, error) {
 	if req.K == 0 {
 		req.K = 10
 	}
+	if s.cache == nil || req.NoCache {
+		outs, err := s.searchScatter(rts, req, nil)
+		if err != nil {
+			return nil, err
+		}
+		return s.searchMerge(rts, req, outs)
+	}
+	// Snapshot path (live searches go through ShardedDB.Search): consult
+	// the cache against the pinned horizons but store=false — an entry
+	// stamped with an old snapshot's generations would displace entries
+	// the live traffic still needs.
+	gens, err := s.readGens(rts)
+	if err != nil {
+		return nil, err
+	}
+	resp, _, err := s.cachedSearchOn(rts, req, s.shards[0].searchCacheKey(req), gens, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return cloneSearchResponse(resp), nil
+}
+
+// cachedSearchOn validates, serves or recomputes a search at rts'
+// snapshots, whose per-shard data generations the caller read as gens. It
+// returns the shared (cached) response plus the generations it answers
+// for — callers clone before handing the response out. counted controls
+// stats accounting (the singleflight path passes false; its caller already
+// recorded the first outcome). store=false consults the cache without
+// writing it (snapshot searches).
+func (s *ShardedDB) cachedSearchOn(rts []*storage.ReadTxn, req SearchRequest, key rescache.Key, gens []int64, counted, store bool) (*SearchResponse, []int64, error) {
+	var v any
+	var stored []int64
+	var out rescache.Outcome
+	if counted {
+		v, stored, out = s.cache.Get(key, gens)
+	} else {
+		v, stored, out = s.cache.Lookup(key, gens)
+	}
+	if out == rescache.Hit {
+		return v.(*shardSearchEntry).resp, gens, nil
+	}
+	var reuse []*shardOut
+	if out == rescache.Stale {
+		reuse = reusableOuts(v.(*shardSearchEntry).outs, stored, gens, s.cache)
+	}
+	outs, err := s.searchScatter(rts, req, reuse)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := s.searchMerge(rts, req, outs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if store {
+		entry := &shardSearchEntry{outs: outs, resp: resp}
+		s.cache.Put(key, gens, entry, shardSearchEntrySize(entry))
+	}
+	return resp, gens, nil
+}
+
+// reusableOuts maps a stale entry's per-shard outputs onto the current
+// generations: position i is reusable iff shard i's generation did not
+// move. Returns nil when nothing is reusable (or the shapes disagree, e.g.
+// an entry recorded under a different topology).
+func reusableOuts[T any](outs []T, stored, gens []int64, c *rescache.Cache) []*T {
+	if len(stored) != len(gens) || len(outs) != len(gens) {
+		return nil
+	}
+	reuse := make([]*T, len(gens))
+	skipped := 0
+	for i := range gens {
+		if stored[i] == gens[i] {
+			reuse[i] = &outs[i]
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		return nil
+	}
+	c.NoteSkipped(skipped)
+	return reuse
+}
+
+// searchScatter runs the per-shard scans. reuse, when non-nil, supplies
+// cached outputs for shards whose data generation has not moved — those
+// shards are not scanned.
+func (s *ShardedDB) searchScatter(rts []*storage.ReadTxn, req SearchRequest, reuse []*shardOut) ([]shardOut, error) {
 	sopts := ivf.SearchOptions{
 		K: req.K, NProbe: s.perShardProbe(req.NProbe), Filters: req.Filters,
 		Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
 		CandidatesOnly: true,
 	}
-
-	type shardOut struct {
-		res  []topk.Result
-		info *ivf.PlanInfo
-	}
 	outs := make([]shardOut, len(s.shards))
 	err := s.scatter(func(i int, sh *DB) error {
+		if reuse != nil && reuse[i] != nil {
+			outs[i] = *reuse[i]
+			return nil
+		}
 		res, info, err := sh.ix.Search(rts[i], req.Vector, sopts)
 		if err != nil {
 			return err
@@ -432,7 +618,13 @@ func (s *ShardedDB) searchOn(rts []*storage.ReadTxn, req SearchRequest) (*Search
 	if err != nil {
 		return nil, err
 	}
+	return outs, nil
+}
 
+// searchMerge pools the per-shard candidates into the final response (the
+// gather half of searchOn). It never mutates outs — cached candidate sets
+// flow through here on every partial reuse.
+func (s *ShardedDB) searchMerge(rts []*storage.ReadTxn, req SearchRequest, outs []shardOut) (*SearchResponse, error) {
 	// Gather: shards on exact paths (float32 scans, pre-filter plans,
 	// Exact queries) contribute final results directly; shards that
 	// returned approximate SQ8 candidates feed the global rerank pool.
@@ -507,17 +699,67 @@ func (s *ShardedDB) searchOn(rts []*storage.ReadTxn, req SearchRequest) (*Search
 	return &SearchResponse{Results: out, Plan: agg}, nil
 }
 
+// batchShardOut is one shard's contribution to a scatter-gather batch:
+// per-query candidate sets plus execution info, immutable once produced
+// (cached entries retain them for partial reuse exactly like shardOut).
+type batchShardOut struct {
+	res  [][]topk.Result
+	info *ivf.BatchInfo
+}
+
+// shardBatchEntry is the cached form of one scatter-gather batch search.
+type shardBatchEntry struct {
+	outs []batchShardOut
+	resp *BatchSearchResponse
+}
+
 // BatchSearch scatters the whole batch to every shard — each shard runs its
 // own multi-query-optimized BatchSearch over the full query set, so the MQO
 // partition-scan sharing is preserved within every shard — then merges the
-// per-shard per-query candidates exactly like Search does.
+// per-shard per-query candidates exactly like Search does. Caching follows
+// Search too: a repeated identical batch serves from the cache on a full
+// per-shard generation match and re-scans only the changed shards on a
+// partial one.
 func (s *ShardedDB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
 	rts, err := s.beginReads()
 	if err != nil {
 		return nil, err
 	}
 	defer closeReads(rts)
-	return s.batchSearchOn(rts, req)
+	if s.cache == nil || req.NoCache || len(req.Vectors) == 0 {
+		return s.batchSearchOn(rts, req)
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	queries, err := s.batchMatrix(req)
+	if err != nil {
+		return nil, err
+	}
+	key := s.shards[0].batchCacheKey(req)
+	gens, err := s.readGens(rts)
+	if err != nil {
+		return nil, err
+	}
+	if v, _, out := s.cache.Get(key, gens); out == rescache.Hit {
+		return cloneBatchSearchResponse(v.(*shardBatchEntry).resp), nil
+	}
+	return cachedShardedQuery(s, key, gens, cloneBatchSearchResponse, func() (*BatchSearchResponse, []int64, error) {
+		return s.cachedBatchSearchOn(rts, req, queries, key, gens, false, true)
+	})
+}
+
+// batchMatrix validates the batch's dimensions into a query matrix.
+func (s *ShardedDB) batchMatrix(req BatchSearchRequest) (*vec.Matrix, error) {
+	dim := s.Dim()
+	queries := vec.NewMatrix(len(req.Vectors), dim)
+	for i, q := range req.Vectors {
+		if len(q) != dim {
+			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
+		}
+		queries.SetRow(i, q)
+	}
+	return queries, nil
 }
 
 func (s *ShardedDB) batchSearchOn(rts []*storage.ReadTxn, req BatchSearchRequest) (*BatchSearchResponse, error) {
@@ -527,37 +769,92 @@ func (s *ShardedDB) batchSearchOn(rts []*storage.ReadTxn, req BatchSearchRequest
 	if len(req.Vectors) == 0 {
 		return &BatchSearchResponse{}, nil
 	}
-	dim := s.Dim()
-	queries := vec.NewMatrix(len(req.Vectors), dim)
-	for i, q := range req.Vectors {
-		if len(q) != dim {
-			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
-		}
-		queries.SetRow(i, q)
+	queries, err := s.batchMatrix(req)
+	if err != nil {
+		return nil, err
 	}
-	nq := queries.Rows
+	if s.cache == nil || req.NoCache {
+		outs, err := s.batchScatter(rts, req, queries, nil)
+		if err != nil {
+			return nil, err
+		}
+		return s.batchMerge(rts, req, queries, outs)
+	}
+	// Snapshot path: consult but never store (see searchOn).
+	gens, err := s.readGens(rts)
+	if err != nil {
+		return nil, err
+	}
+	resp, _, err := s.cachedBatchSearchOn(rts, req, queries, s.shards[0].batchCacheKey(req), gens, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return cloneBatchSearchResponse(resp), nil
+}
+
+// cachedBatchSearchOn is cachedSearchOn for batches: it returns the shared
+// cached response plus the generations it answers for; callers clone.
+func (s *ShardedDB) cachedBatchSearchOn(rts []*storage.ReadTxn, req BatchSearchRequest, queries *vec.Matrix, key rescache.Key, gens []int64, counted, store bool) (*BatchSearchResponse, []int64, error) {
+	var v any
+	var stored []int64
+	var out rescache.Outcome
+	if counted {
+		v, stored, out = s.cache.Get(key, gens)
+	} else {
+		v, stored, out = s.cache.Lookup(key, gens)
+	}
+	if out == rescache.Hit {
+		return v.(*shardBatchEntry).resp, gens, nil
+	}
+	var reuse []*batchShardOut
+	if out == rescache.Stale {
+		reuse = reusableOuts(v.(*shardBatchEntry).outs, stored, gens, s.cache)
+	}
+	outs, err := s.batchScatter(rts, req, queries, reuse)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := s.batchMerge(rts, req, queries, outs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if store {
+		entry := &shardBatchEntry{outs: outs, resp: resp}
+		s.cache.Put(key, gens, entry, shardBatchEntrySize(entry))
+	}
+	return resp, gens, nil
+}
+
+// batchScatter runs the per-shard batch scans, reusing cached outputs for
+// shards whose generation has not moved.
+func (s *ShardedDB) batchScatter(rts []*storage.ReadTxn, req BatchSearchRequest, queries *vec.Matrix, reuse []*batchShardOut) ([]batchShardOut, error) {
 	bopts := ivf.BatchOptions{
 		K: req.K, NProbe: s.perShardProbe(req.NProbe),
 		RerankFactor: req.RerankFactor, CandidatesOnly: true,
 	}
-
-	type shardOut struct {
-		res  [][]topk.Result
-		info *ivf.BatchInfo
-	}
-	outs := make([]shardOut, len(s.shards))
+	outs := make([]batchShardOut, len(s.shards))
 	err := s.scatter(func(i int, sh *DB) error {
+		if reuse != nil && reuse[i] != nil {
+			outs[i] = *reuse[i]
+			return nil
+		}
 		res, info, err := sh.ix.BatchSearch(rts[i], queries, bopts)
 		if err != nil {
 			return err
 		}
-		outs[i] = shardOut{res: res, info: info}
+		outs[i] = batchShardOut{res: res, info: info}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	return outs, nil
+}
 
+// batchMerge pools the per-shard per-query candidates into the final
+// response; it never mutates outs.
+func (s *ShardedDB) batchMerge(rts []*storage.ReadTxn, req BatchSearchRequest, queries *vec.Matrix, outs []batchShardOut) (*BatchSearchResponse, error) {
+	nq := queries.Rows
 	agg := *outs[0].info
 	agg.CandidatesApprox = false
 	for _, o := range outs[1:] {
@@ -659,6 +956,40 @@ func (s *ShardedDB) batchSearchOn(rts []*storage.ReadTxn, req BatchSearchRequest
 	return &BatchSearchResponse{Results: out, Info: agg}, nil
 }
 
+// --- cache entry sizing ---
+
+// candsSize estimates the footprint of one candidate slice.
+func candsSize(rs []topk.Result) int64 {
+	n := int64(24)
+	for _, r := range rs {
+		n += 40 + int64(len(r.AssetID))
+	}
+	return n
+}
+
+func shardSearchEntrySize(e *shardSearchEntry) int64 {
+	n := searchResponseSize(e.resp)
+	for _, o := range e.outs {
+		n += 96 + candsSize(o.res)
+	}
+	return n
+}
+
+func shardBatchEntrySize(e *shardBatchEntry) int64 {
+	n := batchSearchResponseSize(e.resp)
+	for _, o := range e.outs {
+		n += 96
+		for _, rs := range o.res {
+			n += candsSize(rs)
+		}
+	}
+	return n
+}
+
+// ResultCacheStats returns the router-level result cache counters (zeros
+// when the cache is disabled).
+func (s *ShardedDB) ResultCacheStats() CacheStats { return cacheStatsOf(s.cache) }
+
 // --- maintenance and stats: aggregate over the shard set ---
 
 // mergeReports folds per-shard maintenance reports into one.
@@ -744,10 +1075,15 @@ func (s *ShardedDB) Checkpoint() error {
 }
 
 // DropCaches empties every shard's buffer pool and in-memory centroid
-// cache in parallel, simulating the paper's ColdStart scenario across the
-// whole database — the cold-start legs of the bench scenarios drive
-// sharded databases through this exactly like single stores.
+// cache in parallel, plus the router-level result cache, simulating the
+// paper's ColdStart scenario across the whole database — the cold-start
+// legs of the bench scenarios drive sharded databases through this exactly
+// like single stores, and a cold query must pay the scatter, not replay a
+// cached response.
 func (s *ShardedDB) DropCaches() {
+	if s.cache != nil {
+		s.cache.Clear()
+	}
 	var wg sync.WaitGroup
 	for _, sh := range s.shards {
 		wg.Add(1)
@@ -820,13 +1156,17 @@ func (s *ShardedDB) ShardStats() ([]Stats, error) {
 	return per, nil
 }
 
-// Stats aggregates operational statistics over the shard set.
+// Stats aggregates operational statistics over the shard set. The result
+// cache lives at the router, not in the shards, so its stats are overlaid
+// after aggregation (per-shard Stats.Cache is always zero).
 func (s *ShardedDB) Stats() (Stats, error) {
 	per, err := s.ShardStats()
 	if err != nil {
 		return Stats{}, err
 	}
-	return AggregateStats(per), nil
+	out := AggregateStats(per)
+	out.Cache = cacheStatsOf(s.cache)
+	return out, nil
 }
 
 // CheckInvariants runs the whole sharded invariant battery: the manifest
