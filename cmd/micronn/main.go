@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,10 +28,35 @@ import (
 	"time"
 
 	"micronn"
-	"micronn/internal/quant"
 	"micronn/internal/storage"
 	"micronn/internal/workload"
 )
+
+// Exit codes. Each typed library error maps to its own code so scripts can
+// branch on the failure class without parsing stderr.
+const (
+	exitErr         = 1 // untyped failure
+	exitUsage       = 2 // bad command line
+	exitNotFound    = 3 // micronn.ErrNotFound
+	exitBadRequest  = 4 // micronn.ErrBadRequest
+	exitDimMismatch = 5 // micronn.ErrDimMismatch
+	exitClosed      = 6 // micronn.ErrClosed
+)
+
+// exitCode translates a command error into the process exit code.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, micronn.ErrNotFound):
+		return exitNotFound
+	case errors.Is(err, micronn.ErrBadRequest):
+		return exitBadRequest
+	case errors.Is(err, micronn.ErrDimMismatch):
+		return exitDimMismatch
+	case errors.Is(err, micronn.ErrClosed):
+		return exitClosed
+	}
+	return exitErr
+}
 
 // openDB opens path as a sharded database when it is a directory carrying a
 // topology manifest, and as a single-store database otherwise.
@@ -51,7 +77,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	cmd, rest := args[0], args[1:]
 	var err error
@@ -74,11 +100,11 @@ func main() {
 		err = cmdDelete(*db, rest)
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "micronn:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -86,8 +112,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: micronn -db <path> <command> [flags]
 
 commands:
-  create  -dim N [-metric L2|cosine|dot] [-partition-size N] [-quant none|sq8]
-          [-shards N] [-backend file|mmap|memory]
+  create  -dim N [-metric L2|cosine|dot] [-partition-size N]
+          [-quant none|sq8|sq4] [-clip P] [-shards N] [-backend file|mmap|memory]
   load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
   rebuild                           full index rebuild
   flush                             incremental delta flush
@@ -99,7 +125,10 @@ commands:
           [-repeat N] [-no-cache]       -repeat re-runs the query (repeats hit
                                         the result cache; -no-cache bypasses it)
   delete  -id <asset>
-  stats`)
+  stats
+
+exit codes: 1 error, 2 usage, 3 not found, 4 bad request, 5 dimension
+mismatch, 6 database closed`)
 }
 
 func cmdCreate(path string, args []string) error {
@@ -107,7 +136,8 @@ func cmdCreate(path string, args []string) error {
 	dim := fs.Int("dim", 0, "vector dimensionality (required)")
 	metric := fs.String("metric", "L2", "distance metric: L2, cosine, dot")
 	partSize := fs.Int("partition-size", 100, "target IVF partition size")
-	quantName := fs.String("quant", "none", "partition-scan quantization: none, sq8")
+	quantName := fs.String("quant", "none", "partition-scan quantization: none, sq8, sq4")
+	clip := fs.Float64("clip", 0, "codebook quantile clip percentile (0 = scheme default; sq4 defaults to 0.005)")
 	shards := fs.Int("shards", 0, "hash-partition across N independent stores (path becomes a directory)")
 	backendName := fs.String("backend", "", "page-store backend: file (default), mmap, memory; recorded in the store for reopen")
 	if err := fs.Parse(args); err != nil {
@@ -127,7 +157,7 @@ func cmdCreate(path string, args []string) error {
 	default:
 		return fmt.Errorf("create: unknown metric %q", *metric)
 	}
-	q, err := quant.ParseType(strings.ToLower(*quantName))
+	q, err := micronn.ParseQuantization(strings.ToLower(*quantName))
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
@@ -138,7 +168,7 @@ func cmdCreate(path string, args []string) error {
 	if backend == micronn.BackendMemory {
 		fmt.Fprintln(os.Stderr, "note: the memory backend is ephemeral; the database vanishes when this command exits")
 	}
-	opts := micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q, Backend: backend}
+	opts := micronn.Options{Dim: *dim, Metric: m, TargetPartitionSize: *partSize, Quantization: q, ClipPercentile: *clip, Backend: backend}
 	if *shards > 0 {
 		opts.Shards = *shards
 		sd, err := micronn.OpenSharded(path, opts)
@@ -150,7 +180,7 @@ func cmdCreate(path string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("created %s (dim=%d, metric=%s, shards=%d, backend=%s)\n", path, *dim, *metric, *shards, st.Backend)
+		fmt.Printf("created %s (dim=%d, metric=%s, quant=%s, shards=%d, backend=%s)\n", path, *dim, *metric, st.Quantization, *shards, st.Backend)
 		return nil
 	}
 	d, err := micronn.Open(path, opts)
@@ -162,7 +192,7 @@ func cmdCreate(path string, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("created %s (dim=%d, metric=%s, backend=%s)\n", path, *dim, *metric, st.Backend)
+	fmt.Printf("created %s (dim=%d, metric=%s, quant=%s, backend=%s)\n", path, *dim, *metric, st.Quantization, st.Backend)
 	return nil
 }
 
@@ -390,6 +420,13 @@ func cmdStats(path string) error {
 	fmt.Printf("partitions:       %d (avg size %.1f)\n", st.NumPartitions, st.AvgPartitionSize)
 	fmt.Printf("needs rebuild:    %v\n", st.NeedsRebuild)
 	fmt.Printf("backend:          %s\n", st.Backend)
+	if st.Quantization == micronn.QuantNone {
+		fmt.Printf("quantization:     none\n")
+	} else if st.ClipPercentile > 0 {
+		fmt.Printf("quantization:     %s (clip percentile %g)\n", st.Quantization, st.ClipPercentile)
+	} else {
+		fmt.Printf("quantization:     %s\n", st.Quantization)
+	}
 	hitRatio := 0.0
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		hitRatio = 100 * float64(st.CacheHits) / float64(total)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"path/filepath"
 	"testing"
 
+	"micronn"
 	"micronn/internal/storage"
 	"micronn/internal/storage/storagetest"
 )
@@ -137,5 +140,46 @@ func TestCLIValidation(t *testing.T) {
 	}
 	if err := cmdDelete(db, nil); err == nil {
 		t.Error("delete without -id should fail")
+	}
+}
+
+// TestExitCodes pins the CLI contract: each typed sentinel maps to its own
+// process exit code so scripts can branch on the failure class.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{micronn.ErrNotFound, exitNotFound},
+		{micronn.ErrBadRequest, exitBadRequest},
+		{micronn.ErrDimMismatch, exitDimMismatch},
+		{micronn.ErrClosed, exitClosed},
+		{fmt.Errorf("wrapped: %w", micronn.ErrNotFound), exitNotFound},
+		{fmt.Errorf("vector has dim 2, index has 4: %w", micronn.ErrDimMismatch), exitDimMismatch},
+		{errors.New("plain failure"), exitErr},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestCLIQuantFlags drives create -quant sq4 -clip end to end and checks
+// that stats surfaces the scheme.
+func TestCLIQuantFlags(t *testing.T) {
+	skipIfEphemeralBackend(t)
+	db := filepath.Join(t.TempDir(), "q.mnn")
+	if err := cmdCreate(db, []string{"-dim", "8", "-quant", "sq4", "-clip", "0.01"}); err != nil {
+		t.Fatalf("create -quant sq4: %v", err)
+	}
+	if err := cmdLoad(db, []string{"-n", "100", "-seed", "3"}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := cmdStats(db); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdCreate(filepath.Join(t.TempDir(), "bad.mnn"), []string{"-dim", "8", "-quant", "sq2"}); err == nil {
+		t.Error("create with unknown -quant should fail")
 	}
 }

@@ -1,0 +1,129 @@
+package micronn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors. Every error returned by DB and ShardedDB that a
+// caller can act on programmatically wraps one of these, so call sites can
+// use errors.Is instead of matching message strings:
+//
+//	if errors.Is(err, micronn.ErrNotFound) { ... }
+//
+// The CLI maps each sentinel to a distinct exit code.
+var (
+	// ErrNotFound is returned when an id is absent (Get, Delete).
+	ErrNotFound = errors.New("micronn: not found")
+	// ErrClosed is returned by any operation on a database handle whose
+	// Close has already been called.
+	ErrClosed = errors.New("micronn: database is closed")
+	// ErrDimMismatch is returned when a vector's dimensionality does not
+	// match the database's configured Dim (upserts and queries).
+	ErrDimMismatch = errors.New("micronn: dimension mismatch")
+	// ErrBadRequest is returned when a request fails validation before
+	// touching the store: negative K/NProbe/RerankFactor, an invalid
+	// option value at Open, and similar caller mistakes.
+	ErrBadRequest = errors.New("micronn: bad request")
+)
+
+// badRequestf builds an ErrBadRequest-wrapped validation error.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// normalizeSearchRequest is the single defaulting-and-validation path for
+// single-vector queries: DB.Search, Snapshot.Search, ShardedDB.Search and
+// the sharded scatter path all normalize through here, so the defaulting
+// rules (K, NProbe, RerankFactor, exact-mode interactions) cannot drift
+// between entry points. It mutates req in place; validation failures
+// return ErrBadRequest or ErrDimMismatch. Idempotent, so layered entry
+// points may each call it.
+func normalizeSearchRequest(req *SearchRequest, dim, rerankDefault int, quantized bool) error {
+	if req.K < 0 {
+		return badRequestf("K %d must not be negative", req.K)
+	}
+	if req.NProbe < 0 {
+		return badRequestf("NProbe %d must not be negative", req.NProbe)
+	}
+	if req.RerankFactor < 0 {
+		return badRequestf("RerankFactor %d must not be negative", req.RerankFactor)
+	}
+	if len(req.Vector) != dim {
+		return fmt.Errorf("%w: query dimension %d, want %d", ErrDimMismatch, len(req.Vector), dim)
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.Exact {
+		// The exhaustive path reads neither knob; zeroing them keeps
+		// cache fingerprints of equal-by-behavior requests identical.
+		req.NProbe = 0
+		req.RerankFactor = 0
+		return nil
+	}
+	if req.NProbe == 0 {
+		req.NProbe = 8
+	}
+	if !quantized {
+		req.RerankFactor = 0
+	} else if req.RerankFactor == 0 {
+		req.RerankFactor = rerankDefault
+	}
+	return nil
+}
+
+// normalizeBatchSearchRequest is the batch analog of
+// normalizeSearchRequest, applied by DB.BatchSearch, Snapshot.BatchSearch
+// and the sharded batch path.
+func normalizeBatchSearchRequest(req *BatchSearchRequest, dim, rerankDefault int, quantized bool) error {
+	if req.K < 0 {
+		return badRequestf("K %d must not be negative", req.K)
+	}
+	if req.NProbe < 0 {
+		return badRequestf("NProbe %d must not be negative", req.NProbe)
+	}
+	if req.RerankFactor < 0 {
+		return badRequestf("RerankFactor %d must not be negative", req.RerankFactor)
+	}
+	for i, q := range req.Vectors {
+		if len(q) != dim {
+			return fmt.Errorf("%w: query %d: dimension %d, want %d", ErrDimMismatch, i, len(q), dim)
+		}
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.NProbe == 0 {
+		req.NProbe = 8
+	}
+	if !quantized {
+		req.RerankFactor = 0
+	} else if req.RerankFactor == 0 {
+		req.RerankFactor = rerankDefault
+	}
+	return nil
+}
+
+// normalizeSearch applies the shared normalization under this store's
+// configuration.
+func (db *DB) normalizeSearch(req *SearchRequest) error {
+	cfg := db.ix.Config()
+	return normalizeSearchRequest(req, cfg.Dim, cfg.RerankFactor, cfg.Quantization != QuantNone)
+}
+
+func (db *DB) normalizeBatchSearch(req *BatchSearchRequest) error {
+	cfg := db.ix.Config()
+	return normalizeBatchSearchRequest(req, cfg.Dim, cfg.RerankFactor, cfg.Quantization != QuantNone)
+}
+
+// normalizeSearch applies the shared normalization under the shard set's
+// (identical) configuration — the same code path as a single store, so
+// sharded defaulting can never drift.
+func (s *ShardedDB) normalizeSearch(req *SearchRequest) error {
+	return s.shards[0].normalizeSearch(req)
+}
+
+func (s *ShardedDB) normalizeBatchSearch(req *BatchSearchRequest) error {
+	return s.shards[0].normalizeBatchSearch(req)
+}

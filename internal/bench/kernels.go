@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"micronn/internal/quant"
+	"micronn/internal/vec"
+)
+
+// Kernels micro-benchmarks the hot distance kernels in isolation — float32
+// L2, SQ8 asymmetric scans and SQ4 bit-packed LUT scans — and reports code
+// throughput in MB/s. This is the per-kernel gate behind the end-to-end
+// quantization scenario: the SQ8/SQ4 numbers bound how fast a partition
+// scan can possibly go once pages are in memory.
+func Kernels(cfg Config) error {
+	cfg.fill()
+	cfg.header("Kernels: distance-kernel code throughput")
+
+	const (
+		dim  = 128
+		rows = 256
+	)
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	train := make([][]float32, 512)
+	for i := range train {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		train[i] = v
+	}
+	q := train[0]
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Kernel\tBytes/row\tMB/s")
+
+	// float32 L2: one query against a rows*dim block.
+	block := make([]float32, rows*dim)
+	for i := range block {
+		block[i] = float32(rng.NormFloat64())
+	}
+	fout := make([]float32, rows)
+	mbs := throughput(rows*dim*4, func() {
+		for r := 0; r < rows; r++ {
+			fout[r] = vec.L2Squared(q, block[r*dim:(r+1)*dim])
+		}
+	})
+	fmt.Fprintf(tw, "float32 L2\t%d\t%.0f\n", dim*4, mbs)
+
+	for _, k := range []struct {
+		name string
+		kind quant.Type
+		clip float64
+	}{
+		{"sq8 asymmetric L2", quant.SQ8, 0},
+		{"sq4 packed-LUT L2", quant.SQ4, 0.005},
+	} {
+		tr := quant.NewTrainerKind(k.kind, dim, k.clip)
+		for _, v := range train {
+			tr.Add(v)
+		}
+		cb := tr.Codebook()
+		cs := cb.CodeSize()
+		codes := make([]byte, 0, rows*cs)
+		for r := 0; r < rows; r++ {
+			codes = cb.Encode(codes, train[r%len(train)])
+		}
+		qq := cb.NewQuery(vec.L2, q)
+		out := make([]float32, rows)
+		mbs := throughput(rows*cs, func() { qq.DistancesMany(codes, rows, out) })
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\n", k.name, cs, mbs)
+	}
+	return tw.Flush()
+}
+
+// throughput times fn in a calibrated loop and converts bytes-processed per
+// call into MB/s (matching testing.B's SetBytes accounting: 1 MB = 1e6 B).
+func throughput(bytesPerCall int, fn func()) float64 {
+	// Warm up and calibrate the per-call cost.
+	fn()
+	start := time.Now()
+	calls := 0
+	for time.Since(start) < 200*time.Millisecond {
+		fn()
+		calls++
+	}
+	elapsed := time.Since(start)
+	return float64(bytesPerCall) * float64(calls) / 1e6 / elapsed.Seconds()
+}

@@ -8,10 +8,10 @@ import (
 	"micronn/internal/workload"
 )
 
-// Quantization compares SQ8 partition scans against the float32 baseline
-// on the same dataset: scanned bytes per query (the disk-I/O metric the
-// codes cut 4x), query throughput, and recall@K relative to exact ground
-// truth. It reproduces the scan-byte reduction claimed by "Quantization
+// Quantization compares SQ8 and bit-packed SQ4 partition scans against the
+// float32 baseline on the same dataset: scanned bytes per query (the
+// disk-I/O metric the codes cut 4x and 8x), query throughput, and recall@K
+// relative to exact ground truth. It reproduces the scan-byte reduction claimed by "Quantization
 // for Vector Search under Streaming Updates" inside MicroNN's
 // disk-resident IVF layout.
 func Quantization(cfg Config) error {
@@ -22,7 +22,7 @@ func Quantization(cfg Config) error {
 		cfg.K = 10
 	}
 	cfg.fill()
-	cfg.header("Quantization: SQ8 codes + exact rerank vs float32 scans")
+	cfg.header("Quantization: SQ8/SQ4 codes + exact rerank vs float32 scans")
 	spec, err := workload.ByName(cfg.Datasets[0])
 	if err != nil {
 		return err
@@ -35,6 +35,7 @@ func Quantization(cfg Config) error {
 	}{
 		{"float32", micronn.QuantNone},
 		{"sq8", micronn.QuantSQ8},
+		{"sq4", micronn.QuantSQ4},
 	}
 
 	tw := newTable(cfg.Out)

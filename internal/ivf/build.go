@@ -86,13 +86,15 @@ func (ix *Index) rawBlobByKey(txn btree.ReadTxn, k partVid) ([]byte, error) {
 	return row[3].Bts, nil
 }
 
-// trainCodebook streams every vector once through a min/max trainer and
+// trainCodebook streams every vector once through a range trainer and
 // persists the resulting codebook in the meta table (the paper's codebook
 // refresh: retrained at every full rebuild, alongside the centroids). The
-// raw store is keyed by vid, so this is one sequential scan, not a point
-// lookup per vector.
+// trainer kind follows the configured quantization, and a configured clip
+// percentile trims each dimension's range to reservoir-sampled quantiles
+// so outliers cannot stretch the code grid. The raw store is keyed by
+// vid, so this is one sequential scan, not a point lookup per vector.
 func (ix *Index) trainCodebook(wt *storage.WriteTxn) (*quant.Codebook, error) {
-	tr := quant.NewTrainer(ix.cfg.Dim)
+	tr := quant.NewTrainerKind(ix.cfg.Quantization, ix.cfg.Dim, ix.cfg.ClipPercentile)
 	x := make([]float32, ix.cfg.Dim)
 	err := ix.rawvecs.Scan(wt, nil, func(row reldb.Row) error {
 		tr.Add(vec.FromBlob(x, row[1].Bts))

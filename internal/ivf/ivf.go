@@ -95,17 +95,24 @@ type Config struct {
 	// default of 4096; negative disables the coarse index entirely.
 	CentroidIndexThreshold int `json:"centroid_index_threshold"`
 	// Quantization selects the partition-scan encoding (create-time
-	// option). With quant.SQ8 a per-dimension min/max codebook is trained
+	// option). With quant.SQ8 a per-dimension affine codebook is trained
 	// at every Rebuild, partition rows store one byte per dimension, and
 	// searches rerank the top RerankFactor*K approximate candidates
-	// against exact float32 vectors from the raw store. The delta-store
-	// always keeps float32 vectors, so streaming inserts need no
-	// retraining.
+	// against exact float32 vectors from the raw store. quant.SQ4 packs
+	// two 4-bit codes per byte, halving scanned bytes again. The
+	// delta-store always keeps float32 vectors, so streaming inserts need
+	// no retraining.
 	Quantization quant.Type `json:"quantization"`
 	// RerankFactor is the default rerank multiplier for quantized
 	// searches: the scan keeps RerankFactor*K candidates by approximate
 	// distance before exact reranking (default 4).
 	RerankFactor int `json:"rerank_factor"`
+	// ClipPercentile trims each dimension's trained quantization range to
+	// the [p, 1-p] quantiles of a bounded sample, so a few outlier values
+	// cannot stretch the code grid. 0 defaults to 0.005 for SQ4 (whose
+	// 16-level grid is outlier-sensitive) and to no clipping otherwise;
+	// negative disables clipping explicitly. Must be below 0.5.
+	ClipPercentile float64 `json:"clip_percentile,omitempty"`
 	// Seed makes clustering deterministic.
 	Seed int64 `json:"seed"`
 }
@@ -122,6 +129,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RerankFactor == 0 {
 		c.RerankFactor = 4
+	}
+	if c.ClipPercentile == 0 && c.Quantization == quant.SQ4 {
+		c.ClipPercentile = 0.005
+	}
+	if c.ClipPercentile < 0 {
+		c.ClipPercentile = 0
 	}
 }
 
@@ -261,8 +274,13 @@ func Create(db *reldb.DB, wt *storage.WriteTxn, cfg Config) (*Index, error) {
 	}
 	// The quantization scheme is persisted in the on-disk config; an
 	// unknown value must fail here, not silently encode as SQ8.
-	if cfg.Quantization != quant.None && cfg.Quantization != quant.SQ8 {
+	switch cfg.Quantization {
+	case quant.None, quant.SQ8, quant.SQ4:
+	default:
 		return nil, fmt.Errorf("ivf: unknown quantization %v", cfg.Quantization)
+	}
+	if cfg.ClipPercentile >= 0.5 {
+		return nil, fmt.Errorf("ivf: ClipPercentile %v out of range [0, 0.5)", cfg.ClipPercentile)
 	}
 	cfg.fillDefaults()
 

@@ -166,7 +166,7 @@ func (e *crashEnv) verify(mix *mixture, step string) {
 // partitions and counts, codebook intact on the quantized variant). The
 // interrupted maintenance must then complete cleanly.
 func TestMaintenanceCrashRecovery(t *testing.T) {
-	for _, qt := range []quant.Type{quant.None, quant.SQ8} {
+	for _, qt := range []quant.Type{quant.None, quant.SQ8, quant.SQ4} {
 		t.Run(qt.String(), func(t *testing.T) {
 			env := newCrashEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 11, Quantization: qt})
 			mix := newMixture(12, 8, 5)

@@ -158,7 +158,7 @@ func (e *testEnv) flush(t testing.TB) {
 }
 
 func TestSplitPartitionKeepsIndexConsistent(t *testing.T) {
-	for _, qt := range []quant.Type{quant.None, quant.SQ8} {
+	for _, qt := range []quant.Type{quant.None, quant.SQ8, quant.SQ4} {
 		t.Run(qt.String(), func(t *testing.T) {
 			env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 3, Quantization: qt})
 			mix := newMixture(4, 8, 5)
@@ -284,7 +284,7 @@ func TestSplitBoundBelowClusteringTarget(t *testing.T) {
 }
 
 func TestMergePartitionsAfterDeletes(t *testing.T) {
-	for _, qt := range []quant.Type{quant.None, quant.SQ8} {
+	for _, qt := range []quant.Type{quant.None, quant.SQ8, quant.SQ4} {
 		t.Run(qt.String(), func(t *testing.T) {
 			env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 5, Quantization: qt})
 			mix := newMixture(6, 8, 6)
@@ -350,7 +350,7 @@ func TestMergePartitionsAfterDeletes(t *testing.T) {
 // recall@10 within one point of the same data after a full Rebuild. Run for
 // both encodings — on SQ8 this guards the code handling during splits.
 func TestMaintainedRecallMatchesRebuild(t *testing.T) {
-	for _, qt := range []quant.Type{quant.None, quant.SQ8} {
+	for _, qt := range []quant.Type{quant.None, quant.SQ8, quant.SQ4} {
 		t.Run(qt.String(), func(t *testing.T) {
 			env := newEnv(t, Config{Dim: 16, TargetPartitionSize: 50, Seed: 7, Quantization: qt})
 			mix := newMixture(8, 16, 20)

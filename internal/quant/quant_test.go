@@ -145,7 +145,9 @@ func TestDistancesMany(t *testing.T) {
 	qq.DistancesMany(packed, n, out)
 	for i, v := range vectors {
 		want := qq.Distance(cb.Encode(nil, v))
-		if out[i] != want {
+		// The blocked multi-row kernel accumulates in a different order
+		// than the single-row kernel, so allow float rounding slack.
+		if diff := math.Abs(float64(out[i] - want)); diff > 1e-4*(1+math.Abs(float64(want))) {
 			t.Fatalf("row %d: %v != %v", i, out[i], want)
 		}
 	}
@@ -209,6 +211,9 @@ func BenchmarkAsymmetricL2(b *testing.B) {
 	q := randVectors(10, 1, dim, 3)[0]
 	qq := cb.NewQuery(vec.L2, q)
 	out := make([]float32, n)
+	// Warm the lazily built per-byte LUT so the benchmark measures
+	// steady-state scan throughput, not the one-time table build.
+	qq.DistancesMany(packed, n, out)
 	b.SetBytes(int64(n * dim))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

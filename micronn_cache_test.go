@@ -113,17 +113,15 @@ func oracleBatchCheck(t *testing.T, db Store, tag string, req BatchSearchRequest
 
 // runCacheOracle drives one configuration through `schedules` seeded
 // randomized interleavings.
-func runCacheOracle(t *testing.T, quantized bool, shards int, baseSeed int64, schedules int) {
+func runCacheOracle(t *testing.T, qt Quantization, shards int, baseSeed int64, schedules int) {
 	dim := shardTestDim
 	opts := Options{
 		Dim:                 dim,
 		TargetPartitionSize: 24,
 		Seed:                baseSeed,
+		Quantization:        qt,
 		Attributes:          []AttributeDef{{Name: "grp", Type: AttrInt, Indexed: true}},
 		ResultCache:         ResultCacheOptions{Enabled: true},
-	}
-	if quantized {
-		opts.Quantization = QuantSQ8
 	}
 	var db Store
 	if shards > 0 {
@@ -227,7 +225,7 @@ func runCacheOracle(t *testing.T, quantized bool, shards int, baseSeed int64, sc
 			case 1:
 				req.Exact = true
 			case 2:
-				if quantized {
+				if qt != QuantNone {
 					req.RerankFactor = 2 + rng.Intn(4)
 				}
 			}
@@ -261,20 +259,22 @@ func TestCacheStalenessOracle(t *testing.T) {
 	if testing.Short() {
 		schedules = 8
 	}
-	for _, cfg := range []struct {
-		name      string
-		quantized bool
-		shards    int
+	for i, cfg := range []struct {
+		name   string
+		quant  Quantization
+		shards int
 	}{
-		{"float32/single", false, 0},
-		{"float32/sharded", false, 3},
-		{"sq8/single", true, 0},
-		{"sq8/sharded", true, 3},
+		{"float32/single", QuantNone, 0},
+		{"float32/sharded", QuantNone, 3},
+		{"sq8/single", QuantSQ8, 0},
+		{"sq8/sharded", QuantSQ8, 3},
+		{"sq4/single", QuantSQ4, 0},
+		{"sq4/sharded", QuantSQ4, 3},
 	} {
-		cfg := cfg
+		cfg, i := cfg, i
 		t.Run(cfg.name, func(t *testing.T) {
 			t.Parallel()
-			runCacheOracle(t, cfg.quantized, cfg.shards, base+int64(len(cfg.name)), schedules)
+			runCacheOracle(t, cfg.quant, cfg.shards, base+int64(i), schedules)
 		})
 	}
 }

@@ -1,0 +1,112 @@
+package micronn
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestQuantStreamingRecallGate is the seeded recall gate for the quantized
+// schemes: with AutoMaintain running, sustained upserts (fresh inserts plus
+// re-upserts that move existing ids) must not drag SQ8 or SQ4 recall@10 more
+// than one point below the post-Rebuild baseline measured on the same
+// database. This pins the property the codes exist for — the trained
+// codebook keeps serving a drifting collection between rebuilds.
+func TestQuantStreamingRecallGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recall gate streams thousands of vectors; skipped in -short")
+	}
+	for _, qt := range []Quantization{QuantSQ8, QuantSQ4} {
+		t.Run(qt.String(), func(t *testing.T) {
+			const (
+				seed    = 41
+				dim     = shardTestDim
+				corpus  = 800
+				streamN = 600
+				queries = 30
+				k       = 10
+				nprobe  = 12
+			)
+			// RerankFactor 10 is the quantized operating point from the
+			// benchmark scenario: deep enough that the exact rerank, not
+			// the 4-bit candidate cut, decides the final top-k.
+			db, err := Open(filepath.Join(t.TempDir(), "gate.mnn"), Options{
+				Dim: dim, TargetPartitionSize: 25, Seed: seed,
+				Quantization: qt, RerankFactor: 10,
+				AutoMaintain: true, MaintainInterval: 2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			vecs := clusteredVecs(seed, corpus+streamN+queries, dim, 10)
+			items := make([]Item, corpus)
+			for i := range items {
+				items[i] = Item{ID: fmt.Sprintf("g%04d", i), Vector: vecs[i]}
+			}
+			if err := db.UpsertBatch(items); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Rebuild(); err != nil {
+				t.Fatal(err)
+			}
+
+			qvecs := vecs[corpus+streamN:]
+			measure := func() float64 {
+				var total float64
+				for _, q := range qvecs {
+					exact, err := db.Search(SearchRequest{Vector: q, K: k, Exact: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := db.Search(SearchRequest{Vector: q, K: k, NProbe: nprobe})
+					if err != nil {
+						t.Fatal(err)
+					}
+					total += recallAgainst(exact.Results, got.Results)
+				}
+				return total / float64(len(qvecs))
+			}
+			baseline := measure()
+
+			// Sustained streaming under the background maintainer: fresh
+			// ids plus re-upserts that relocate a third of each batch.
+			for round := 0; round < 6; round++ {
+				batch := make([]Item, 0, streamN/6+corpus/20)
+				lo := corpus + round*streamN/6
+				for i := lo; i < lo+streamN/6; i++ {
+					batch = append(batch, Item{ID: fmt.Sprintf("g%04d", i), Vector: vecs[i]})
+				}
+				for i := 0; i < corpus/20; i++ {
+					id := (round*53 + i*17) % corpus
+					batch = append(batch, Item{ID: fmt.Sprintf("g%04d", id), Vector: vecs[corpus+streamN-1-id%streamN]})
+				}
+				if err := db.UpsertBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(5 * time.Millisecond) // let the maintainer take ticks mid-stream
+			}
+			// Quiesce: drive maintenance until the policy reports nothing
+			// left so the measurement sees the maintained index, not a
+			// half-flushed delta.
+			for i := 0; i < 50; i++ {
+				rep, err := db.Maintain()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Steps == 0 {
+					break
+				}
+			}
+
+			streamed := measure()
+			t.Logf("%s: baseline recall@%d %.4f, after streaming %.4f", qt, k, baseline, streamed)
+			if streamed < baseline-0.01 {
+				t.Fatalf("%s recall@%d degraded beyond the 1pt gate: baseline %.4f, streamed %.4f",
+					qt, k, baseline, streamed)
+			}
+		})
+	}
+}

@@ -279,7 +279,7 @@ func TestShardedCrashRandomInterleavings(t *testing.T) {
 		}
 		baseSeed = v
 	}
-	for _, qt := range []Quantization{QuantNone, QuantSQ8} {
+	for _, qt := range []Quantization{QuantNone, QuantSQ8, QuantSQ4} {
 		t.Run(qt.String(), func(t *testing.T) {
 			seed := baseSeed + int64(qt)
 			t.Logf("schedule seed: %d (rerun with MICRONN_CRASH_SEED=%d)", seed, baseSeed)

@@ -105,12 +105,12 @@ func recallAgainst(exact, got []Result) float64 {
 
 // TestShardedEquivalence is the equivalence property test: a randomized
 // workload of upserts, deletes and re-upserts is applied identically to a
-// single-store DB and a 3-shard DB (float32 and SQ8), and the sharded
+// single-store DB and a 3-shard DB (float32, SQ8 and SQ4), and the sharded
 // Search/BatchSearch recall@10 must stay within 1 point of the single
 // store's, measured against exact ground truth; Get and Delete semantics
 // must match exactly.
 func TestShardedEquivalence(t *testing.T) {
-	for _, qt := range []Quantization{QuantNone, QuantSQ8} {
+	for _, qt := range []Quantization{QuantNone, QuantSQ8, QuantSQ4} {
 		t.Run(qt.String(), func(t *testing.T) {
 			const seed = 7
 			rng := rand.New(rand.NewSource(seed))

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"micronn/internal/ivf"
 	"micronn/internal/rescache"
@@ -71,6 +72,10 @@ type ShardedDB struct {
 	dir      string
 	manifest storage.Manifest
 	shards   []*DB
+
+	// closed flips once in Close; every later operation observes it and
+	// returns ErrClosed (the same contract as DB.closed).
+	closed atomic.Bool
 
 	// cache is the router-level result cache (nil when disabled). One
 	// cache serves the whole database; entries record one data generation
@@ -241,6 +246,9 @@ func (s *ShardedDB) Dim() int { return s.shards[0].Dim() }
 // checkpoints and closes each shard. All shards are closed even if some
 // fail; the joined error is returned.
 func (s *ShardedDB) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
@@ -252,6 +260,14 @@ func (s *ShardedDB) Close() error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// checkOpen returns ErrClosed once Close has been called.
+func (s *ShardedDB) checkOpen() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // scatter runs fn once per shard concurrently and returns the first error.
@@ -388,6 +404,12 @@ func (s *ShardedDB) rerankBudget(k, override int) int {
 // only some shards changed re-scans just those shards, merging their fresh
 // candidates with the cached ones.
 func (s *ShardedDB) Search(req SearchRequest) (*SearchResponse, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := s.normalizeSearch(&req); err != nil {
+		return nil, err
+	}
 	rts, err := s.beginReads()
 	if err != nil {
 		return nil, err
@@ -395,9 +417,6 @@ func (s *ShardedDB) Search(req SearchRequest) (*SearchResponse, error) {
 	defer closeReads(rts)
 	if s.cache == nil || req.NoCache {
 		return s.searchOn(rts, req)
-	}
-	if req.K == 0 {
-		req.K = 10
 	}
 	key := s.shards[0].searchCacheKey(req)
 	gens, err := s.readGens(rts)
@@ -507,8 +526,8 @@ type shardSearchEntry struct {
 // at exactly these transactions — so snapshot searches can only be served
 // entries matching their pinned horizon.
 func (s *ShardedDB) searchOn(rts []*storage.ReadTxn, req SearchRequest) (*SearchResponse, error) {
-	if req.K == 0 {
-		req.K = 10
+	if err := s.normalizeSearch(&req); err != nil {
+		return nil, err
 	}
 	if s.cache == nil || req.NoCache {
 		outs, err := s.searchScatter(rts, req, nil)
@@ -721,6 +740,12 @@ type shardBatchEntry struct {
 // per-shard generation match and re-scans only the changed shards on a
 // partial one.
 func (s *ShardedDB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := s.normalizeBatchSearch(&req); err != nil {
+		return nil, err
+	}
 	rts, err := s.beginReads()
 	if err != nil {
 		return nil, err
@@ -729,13 +754,7 @@ func (s *ShardedDB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, e
 	if s.cache == nil || req.NoCache || len(req.Vectors) == 0 {
 		return s.batchSearchOn(rts, req)
 	}
-	if req.K == 0 {
-		req.K = 10
-	}
-	queries, err := s.batchMatrix(req)
-	if err != nil {
-		return nil, err
-	}
+	queries := s.batchMatrix(req)
 	key := s.shards[0].batchCacheKey(req)
 	gens, err := s.readGens(rts)
 	if err != nil {
@@ -749,30 +768,24 @@ func (s *ShardedDB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, e
 	})
 }
 
-// batchMatrix validates the batch's dimensions into a query matrix.
-func (s *ShardedDB) batchMatrix(req BatchSearchRequest) (*vec.Matrix, error) {
-	dim := s.Dim()
-	queries := vec.NewMatrix(len(req.Vectors), dim)
+// batchMatrix packs the batch into a query matrix. Dimensions were already
+// validated by the shared normalization path.
+func (s *ShardedDB) batchMatrix(req BatchSearchRequest) *vec.Matrix {
+	queries := vec.NewMatrix(len(req.Vectors), s.Dim())
 	for i, q := range req.Vectors {
-		if len(q) != dim {
-			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
-		}
 		queries.SetRow(i, q)
 	}
-	return queries, nil
+	return queries
 }
 
 func (s *ShardedDB) batchSearchOn(rts []*storage.ReadTxn, req BatchSearchRequest) (*BatchSearchResponse, error) {
-	if req.K == 0 {
-		req.K = 10
+	if err := s.normalizeBatchSearch(&req); err != nil {
+		return nil, err
 	}
 	if len(req.Vectors) == 0 {
 		return &BatchSearchResponse{}, nil
 	}
-	queries, err := s.batchMatrix(req)
-	if err != nil {
-		return nil, err
-	}
+	queries := s.batchMatrix(req)
 	if s.cache == nil || req.NoCache {
 		outs, err := s.batchScatter(rts, req, queries, nil)
 		if err != nil {
@@ -1128,6 +1141,11 @@ func AggregateStats(per []Stats) Stats {
 			// choice), so the last one stands for the database.
 			out.Backend = st.Backend
 		}
+		if st.Quantization != QuantNone {
+			// Like Backend: every shard shares one quantization config.
+			out.Quantization = st.Quantization
+			out.ClipPercentile = st.ClipPercentile
+		}
 		out.CacheBytes += st.CacheBytes
 		out.CacheBudget += st.CacheBudget
 		out.CacheHits += st.CacheHits
@@ -1228,6 +1246,9 @@ type ShardedSnapshot struct {
 
 // Snapshot opens a read view across all shards. Callers must Close it.
 func (s *ShardedDB) Snapshot() (*ShardedSnapshot, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	rts, err := s.beginReads()
 	if err != nil {
 		return nil, err

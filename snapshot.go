@@ -1,9 +1,6 @@
 package micronn
 
 import (
-	"fmt"
-
-	"micronn/internal/ivf"
 	"micronn/internal/storage"
 	"micronn/internal/vec"
 )
@@ -24,6 +21,9 @@ type Snapshot struct {
 
 // Snapshot opens a consistent read view. Callers must Close it.
 func (db *DB) Snapshot() (*Snapshot, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	rt, err := db.store.BeginRead()
 	if err != nil {
 		return nil, err
@@ -39,27 +39,16 @@ func (s *Snapshot) Close() {
 // Search runs a query against the pinned state (same semantics as
 // DB.Search).
 func (s *Snapshot) Search(req SearchRequest) (*SearchResponse, error) {
-	if req.K == 0 {
-		req.K = 10
-	}
-	res, info, err := s.db.ix.Search(s.rt, req.Vector, ivf.SearchOptions{
-		K: req.K, NProbe: req.NProbe, Filters: req.Filters,
-		Exact: req.Exact, Plan: req.Plan, RerankFactor: req.RerankFactor,
-	})
-	if err != nil {
+	if err := s.db.normalizeSearch(&req); err != nil {
 		return nil, err
 	}
-	out := make([]Result, len(res))
-	for i, r := range res {
-		out[i] = Result{ID: r.AssetID, Distance: r.Distance}
-	}
-	return &SearchResponse{Results: out, Plan: *info}, nil
+	return s.db.searchAt(s.rt, req)
 }
 
 // BatchSearch runs a query batch against the pinned state.
 func (s *Snapshot) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) {
-	if req.K == 0 {
-		req.K = 10
+	if err := s.db.normalizeBatchSearch(&req); err != nil {
+		return nil, err
 	}
 	if len(req.Vectors) == 0 {
 		return &BatchSearchResponse{}, nil
@@ -67,23 +56,9 @@ func (s *Snapshot) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, er
 	dim := s.db.ix.Config().Dim
 	queries := vec.NewMatrix(len(req.Vectors), dim)
 	for i, q := range req.Vectors {
-		if len(q) != dim {
-			return nil, fmt.Errorf("micronn: query %d: dimension %d, want %d", i, len(q), dim)
-		}
 		queries.SetRow(i, q)
 	}
-	res, info, err := s.db.ix.BatchSearch(s.rt, queries, ivf.BatchOptions{K: req.K, NProbe: req.NProbe, RerankFactor: req.RerankFactor})
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]Result, len(res))
-	for qi, rs := range res {
-		out[qi] = make([]Result, len(rs))
-		for i, r := range rs {
-			out[qi][i] = Result{ID: r.AssetID, Distance: r.Distance}
-		}
-	}
-	return &BatchSearchResponse{Results: out, Info: *info}, nil
+	return s.db.batchSearchAt(s.rt, queries, req)
 }
 
 // Get returns the item as of the snapshot.
