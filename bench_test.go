@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -457,6 +458,135 @@ func BenchmarkAblationBalancePenalty(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Concurrency: search availability during partition splits ---
+
+// BenchmarkSearchDuringSplits measures the search tail while a maintenance
+// stream flushes the delta and splits oversized partitions concurrently.
+// With partition-granular write locking each split transaction excludes
+// searches only from the partitions it rewrites — never from the whole
+// store — so split-p99-ms should track idle-p99-ms. One iteration runs
+// both measurement windows on a fresh database and reports the percentiles
+// as custom metrics for the BENCH_* trajectory.
+func BenchmarkSearchDuringSplits(b *testing.B) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	n := ds.Train.Rows
+	bootstrap := n / 2
+
+	pctMs := func(durs []time.Duration, pct int) float64 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return float64(durs[len(durs)*pct/100]) / 1e6
+	}
+	// The searcher is paced: a closed loop with a short think time, like an
+	// interactive client. An unpaced tight loop would saturate the CPU and
+	// measure how the scheduler starves the maintainer (or vice versa on a
+	// small host), not how long a query takes while splits run.
+	searchOnce := func(db *micronn.DB, i int) (time.Duration, error) {
+		time.Sleep(500 * time.Microsecond)
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		start := time.Now()
+		_, serr := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: 8})
+		return time.Since(start), serr
+	}
+
+	var idleP50, idleP99, splitP50, splitP99 float64
+	for iter := 0; iter < b.N; iter++ {
+		db, err := micronn.Open(filepath.Join(b.TempDir(), fmt.Sprintf("split%d.mnn", iter)), micronn.Options{
+			Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed, TargetPartitionSize: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insert := func(lo, hi int) error {
+			items := make([]micronn.Item, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+			}
+			return db.UpsertBatch(items)
+		}
+		if err := insert(0, bootstrap); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+		// Settle GC debt from the build (and, in a full `-bench=.` run,
+		// from earlier benchmarks) so both windows start from the same
+		// heap state and the tail measures the index, not the collector.
+		runtime.GC()
+
+		idle := make([]time.Duration, 0, 300)
+		for i := 0; i < 300; i++ {
+			d, err := searchOnce(db, i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idle = append(idle, d)
+		}
+
+		done := make(chan error, 1)
+		go func() {
+			const chunk = 50
+			for lo := bootstrap; lo < n; lo += chunk {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := insert(lo, hi); err != nil {
+					done <- err
+					return
+				}
+				if _, err := db.Maintain(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		var storm []time.Duration
+	window:
+		for i := 0; ; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					b.Fatal(err)
+				}
+				break window
+			default:
+			}
+			d, err := searchOnce(db, i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			storm = append(storm, d)
+		}
+		// Top the window up after the stream drains so tiny scales still
+		// produce meaningful percentiles.
+		deadline := time.Now().Add(2 * time.Second)
+		for i := len(storm); len(storm) < 100 && time.Now().Before(deadline); i++ {
+			d, err := searchOnce(db, i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			storm = append(storm, d)
+		}
+
+		idleP50 += pctMs(idle, 50)
+		idleP99 += pctMs(idle, 99)
+		splitP50 += pctMs(storm, 50)
+		splitP99 += pctMs(storm, 99)
+		db.Close()
+	}
+	b.ReportMetric(idleP50/float64(b.N), "idle-p50-ms")
+	b.ReportMetric(idleP99/float64(b.N), "idle-p99-ms")
+	b.ReportMetric(splitP50/float64(b.N), "split-p50-ms")
+	b.ReportMetric(splitP99/float64(b.N), "split-p99-ms")
 }
 
 // --- Core operation benchmarks ---

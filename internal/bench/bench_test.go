@@ -174,6 +174,32 @@ func TestMaintenanceRunnerSmoke(t *testing.T) {
 	}
 }
 
+// TestConcurrencyRunnerSmoke runs the concurrency scenario at tiny scale
+// and asserts the acceptance criteria it prints: the measured window
+// overlaps real splits and recall@10 holds steady (the p99 criterion is
+// judged only on hosts with enough cores that the k-means split work does
+// not starve the searcher of CPU time).
+func TestConcurrencyRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	cfg := tinyConfig(t, &out)
+	cfg.Scale = 0.002 // enough stream volume to force splits
+	if err := Concurrency(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"idle", "during-splits", "splits"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("concurrency output missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "VIOLATION") {
+		t.Errorf("concurrency scenario reported a violation:\n%s", s)
+	}
+}
+
 // TestShardsRunnerSmoke runs the sharding scenario at tiny scale and
 // asserts the acceptance criteria it prints: recall@10 parity within 1
 // point of the single store at every shard count (the p99 criterion is

@@ -29,6 +29,7 @@ var Experiments = []Experiment{
 	{Name: "quant", Desc: "Quantization: SQ8/SQ4 scan bytes/throughput/recall vs float32", Run: Quantization, Alias: []string{"sq8", "sq4"}},
 	{Name: "kernels", Desc: "Kernels: float32/SQ8/SQ4 distance-kernel MB/s", Run: Kernels, Alias: []string{"kernel"}},
 	{Name: "maintenance", Desc: "Maintenance: search tail latency during sustained upserts (auto-maintain vs full rebuild)", Run: Maintenance, Alias: []string{"maint"}},
+	{Name: "concurrency", Desc: "Concurrency: search p99 during partition splits vs idle under partition-granular locking", Run: Concurrency, Alias: []string{"locks"}},
 	{Name: "shards", Desc: "Sharding: scatter-gather search p50/p99, scanned bytes and recall at 1/2/4/8 shards under concurrent upserts", Run: Shards, Alias: []string{"sharding"}},
 	{Name: "backends", Desc: "Backends: cold-start and hot search p50/p99 across file, read-mmap and memory page stores", Run: Backends, Alias: []string{"backend"}},
 	{Name: "cache", Desc: "Result cache: Zipfian hot-query p50/p99 and hit ratio, cached vs uncached, with invalidation under upserts", Run: ResultCache, Alias: []string{"rescache"}},

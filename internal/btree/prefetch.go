@@ -1,0 +1,78 @@
+package btree
+
+import "bytes"
+
+// LeafPages calls emit with the page number of every leaf whose key range
+// may intersect [lo, hi] (nil bounds mean unbounded; hi is inclusive),
+// without reading the leaves themselves: only interior nodes are visited,
+// plus a single leaf peeked per interior parent to detect the leaf level.
+// This is the readahead primitive — a partition scan first collects its
+// leaf pages here (cheap: interior nodes are few and pool-hot), hands them
+// to storage.ReadTxn.Readahead, and only then starts faulting through the
+// data. Overflow chains are not enumerated; values large enough to spill
+// are rare in vector tables and still benefit from the leaves arriving
+// early.
+func (t *Tree) LeafPages(txn ReadTxn, lo, hi []byte, emit func(uint32)) error {
+	return t.leafPages(txn, t.root, lo, hi, emit)
+}
+
+func (t *Tree) leafPages(txn ReadTxn, pageNo uint32, lo, hi []byte, emit func(uint32)) error {
+	buf, err := txn.Get(pageNo)
+	if err != nil {
+		return err
+	}
+	p := page{buf}
+	switch p.typ() {
+	case pageTypeLeaf:
+		emit(pageNo)
+		return nil
+	case pageTypeInterior:
+	default:
+		return ErrCorrupt
+	}
+
+	// Child i's subtree holds keys in [k_{i-1}, k_i) (k_{-1} = -inf); the
+	// right pointer holds keys >= the last separator. Keep a child when
+	// that range overlaps [lo, hi].
+	n := p.nCells()
+	var kids []uint32
+	var prev []byte
+	for i := 0; i < n; i++ {
+		k, child, err := p.interiorCell(i)
+		if err != nil {
+			return err
+		}
+		if child != 0 &&
+			(hi == nil || prev == nil || bytes.Compare(prev, hi) <= 0) &&
+			(lo == nil || bytes.Compare(k, lo) > 0) {
+			kids = append(kids, child)
+		}
+		prev = k
+	}
+	if r := p.right(); r != 0 && (hi == nil || prev == nil || bytes.Compare(prev, hi) <= 0) {
+		kids = append(kids, r)
+	}
+	if len(kids) == 0 {
+		return nil
+	}
+
+	// Peek one child to learn the level's type: when it is the leaf level,
+	// every sibling's page number is emitted without reading it — that is
+	// the whole point.
+	cbuf, err := txn.Get(kids[0])
+	if err != nil {
+		return err
+	}
+	if (page{cbuf}).typ() == pageTypeLeaf {
+		for _, c := range kids {
+			emit(c)
+		}
+		return nil
+	}
+	for _, c := range kids {
+		if err := t.leafPages(txn, c, lo, hi, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

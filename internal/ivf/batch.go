@@ -26,6 +26,9 @@ type BatchOptions struct {
 	// (BatchInfo.CandidatesApprox is then set). Unquantized batches return
 	// their usual exact results. See SearchOptions.CandidatesOnly.
 	CandidatesOnly bool
+	// Cancel, when non-nil and closed, aborts the batch between partition
+	// scans with ErrCanceled (see SearchOptions.Cancel).
+	Cancel <-chan struct{}
 }
 
 // BatchInfo reports batch execution statistics.
@@ -123,8 +126,21 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 	if workers < 1 {
 		workers = 1
 	}
-	if _, parallel := txn.(*storage.ReadTxn); !parallel {
+	rt, parallel := txn.(*storage.ReadTxn)
+	if !parallel {
 		workers = 1
+	}
+	if parallel && rt.WantReadahead() {
+		// Same scatter readahead as the single-query scan: hint every
+		// grouped partition's leaf pages before the workers fault through
+		// them (advisory; errors surface from the scans themselves).
+		var pages []uint32
+		for p := range groups {
+			_ = ix.vectors.LeafPages(txn, []reldb.Value{reldb.I(p)}, func(pg uint32) {
+				pages = append(pages, pg)
+			})
+		}
+		rt.Readahead(pages)
 	}
 
 	var wg sync.WaitGroup
@@ -134,7 +150,7 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scanned, pairs, bytesRead, err := ix.batchWorker(txn, work, queries, qqs, cb, heaps, heapMus)
+			scanned, pairs, bytesRead, err := ix.batchWorker(txn, work, opts.Cancel, queries, qqs, cb, heaps, heapMus)
 			statMu.Lock()
 			info.VectorsScanned += scanned
 			info.DistancePairs += pairs
@@ -186,6 +202,10 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 			defer rwg.Done()
 			var reranked, bytesRead int64
 			for i := range qCh {
+				if chanClosed(opts.Cancel) {
+					rerrCh <- ErrCanceled
+					return
+				}
 				cands := heaps[i].Results()
 				res, rb, err := ix.rerankExact(txn, queries.Row(i), cands, opts.K)
 				if err != nil {
@@ -222,7 +242,7 @@ type partWork struct {
 // one kernel call, amortizing the scan over every query in the group. On
 // quantized partitions the tile holds SQ8 codes and each interested query's
 // asymmetric kernel runs over it — the tile is still read once and shared.
-func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *vec.Matrix, qqs []*quant.Query, cb *quant.Codebook, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs, bytesRead int64, err error) {
+func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, cancel <-chan struct{}, queries *vec.Matrix, qqs []*quant.Query, cb *quant.Codebook, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs, bytesRead int64, err error) {
 	dim := ix.cfg.Dim
 	tile := vec.NewMatrix(scanBatch, dim)
 	codes := make([]byte, 0, scanBatch*dim)
@@ -230,6 +250,9 @@ func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, queries *v
 	assetsB := make([]string, 0, scanBatch)
 
 	for w := range work {
+		if chanClosed(cancel) {
+			return scanned, pairs, bytesRead, ErrCanceled
+		}
 		quantized := cb != nil && w.part != DeltaPartition
 
 		// Gather this partition's interested queries into a submatrix

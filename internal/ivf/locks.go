@@ -1,0 +1,171 @@
+package ivf
+
+import (
+	"sort"
+	"sync"
+)
+
+// partLocks is the partition-granular lock manager behind MVCC-style
+// two-phase maintenance (see maintain.go). It provides two things:
+//
+//   - Partition locks, keyed by partition id, acquired in ascending-id
+//     order so multi-partition holders can never deadlock each other.
+//     Only the long-running maintenance prepare/apply paths take them —
+//     and they take them BEFORE the store's writer gate, never inside it —
+//     so two maintainers cannot prepare the same partition concurrently,
+//     while short point writes (upserts/deletes) proceed under the writer
+//     gate without ever blocking on a partition lock.
+//   - Partition version counters, advanced by every committed transaction
+//     that mutates a partition's membership (upsert into / delete from /
+//     row moves). A prepare phase records the version of its target
+//     partition before pinning its snapshot; the apply phase revalidates
+//     it under the writer gate, so any intervening commit that touched the
+//     partition is detected and the stale plan discarded. Bumps run in
+//     WriteTxn.OnCommit hooks — after the commit publishes, before the
+//     writer gate is released — which makes the read-version / pin /
+//     validate protocol race-free: a conflicting commit either publishes
+//     before the snapshot pin (its effects are in the plan) or bumps the
+//     version the validation reads.
+//
+// A whole-index epoch counter backs coarse operations (rebuild, flush)
+// that touch every partition: bumping the epoch invalidates all
+// outstanding versions at once without enumerating the lock table.
+type partLocks struct {
+	mu    sync.Mutex
+	locks map[int64]*partLock
+	ver   map[int64]uint64
+	epoch uint64
+}
+
+// partLock is one refcounted partition lock table entry; entries exist
+// only while held or contended, keeping the table proportional to active
+// maintenance, not partition count.
+type partLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// partVersion is a partition's write version: a plan prepared at one
+// version applies only if both coordinates are unchanged.
+type partVersion struct {
+	epoch uint64
+	ver   uint64
+}
+
+func (pl *partLocks) entry(part int64) *partLock {
+	if pl.locks == nil {
+		pl.locks = make(map[int64]*partLock)
+	}
+	e := pl.locks[part]
+	if e == nil {
+		e = &partLock{}
+		pl.locks[part] = e
+	}
+	e.refs++
+	return e
+}
+
+func (pl *partLocks) put(part int64, e *partLock) {
+	e.refs--
+	if e.refs == 0 {
+		delete(pl.locks, part)
+	}
+}
+
+// Lock acquires the given partitions' locks in ascending-id order
+// (duplicates are collapsed) and returns the release function.
+func (pl *partLocks) Lock(parts ...int64) func() {
+	ids := append([]int64(nil), parts...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	entries := make([]*partLock, 0, len(ids))
+	held := make([]int64, 0, len(ids))
+	pl.mu.Lock()
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		entries = append(entries, pl.entry(id))
+		held = append(held, id)
+	}
+	pl.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+	}
+	return func() {
+		pl.mu.Lock()
+		for i, e := range entries {
+			e.mu.Unlock()
+			pl.put(held[i], e)
+		}
+		pl.mu.Unlock()
+	}
+}
+
+// TryLock is Lock without blocking: it acquires all of the partitions'
+// locks or none, reporting which. Maintenance planning uses it to skip a
+// partition another maintainer is already working on.
+func (pl *partLocks) TryLock(parts ...int64) (func(), bool) {
+	ids := append([]int64(nil), parts...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	entries := make([]*partLock, 0, len(ids))
+	held := make([]int64, 0, len(ids))
+	pl.mu.Lock()
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		entries = append(entries, pl.entry(id))
+		held = append(held, id)
+	}
+	pl.mu.Unlock()
+	for i, e := range entries {
+		if !e.mu.TryLock() {
+			pl.mu.Lock()
+			for j := 0; j < i; j++ {
+				entries[j].mu.Unlock()
+			}
+			for j, ee := range entries {
+				pl.put(held[j], ee)
+			}
+			pl.mu.Unlock()
+			return nil, false
+		}
+	}
+	return func() {
+		pl.mu.Lock()
+		for i, e := range entries {
+			e.mu.Unlock()
+			pl.put(held[i], e)
+		}
+		pl.mu.Unlock()
+	}, true
+}
+
+// Version returns part's current write version. Read it BEFORE pinning the
+// prepare snapshot (see the protocol note on the type).
+func (pl *partLocks) Version(part int64) partVersion {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return partVersion{epoch: pl.epoch, ver: pl.ver[part]}
+}
+
+// Bump advances the given partitions' versions. Call from a
+// WriteTxn.OnCommit hook so only published mutations invalidate plans.
+func (pl *partLocks) Bump(parts ...int64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.ver == nil {
+		pl.ver = make(map[int64]uint64)
+	}
+	for _, p := range parts {
+		pl.ver[p]++
+	}
+}
+
+// BumpAll invalidates every partition's version at once (rebuild, delta
+// flush: operations whose write set is the whole index).
+func (pl *partLocks) BumpAll() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.epoch++
+}

@@ -1,0 +1,305 @@
+package ivf
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"micronn/internal/storage"
+)
+
+func TestPartLocksBasics(t *testing.T) {
+	var pl partLocks
+
+	unlock := pl.Lock(3, 1, 2, 1) // unordered, duplicated
+	if _, ok := pl.TryLock(2); ok {
+		t.Fatal("TryLock succeeded on a held partition")
+	}
+	if un, ok := pl.TryLock(7); !ok {
+		t.Fatal("TryLock failed on a free partition")
+	} else {
+		un()
+	}
+	unlock()
+	if un, ok := pl.TryLock(1, 2, 3); !ok {
+		t.Fatal("TryLock failed after release")
+	} else {
+		un()
+	}
+	// The table must be empty once nothing is held (entries are refcounted).
+	pl.mu.Lock()
+	if n := len(pl.locks); n != 0 {
+		t.Errorf("lock table holds %d entries after release, want 0", n)
+	}
+	pl.mu.Unlock()
+}
+
+func TestPartLocksTryLockRollsBackFully(t *testing.T) {
+	var pl partLocks
+	unlock := pl.Lock(5)
+	// 3 is free, 5 is held: the try must fail and leave 3 unlocked.
+	if _, ok := pl.TryLock(3, 5); ok {
+		t.Fatal("TryLock succeeded with partition 5 held elsewhere")
+	}
+	if un, ok := pl.TryLock(3); !ok {
+		t.Fatal("partition 3 left locked by failed TryLock")
+	} else {
+		un()
+	}
+	unlock()
+}
+
+func TestPartLocksVersions(t *testing.T) {
+	var pl partLocks
+	v0 := pl.Version(9)
+	pl.Bump(9)
+	if pl.Version(9) == v0 {
+		t.Error("Bump did not change the version")
+	}
+	if pl.Version(4) != (partVersion{}) {
+		t.Error("untouched partition version moved")
+	}
+	pl.BumpAll()
+	if pl.Version(4) == (partVersion{}) {
+		t.Error("BumpAll did not invalidate an untouched partition")
+	}
+}
+
+func TestPartLocksOrderedAcquisitionNoDeadlock(t *testing.T) {
+	var pl partLocks
+	var wg sync.WaitGroup
+	// Overlapping multi-partition lock sets from many goroutines: ordered
+	// acquisition means this converges instead of deadlocking.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a, b := int64(g%4), int64((g+1)%4)
+				unlock := pl.Lock(b, a)
+				unlock()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("overlapping Lock sets deadlocked")
+	}
+}
+
+// splitTarget builds an index with one oversized partition and returns its
+// id plus the id of an asset stored inside it.
+func splitTarget(t *testing.T, env *testEnv) (int64, string) {
+	t.Helper()
+	mix := newMixture(11, 8, 4)
+	env.upsertN(t, mix, 120, -1)
+	env.rebuild(t)
+	env.upsertN(t, mix, 90, 0)
+	env.flush(t)
+
+	var part int64 = -1
+	var asset string
+	if err := env.store.View(func(rt *storage.ReadTxn) error {
+		plan, err := env.ix.PlanMaintenance(rt, MaintenancePolicy{})
+		if err != nil {
+			return err
+		}
+		if plan.Action != ActionSplit {
+			t.Fatalf("plan = %s, want split", plan.Action)
+		}
+		part = plan.Partition
+		rows, err := env.ix.collectPartition(rt, part)
+		if err != nil {
+			return err
+		}
+		asset = rows[0].asset
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return part, asset
+}
+
+func TestSplitPartitionTwoPhase(t *testing.T) {
+	env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 7})
+	part, _ := splitTarget(t, env)
+
+	ms, err := env.ix.SplitPartitionTwoPhase(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.VectorsAssigned == 0 {
+		t.Error("two-phase split assigned no vectors")
+	}
+	env.checkInvariants(t)
+
+	// The split must have bumped its partitions: a plan prepared at the
+	// old version would now be stale.
+	if env.ix.locks.Version(part) == (partVersion{}) {
+		t.Error("split partition version not bumped")
+	}
+}
+
+// blockSplitAtUpgrade starts SplitPartitionTwoPhase while the caller holds
+// the store's writer gate via wt, returning once the splitter holds the
+// partition lock (so its snapshot pin is imminent and its upgrade will
+// queue behind wt). The returned channel yields the split's error.
+func blockSplitAtUpgrade(t *testing.T, env *testEnv, part int64) <-chan error {
+	t.Helper()
+	res := make(chan error, 1)
+	go func() {
+		_, err := env.ix.SplitPartitionTwoPhase(part)
+		res <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if un, ok := env.ix.locks.TryLock(part); !ok {
+			break // splitter holds the partition lock
+		} else {
+			un()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("splitter never took the partition lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Between taking the partition lock and pinning the snapshot the
+	// splitter performs two mutex operations and no I/O; this sleep is
+	// orders of magnitude more than it needs.
+	time.Sleep(100 * time.Millisecond)
+	return res
+}
+
+func TestSplitPartitionTwoPhaseStale(t *testing.T) {
+	env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 7})
+	part, asset := splitTarget(t, env)
+
+	// Hold the writer gate and mutate the target partition; the concurrent
+	// splitter pins its snapshot before this commit publishes, queues
+	// behind the gate, and must observe the version bump.
+	wt, err := env.store.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ix.Delete(wt, asset); err != nil {
+		t.Fatal(err)
+	}
+	res := blockSplitAtUpgrade(t, env, part)
+	if err := wt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; !errors.Is(err, ErrPlanStale) {
+		t.Fatalf("split error = %v, want ErrPlanStale", err)
+	}
+	env.checkInvariants(t)
+
+	// Retrying with a fresh prepare succeeds.
+	if _, err := env.ix.SplitPartitionTwoPhase(part); err != nil {
+		t.Fatal(err)
+	}
+	env.checkInvariants(t)
+}
+
+func TestSplitPartitionTwoPhaseUnrelatedCommitNotStale(t *testing.T) {
+	env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 7})
+	part, _ := splitTarget(t, env)
+
+	// Same shape as the stale test, but the intervening commit touches
+	// only the delta partition: the version validation must not produce a
+	// spurious ErrPlanStale for a commit that cannot invalidate the plan.
+	wt, err := env.store.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float32, 8)
+	if err := env.ix.Upsert(wt, "unrelated-asset", v, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := blockSplitAtUpgrade(t, env, part)
+	if err := wt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatalf("split error = %v, want success (unrelated commit)", err)
+	}
+	env.checkInvariants(t)
+}
+
+func TestSplitPartitionTwoPhaseGonePartition(t *testing.T) {
+	env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 7})
+	mix := newMixture(12, 8, 3)
+	env.upsertN(t, mix, 60, -1)
+	env.rebuild(t)
+
+	// A partition that does not exist (planned, then merged away by a
+	// concurrent maintainer) is a no-op, not an error.
+	ms, err := env.ix.SplitPartitionTwoPhase(99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.VectorsAssigned != 0 || ms.RowChanges != 0 {
+		t.Errorf("gone-partition split did work: %+v", ms)
+	}
+	if _, err := env.ix.SplitPartitionTwoPhase(DeltaPartition); err == nil {
+		t.Error("splitting the delta partition succeeded")
+	}
+}
+
+func TestUpsertDeleteBumpVersions(t *testing.T) {
+	env := newEnv(t, Config{Dim: 8, TargetPartitionSize: 20, Seed: 7})
+	mix := newMixture(13, 8, 3)
+	env.upsertN(t, mix, 60, -1)
+	env.rebuild(t)
+
+	// Find a flushed row and its partition.
+	var part int64
+	var asset string
+	if err := env.store.View(func(rt *storage.ReadTxn) error {
+		rows, err := env.ix.collectPartition(rt, 1)
+		if err != nil {
+			return err
+		}
+		part, asset = 1, rows[0].asset
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	v0 := env.ix.locks.Version(part)
+	if err := env.store.Update(func(wt *storage.WriteTxn) error {
+		return env.ix.Delete(wt, asset)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if env.ix.locks.Version(part) == v0 {
+		t.Error("Delete did not bump the source partition's version")
+	}
+
+	d0 := env.ix.locks.Version(DeltaPartition)
+	if err := env.store.Update(func(wt *storage.WriteTxn) error {
+		return env.ix.Upsert(wt, "bump-check", make([]float32, 8), nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if env.ix.locks.Version(DeltaPartition) == d0 {
+		t.Error("Upsert did not bump the delta partition's version")
+	}
+
+	// Rolled-back transactions must not bump.
+	v1 := env.ix.locks.Version(DeltaPartition)
+	wt, err := env.store.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ix.Upsert(wt, "rolled-back", make([]float32, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	wt.Rollback()
+	if env.ix.locks.Version(DeltaPartition) != v1 {
+		t.Error("rolled-back Upsert bumped the delta partition's version")
+	}
+}

@@ -74,7 +74,16 @@ type SearchOptions struct {
 	// sharded router uses this to pool candidates from every shard before
 	// one global rerank, so cross-shard recall matches a single store.
 	CandidatesOnly bool
+	// Cancel, when non-nil and closed, aborts the search between partition
+	// scans: workers stop draining the partition queue and Search returns
+	// ErrCanceled. The sharded router closes it to reap sibling scatter
+	// searches once one shard has already failed the whole query.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled reports a search abandoned via SearchOptions.Cancel. The
+// result set it accompanies is meaningless, not partial.
+var ErrCanceled = errors.New("ivf: search canceled")
 
 // PlanInfo reports how a query executed.
 type PlanInfo struct {
@@ -203,6 +212,23 @@ type scanCtx struct {
 	filters []stats.Filter
 	cb      *quant.Codebook // non-nil when partitions hold SQ8 codes
 	qq      *quant.Query    // asymmetric-distance state (approximate scans)
+	cancel  <-chan struct{} // closed to abandon the search (ErrCanceled)
+}
+
+// canceled reports whether the search's cancel channel has been closed.
+func (c *scanCtx) canceled() bool { return chanClosed(c.cancel) }
+
+// chanClosed reports whether c is non-nil and closed.
+func chanClosed(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // scanPartitions runs Algorithm 2's partition scans: each worker scans
@@ -227,7 +253,7 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 		// a random raw lookup per row.
 		return ix.exactQuantScan(txn, q, opts, info, len(parts))
 	}
-	ctx := &scanCtx{q: q, filters: opts.Filters, cb: cb}
+	ctx := &scanCtx{q: q, filters: opts.Filters, cb: cb, cancel: opts.Cancel}
 	heapK := k
 	if cb != nil {
 		ctx.qq = cb.NewQuery(ix.cfg.Metric, q)
@@ -242,8 +268,23 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 	if workers < 1 {
 		workers = 1
 	}
-	if _, parallel := txn.(*storage.ReadTxn); !parallel {
+	rt, parallel := txn.(*storage.ReadTxn)
+	if !parallel {
 		workers = 1
+	}
+	if parallel && rt.WantReadahead() {
+		// Hint the probed partitions' leaf pages to the OS before any
+		// worker faults through them: collecting the page numbers walks
+		// only interior nodes (pool-hot), so the scatter readahead is
+		// nearly free and the scans below hit warmed pages. Advisory —
+		// errors are ignored, the scan itself re-reports real ones.
+		var pages []uint32
+		for _, p := range parts {
+			_ = ix.vectors.LeafPages(txn, []reldb.Value{reldb.I(p)}, func(pg uint32) {
+				pages = append(pages, pg)
+			})
+		}
+		rt.Readahead(pages)
 	}
 
 	heaps := make([]*topk.Heap, workers)
@@ -409,6 +450,9 @@ func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, ctx *scanCtx
 	}
 
 	for part := range partCh {
+		if ctx.canceled() {
+			return scanned, filtered, bytesRead, ErrCanceled
+		}
 		isQuant := ctx.cb != nil && part != DeltaPartition
 		if isQuant != quantized {
 			flush() // mode switch: don't mix codes and floats in one batch

@@ -219,6 +219,34 @@ func (t *Table) ScanKeys(txn btree.ReadTxn, prefix []Value, fn func(Row) error) 
 	return nil
 }
 
+// LeafPages calls emit with the page number of every btree leaf that can
+// hold rows whose key starts with prefix (nil covers the whole table),
+// without reading the leaves — the readahead primitive behind
+// storage.ReadTxn.Readahead. The enumeration is a superset: a boundary
+// leaf shared with a neighboring prefix is included, which is harmless for
+// prefetching.
+func (t *Table) LeafPages(txn btree.ReadTxn, prefix []Value, emit func(uint32)) error {
+	var lo, hi []byte
+	if len(prefix) > 0 {
+		lo = EncodeKey(nil, prefix...)
+		hi = prefixSuccessor(lo)
+	}
+	return t.tree.LeafPages(txn, lo, hi, emit)
+}
+
+// prefixSuccessor returns the smallest byte string greater than every
+// string prefixed by p, or nil (unbounded) when p is all 0xff.
+func prefixSuccessor(p []byte) []byte {
+	s := append([]byte(nil), p...)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] != 0xff {
+			s[i]++
+			return s[:i+1]
+		}
+	}
+	return nil
+}
+
 // Count returns the number of rows.
 func (t *Table) Count(txn btree.ReadTxn) (int, error) {
 	return t.tree.Count(txn)

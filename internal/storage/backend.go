@@ -74,6 +74,16 @@ type Backend interface {
 	Close() error
 }
 
+// Prefetcher is an optional Backend capability: Prefetch hints that count
+// pages starting at pageNo will be read soon, so the OS can fault them in
+// ahead of the scan (MADV_WILLNEED on the mmap backend). Purely advisory —
+// implementations must tolerate out-of-range requests and may do nothing.
+// The store detects it once at open time; ReadTxn.Readahead is the
+// consumer.
+type Prefetcher interface {
+	Prefetch(pageNo, count uint32)
+}
+
 // BackendKind selects a page-store backend implementation.
 type BackendKind uint8
 

@@ -1,0 +1,35 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package storage
+
+import "syscall"
+
+// Prefetch implements Prefetcher: it advises the kernel that the page range
+// will be read soon (MADV_WILLNEED), so a following partition scan faults
+// sequentially-prefetched memory instead of paying one major fault per
+// page. The range is clamped to the zero-copy extent — pages past it are
+// served by pread and gain nothing from advising the mapping. Errors are
+// deliberately ignored: madvise is a hint and a failed hint must never
+// fail a read. The build tag lists the unix flavors where syscall.Madvise
+// exists; elsewhere mmapBackend simply lacks the method and the store
+// detects no Prefetcher.
+func (b *mmapBackend) Prefetch(pageNo, count uint32) {
+	if count == 0 {
+		return
+	}
+	off := int64(pageNo) * int64(b.pageSize)
+	end := off + int64(count)*int64(b.pageSize)
+	b.mu.RLock()
+	m, ext := b.data, b.extent
+	b.mu.RUnlock()
+	if ext < end {
+		end = ext
+	}
+	if int64(len(m)) < end {
+		end = int64(len(m))
+	}
+	if off >= end {
+		return
+	}
+	_ = syscall.Madvise(m[off:end], syscall.MADV_WILLNEED)
+}

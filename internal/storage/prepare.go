@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file implements the two-phase write path and the FIFO writer gate:
+// the concurrency primitives that let expensive write preparation (index
+// maintenance collecting a partition and clustering it) run against a
+// pinned snapshot without holding the store-wide writer lock, which is then
+// re-acquired only for the short apply/commit step.
+
+// writerGate serializes write transactions, checkpoints and close in
+// strict FIFO arrival order. Unlike a bare sync.Mutex — whose waiters race
+// on wakeup — the gate hands ownership to the longest-waiting acquirer, so
+// commit order equals arrival order and an upgrading prepared writer
+// cannot be starved by a stream of fresh writers.
+type writerGate struct {
+	mu      sync.Mutex
+	busy    bool
+	waiters []chan struct{}
+}
+
+func (g *writerGate) acquire() {
+	g.mu.Lock()
+	if !g.busy {
+		g.busy = true
+		g.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	g.waiters = append(g.waiters, ch)
+	g.mu.Unlock()
+	<-ch
+}
+
+func (g *writerGate) release() {
+	g.mu.Lock()
+	if len(g.waiters) == 0 {
+		g.busy = false
+		g.mu.Unlock()
+		return
+	}
+	ch := g.waiters[0]
+	g.waiters = g.waiters[1:]
+	g.mu.Unlock()
+	// Ownership transfers directly to the woken waiter: busy stays true.
+	close(ch)
+}
+
+// PrepareTxn is the first half of a two-phase write. It pins a read
+// snapshot like a ReadTxn — concurrent readers and writers proceed freely —
+// while the caller computes an expensive change (collecting a partition,
+// running k-means). Upgrade then exchanges it for a real WriteTxn, taking
+// the writer gate only for the apply/commit step, and reports how many
+// commits intervened since the snapshot so the caller can validate its
+// plan (e.g. against per-partition version counters) before applying.
+type PrepareTxn struct {
+	s    *Store
+	rt   *ReadTxn
+	done bool
+}
+
+// BeginPrepare starts the prepare phase of a two-phase write, pinned to
+// the current commit horizon.
+func (s *Store) BeginPrepare() (*PrepareTxn, error) {
+	rt, err := s.BeginRead()
+	if err != nil {
+		return nil, err
+	}
+	return &PrepareTxn{s: s, rt: rt}, nil
+}
+
+// Read exposes the prepare phase's pinned snapshot. The returned
+// transaction is owned by the PrepareTxn: do not Close it directly.
+func (p *PrepareTxn) Read() *ReadTxn { return p.rt }
+
+// Upgrade ends the prepare phase and begins the write phase: the snapshot
+// pin is released, the writer gate acquired (FIFO with other writers), and
+// a fresh WriteTxn returned along with the number of commits that
+// intervened since the prepare snapshot was pinned. stale == 0 guarantees
+// the transaction sees exactly the state the plan was computed from;
+// otherwise the caller must validate before applying. The PrepareTxn is
+// finished either way.
+func (p *PrepareTxn) Upgrade() (wt *WriteTxn, stale uint64, err error) {
+	if p.done {
+		return nil, 0, ErrTxnDone
+	}
+	p.done = true
+	pinned := p.rt.seq
+	// Release the pin before queueing for the gate: the plan's data has
+	// been copied out by now, and holding the pin while waiting would
+	// block checkpoints behind this writer's queue position.
+	p.rt.Close()
+	p.s.writer.acquire()
+	wt, seq, err := p.s.beginWriteGated()
+	if err != nil {
+		return nil, 0, err
+	}
+	return wt, seq - pinned, nil
+}
+
+// Abort abandons the prepare phase, releasing the snapshot pin. Idempotent;
+// safe to defer alongside a successful Upgrade.
+func (p *PrepareTxn) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.rt.Close()
+}
+
+// --- read-side readahead ---
+
+// WantReadahead reports whether Readahead can have any effect, letting
+// callers skip the work of assembling a page list when the backend has no
+// prefetch capability (file: the pool already amortizes; memory: nothing
+// to fetch).
+func (t *ReadTxn) WantReadahead() bool {
+	return !t.done && t.s.prefetch != nil
+}
+
+// Readahead hints the OS to prefetch the given pages ahead of a scan
+// (MADV_WILLNEED on the mmap backend), so scatter reads over the probed
+// partitions overlap I/O with compute instead of faulting page-by-page.
+// Pages whose newest version at this snapshot lives in the WAL are skipped
+// — the WAL is served through the buffer pool, not the mapping. Purely
+// advisory: errors are ignored and unknown backends do nothing.
+func (t *ReadTxn) Readahead(pages []uint32) {
+	if t.done || t.s.prefetch == nil || len(pages) == 0 {
+		return
+	}
+	s := t.s
+	base := pages[:0]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for _, pageNo := range pages {
+		if _, inWAL := s.idx.lookup(pageNo, t.seq); !inWAL {
+			base = append(base, pageNo)
+		}
+	}
+	s.mu.Unlock()
+	if len(base) == 0 {
+		return
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	// Coalesce runs of adjacent pages into single advise calls.
+	start, n := base[0], uint32(1)
+	for _, pageNo := range base[1:] {
+		if pageNo == start+n {
+			n++
+			continue
+		}
+		if pageNo != start+n-1 { // skip duplicates
+			s.prefetch.Prefetch(start, n)
+			start, n = pageNo, 1
+		}
+	}
+	s.prefetch.Prefetch(start, n)
+}

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPrepareUpgradeNoConflict(t *testing.T) {
+	s, _ := openTemp(t, testOpts())
+	var pg uint32
+	if err := s.Update(func(wt *WriteTxn) error {
+		n, buf, err := wt.Allocate()
+		if err != nil {
+			return err
+		}
+		pg = n
+		copy(buf, []byte("v1"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	pt, err := s.BeginPrepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pt.Read().Get(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("v1")) {
+		t.Fatalf("prepare snapshot read %q", got[:2])
+	}
+	wt, stale, err := pt.Upgrade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != 0 {
+		t.Fatalf("stale = %d, want 0", stale)
+	}
+	buf, err := wt.GetMut(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("v2"))
+	if err := wt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	pt.Abort() // idempotent after Upgrade
+
+	if err := s.View(func(rt *ReadTxn) error {
+		b, err := rt.Get(pg)
+		if err != nil {
+			return err
+		}
+		if !bytes.HasPrefix(b, []byte("v2")) {
+			t.Errorf("after upgrade commit read %q", b[:2])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareUpgradeCountsInterveningCommits(t *testing.T) {
+	s, _ := openTemp(t, testOpts())
+	var pg uint32
+	if err := s.Update(func(wt *WriteTxn) error {
+		n, _, err := wt.Allocate()
+		pg = n
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	pt, err := s.BeginPrepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Read().Get(pg); err != nil {
+		t.Fatal(err)
+	}
+	// Two commits land between the snapshot pin and the upgrade.
+	for i := 0; i < 2; i++ {
+		if err := s.Update(func(wt *WriteTxn) error {
+			buf, err := wt.GetMut(pg)
+			if err != nil {
+				return err
+			}
+			buf[0] = byte(i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wt, stale, err := pt.Upgrade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != 2 {
+		t.Errorf("stale = %d, want 2", stale)
+	}
+	wt.Rollback()
+}
+
+func TestPrepareAbortBeforeUpgrade(t *testing.T) {
+	s, _ := openTemp(t, testOpts())
+	pt, err := s.BeginPrepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Abort()
+	pt.Abort() // idempotent
+	// The writer gate must be free: a plain write proceeds.
+	if err := s.Update(func(wt *WriteTxn) error {
+		_, _, err := wt.Allocate()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterGateFIFO(t *testing.T) {
+	var g writerGate
+	g.acquire()
+	const n = 8
+	order := make([]int, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.acquire()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			g.release()
+		}(i)
+		// Serialize arrival order so FIFO hand-off is observable.
+		time.Sleep(10 * time.Millisecond)
+	}
+	g.release()
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("gate hand-off out of arrival order: %v", order)
+		}
+	}
+}
+
+func TestOnCommitRunsAfterPublish(t *testing.T) {
+	s, _ := openTemp(t, testOpts())
+	var pg uint32
+	var sawCommitted atomic.Bool
+	wt, err := s.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, buf, err := wt.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg = n
+	copy(buf, []byte("hooked"))
+	wt.OnCommit(func() {
+		// The commit has published: a fresh reader sees the new page.
+		err := s.View(func(rt *ReadTxn) error {
+			b, err := rt.Get(pg)
+			if err != nil {
+				return err
+			}
+			sawCommitted.Store(bytes.HasPrefix(b, []byte("hooked")))
+			return nil
+		})
+		if err != nil {
+			t.Errorf("View inside OnCommit: %v", err)
+		}
+	})
+	if err := wt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawCommitted.Load() {
+		t.Error("OnCommit hook did not observe the published commit")
+	}
+}
+
+func TestOnCommitDroppedOnRollback(t *testing.T) {
+	s, _ := openTemp(t, testOpts())
+	wt, err := s.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	wt.OnCommit(func() { fired = true })
+	wt.Rollback()
+	if fired {
+		t.Error("OnCommit hook ran on Rollback")
+	}
+	// Gate released: next writer proceeds.
+	if err := s.Update(func(wt *WriteTxn) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadaheadSafeAcrossBackends(t *testing.T) {
+	for _, kind := range []BackendKind{BackendFile, BackendMmap, BackendMemory} {
+		t.Run(kind.String(), func(t *testing.T) {
+			opts := testOpts()
+			opts.Backend = kind
+			s, _ := openTemp(t, opts)
+			var pages []uint32
+			if err := s.Update(func(wt *WriteTxn) error {
+				for i := 0; i < 8; i++ {
+					n, buf, err := wt.Allocate()
+					if err != nil {
+						return err
+					}
+					buf[0] = byte(i)
+					pages = append(pages, n)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Checkpoint(); err != nil && !errors.Is(err, ErrBusy) {
+				t.Fatal(err)
+			}
+			rt, err := s.BeginRead()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			// Only the mmap backend advertises readahead; the call must be
+			// a safe no-op (and WantReadahead false) everywhere else.
+			want := kind == BackendMmap
+			if got := rt.WantReadahead(); got != want {
+				t.Errorf("WantReadahead = %v, want %v", got, want)
+			}
+			rt.Readahead(pages)
+			rt.Readahead(nil)
+			rt.Readahead([]uint32{pages[3], pages[3], pages[0]}) // dups, unsorted
+			for i, pg := range pages {
+				b, err := rt.Get(pg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b[0] != byte(i) {
+					t.Errorf("page %d content %d after readahead", pg, b[0])
+				}
+			}
+		})
+	}
+}
+
+func TestCloseWaitsForWriter(t *testing.T) {
+	opts := testOpts()
+	s, _ := openTemp(t, opts)
+	wt, err := s.BeginWrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wt.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case <-done:
+		t.Fatal("Close returned while a write transaction was open")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := wt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Close after commit: %v", err)
+	}
+}

@@ -130,8 +130,15 @@ type Store struct {
 	pageCount uint32         // committed page count
 	closed    bool
 
-	// writeMu serializes write transactions and checkpoints.
-	writeMu sync.Mutex
+	// writer serializes write transactions and checkpoints, granting the
+	// critical section in strict FIFO arrival order so a prepared writer
+	// upgrading into its commit step cannot be starved by a stream of
+	// fresh BeginWrite calls (see prepare.go).
+	writer writerGate
+
+	// prefetch is the backend's optional readahead capability (nil when
+	// the backend has none). See ReadTxn.Readahead.
+	prefetch Prefetcher
 
 	// resolveMu lets page reads (lookup + file pread) run concurrently
 	// while excluding checkpoint truncation.
@@ -292,6 +299,9 @@ func Open(path string, opts Options) (*Store, error) {
 		s.pageCount = walPageCount
 	}
 	s.pool = newBufferPool(opts.PoolBytes, opts.PageSize)
+	if p, ok := s.backend.(Prefetcher); ok {
+		s.prefetch = p
+	}
 	return s, nil
 }
 
@@ -313,10 +323,14 @@ func (s *Store) PageSize() uint32 { return s.opts.PageSize }
 // Path returns the base file path.
 func (s *Store) Path() string { return s.path }
 
-// Close checkpoints if possible and closes the files.
+// Close checkpoints if possible and closes the files. Acquiring the writer
+// gate first means an in-flight write transaction always commits or rolls
+// back before teardown begins; acquiring resolveMu exclusively before
+// releasing the files means an in-flight page read never touches a freed
+// pool or unmapped backend.
 func (s *Store) Close() error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
+	s.writer.acquire()
+	defer s.writer.release()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -330,6 +344,8 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.resolveMu.Lock()
+	defer s.resolveMu.Unlock()
 	s.release()
 	return nil
 }
@@ -337,8 +353,8 @@ func (s *Store) Close() error {
 // CloseWithoutCheckpoint closes the files leaving the WAL in place, exactly
 // as a crash would. Used by recovery tests and the cold-start benchmarks.
 func (s *Store) CloseWithoutCheckpoint() error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
+	s.writer.acquire()
+	defer s.writer.release()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -346,6 +362,8 @@ func (s *Store) CloseWithoutCheckpoint() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.resolveMu.Lock()
+	defer s.resolveMu.Unlock()
 	s.release()
 	return nil
 }
@@ -547,18 +565,28 @@ type WriteTxn struct {
 	dirty   map[uint32][]byte
 	pending map[uint32]uint32 // spilled page -> WAL frame
 	hdr     header
+	hooks   []func() // run after a successful commit publishes
 	done    bool
 }
 
 // BeginWrite starts a write transaction, blocking until any other writer
-// finishes.
+// finishes. Waiting writers are admitted in FIFO arrival order.
 func (s *Store) BeginWrite() (*WriteTxn, error) {
-	s.writeMu.Lock()
+	s.writer.acquire()
+	t, _, err := s.beginWriteGated()
+	return t, err
+}
+
+// beginWriteGated builds the write transaction once the caller holds the
+// writer gate, releasing the gate on failure. It also reports the commit
+// horizon the transaction starts from, which Upgrade uses to measure how
+// many commits intervened since a prepare phase pinned its snapshot.
+func (s *Store) beginWriteGated() (*WriteTxn, uint64, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.writeMu.Unlock()
-		return nil, ErrClosed
+		s.writer.release()
+		return nil, 0, ErrClosed
 	}
 	txnID := s.nextTxnID
 	s.nextTxnID++
@@ -573,16 +601,26 @@ func (s *Store) BeginWrite() (*WriteTxn, error) {
 	}
 	p, err := s.readPage(0, seq)
 	if err != nil {
-		s.writeMu.Unlock()
-		return nil, err
+		s.writer.release()
+		return nil, 0, err
 	}
 	h, err := decodeHeader(p)
 	if err != nil {
-		s.writeMu.Unlock()
-		return nil, err
+		s.writer.release()
+		return nil, 0, err
 	}
 	t.hdr = h
-	return t, nil
+	return t, seq, nil
+}
+
+// OnCommit registers fn to run once, after this transaction's commit has
+// been published (its effects are visible to new snapshots) and before the
+// writer gate is released — so anything fn records is observable before the
+// next write transaction can begin. Hooks are dropped on Rollback and on
+// commit failure. The ivf layer uses this to advance per-partition version
+// counters only for mutations that actually became visible.
+func (t *WriteTxn) OnCommit(fn func()) {
+	t.hooks = append(t.hooks, fn)
 }
 
 // Update runs fn in a write transaction, committing on success and rolling
@@ -746,9 +784,15 @@ func (t *WriteTxn) Commit() error {
 		return ErrTxnDone
 	}
 	s := t.s
+	committed := false
 	defer func() {
 		t.done = true
-		s.writeMu.Unlock()
+		if committed {
+			for _, fn := range t.hooks {
+				fn()
+			}
+		}
+		s.writer.release()
 	}()
 
 	// The header page always travels with the commit so page count,
@@ -799,6 +843,7 @@ func (t *WriteTxn) Commit() error {
 	s.statPagesOut += uint64(len(toCache))
 	frames := s.wal.frames.Load()
 	s.mu.Unlock()
+	committed = true
 
 	// Write-through cache so re-reads of just-committed pages hit memory.
 	for _, c := range toCache {
@@ -820,7 +865,8 @@ func (t *WriteTxn) Rollback() {
 		return
 	}
 	t.done = true
-	t.s.writeMu.Unlock()
+	t.hooks = nil
+	t.s.writer.release()
 }
 
 // --- checkpoint ---
@@ -829,12 +875,12 @@ func (t *WriteTxn) Rollback() {
 // base file and truncates the WAL. It fails with ErrBusy if a reader is
 // pinned to a snapshot older than the commit horizon.
 func (s *Store) Checkpoint() error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
+	s.writer.acquire()
+	defer s.writer.release()
 	return s.checkpointLocked()
 }
 
-// checkpointLocked requires writeMu held.
+// checkpointLocked requires the writer gate held.
 func (s *Store) checkpointLocked() error {
 	s.mu.Lock()
 	if s.closed {

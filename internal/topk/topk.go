@@ -20,6 +20,11 @@ type Result struct {
 // Heap is a bounded max-heap of the K nearest results. The root is the
 // *worst* retained candidate so it can be evicted in O(log K) when a better
 // one arrives. The zero Heap is unusable; create with New.
+//
+// Ordering is the total order (Distance, VectorID), not distance alone:
+// quantized scans produce exact distance ties at the heap boundary, and with
+// a distance-only comparison the retained set would depend on push order —
+// which is nondeterministic when concurrent workers share a heap.
 type Heap struct {
 	k     int
 	items []Result
@@ -49,12 +54,22 @@ func (h *Heap) WorstDistance() (d float32, ok bool) {
 	return h.items[0].Distance, true
 }
 
-// Accepts reports whether a candidate at distance d would enter the heap.
+// Accepts reports whether a candidate at distance d could enter the heap.
+// It is a conservative pre-filter: a candidate tying the worst retained
+// distance may still be rejected by Push on the VectorID tie-break.
 func (h *Heap) Accepts(d float32) bool {
 	if len(h.items) < h.k {
 		return true
 	}
-	return d < h.items[0].Distance
+	return d <= h.items[0].Distance
+}
+
+// less reports whether a ranks strictly better than b.
+func less(a, b Result) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.VectorID < b.VectorID
 }
 
 // Push offers a candidate. It returns true if the candidate was retained.
@@ -64,7 +79,7 @@ func (h *Heap) Push(r Result) bool {
 		h.siftUp(len(h.items) - 1)
 		return true
 	}
-	if r.Distance >= h.items[0].Distance {
+	if !less(r, h.items[0]) {
 		return false
 	}
 	h.items[0] = r
@@ -75,7 +90,7 @@ func (h *Heap) Push(r Result) bool {
 func (h *Heap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].Distance >= h.items[i].Distance {
+		if !less(h.items[parent], h.items[i]) {
 			return
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -88,10 +103,10 @@ func (h *Heap) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.items[l].Distance > h.items[largest].Distance {
+		if l < n && less(h.items[largest], h.items[l]) {
 			largest = l
 		}
-		if r < n && h.items[r].Distance > h.items[largest].Distance {
+		if r < n && less(h.items[largest], h.items[r]) {
 			largest = r
 		}
 		if largest == i {

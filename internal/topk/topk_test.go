@@ -88,6 +88,44 @@ func TestResultsTieBreakByVectorID(t *testing.T) {
 	}
 }
 
+// TestPushOrderIndependentUnderTies pins the property that motivated the
+// (Distance, VectorID) total order: with coarsely quantized distances many
+// candidates tie exactly at the heap boundary, and the retained set must not
+// depend on the order candidates arrive — concurrent scan workers sharing a
+// heap push in nondeterministic order.
+func TestPushOrderIndependentUnderTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cands := make([]Result, 60)
+	for i := range cands {
+		// Only 4 distinct distances across 60 candidates: heavy ties.
+		cands[i] = Result{VectorID: int64(i), Distance: float32(rng.Intn(4))}
+	}
+	push := func(order []Result) []Result {
+		h := New(10)
+		for _, r := range order {
+			h.Push(r)
+		}
+		return h.Results()
+	}
+	want := push(cands)
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]Result, len(cands))
+		for i, j := range rng.Perm(len(cands)) {
+			perm[i] = cands[j]
+		}
+		got := push(perm)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: [%d] = %+v, want %+v (retained set depends on push order)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestHeapMatchesSortReference(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -65,6 +65,42 @@
 // Stats reports the cumulative splits/merges/flushes and the current
 // partition-size bounds.
 //
+// # Concurrency model
+//
+// Reads never block: Search, BatchSearch, Get and Stats each run on a
+// page-store snapshot pinned at a committed state, so they observe a
+// consistent index no matter what writers are doing, and scatter their
+// partition scans across Options.Workers goroutines (on the mmap backend
+// the probed partitions' leaf pages are posted as an madvise readahead
+// hint before the scans fault through them). Writes are serialized by the
+// store's single-writer gate — a FIFO ticket queue, so commit order is
+// arrival order — but point writes (Upsert, Delete) hold it only for
+// their own short transaction.
+//
+// The heavy maintenance steps are the reason that gate is not enough on
+// its own: a partition split runs k-means over the partition's rows, and
+// holding the writer gate for the whole computation would stall every
+// concurrent writer behind it (searches would still proceed, but the
+// write path would see the full k-means latency). Splits therefore run in
+// two phases under a partition-granular lock manager. The split takes its
+// target partition's lock (advisory, ordered acquisition — maintenance
+// steps only), records the partition's version, and runs k-means on a
+// read snapshot without holding the writer gate; only the short apply
+// step upgrades into the gate, and before applying it validates that no
+// intervening commit bumped the partition's version. A conflicting commit
+// (every committed transaction bumps the versions of exactly the
+// partitions it touched, after publish, before gate hand-off) makes the
+// split return and retry against fresh data; an unrelated commit — a
+// delta upsert while partition 7 splits — costs nothing. Concurrent
+// searchers never consult the lock manager at all: they read the
+// last-committed state of each partition throughout.
+//
+// Close is fenced against in-flight maintenance by an operation lock: a
+// Maintain pass (foreground or background) holds it shared for the whole
+// pass, Close takes it exclusively after marking the handle closed, so
+// the store never shuts down under a live maintenance transaction and a
+// mid-pass Close surfaces as a clean ErrClosed at the next step boundary.
+//
 // # Backends
 //
 // The page store under everything is pluggable (Options.Backend). The
@@ -416,6 +452,15 @@ type DB struct {
 	// afterwards instead of touching a closed store.
 	closed atomic.Bool
 
+	// opMu fences Close against multi-transaction operations. Maintain
+	// holds the read side for a pass (re-checking closed between steps, so
+	// a pass ends within one step of Close being requested); Close takes
+	// the write side after stopping the maintainer and before closing the
+	// store, so an in-flight maintenance step — including the two-phase
+	// split, which spans a read and a write transaction the storage layer
+	// cannot fence as one unit — always completes against a live store.
+	opMu sync.RWMutex
+
 	// cache is the generation-versioned result cache (nil when disabled).
 	cache *rescache.Cache
 
@@ -567,6 +612,11 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.stopMaintainer()
+	// A manual Maintain pass may still be in flight; it observes closed at
+	// its next step boundary and returns ErrClosed. Wait for it here so the
+	// store never disappears under a running maintenance step.
+	db.opMu.Lock()
+	defer db.opMu.Unlock()
 	return db.store.Close()
 }
 
@@ -1302,11 +1352,17 @@ func (db *DB) recordMaintenance(rep *MaintenanceReport) {
 }
 
 // MaintenanceTotals returns the cumulative maintenance counters and the
-// most recent pass's report (nil before the first pass).
+// most recent pass's report (nil before the first pass). The report is a
+// copy the caller owns: mutating it cannot race the report Stats and
+// subsequent calls read under maintMu.
 func (db *DB) MaintenanceTotals() (MaintenanceTotals, *MaintenanceReport) {
 	db.maintMu.Lock()
 	defer db.maintMu.Unlock()
-	return db.maintTotals, db.lastMaint
+	if db.lastMaint == nil {
+		return db.maintTotals, nil
+	}
+	rep := *db.lastMaint
+	return db.maintTotals, &rep
 }
 
 // Rebuild retrains the IVF quantizer and rewrites all partitions. Queries
@@ -1367,17 +1423,29 @@ const maintainStepLimit = 256
 // Maintain runs the index monitor's policy (paper §3.6): an initial full
 // build if the index was never built, then incremental steps only — delta
 // flushes past FlushThreshold, splits of partitions over MaxPartitionSize,
-// merges of partitions under MinPartitionSize. Each step plans AND executes
-// inside one short write transaction (the decision can never act on a stale
-// snapshot), and the pass loops until the planner reports a healthy index.
-// Once built, Maintain never falls back to a full rebuild: growth is
-// absorbed one partition at a time, keeping writers responsive throughout.
+// merges of partitions under MinPartitionSize. Splits — the common steady-
+// state step — run in two phases: the partition is collected and clustered
+// against a pinned snapshot while holding only its own partition lock, and
+// the store-wide writer gate is taken just for the short apply step, so
+// concurrent searches and point writes proceed through the expensive half.
+// Other steps plan AND execute inside one short write transaction (the
+// decision can never act on a stale snapshot), and the pass loops until the
+// planner reports a healthy index. Once built, Maintain never falls back to
+// a full rebuild: growth is absorbed one partition at a time, keeping
+// writers responsive throughout.
 func (db *DB) Maintain() (*MaintenanceReport, error) {
+	db.opMu.RLock()
+	defer db.opMu.RUnlock()
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
 	rep := &MaintenanceReport{Action: "none"}
 	for i := 0; i < maintainStepLimit; i++ {
+		// Close may have been requested mid-pass; it is blocked on opMu
+		// until this pass returns, so end the pass at the step boundary.
+		if err := db.checkOpen(); err != nil {
+			return nil, err
+		}
 		// Read-only pre-check: a healthy index (the common case for every
 		// idle AutoMaintain tick) must not cost concurrent writers the
 		// exclusive writer lock. MaintainStep re-plans inside the write
@@ -1394,6 +1462,15 @@ func (db *DB) Maintain() (*MaintenanceReport, error) {
 		}
 		if preview.Action == ivf.ActionNone {
 			break
+		}
+		if preview.Action == ivf.ActionSplit {
+			ms, err := db.splitTwoPhase(preview.Partition)
+			if err != nil {
+				return nil, err
+			}
+			db.recordStep(ivf.ActionSplit)
+			rep.absorb(preview, ms)
+			continue
 		}
 		var plan *ivf.MaintenancePlan
 		var ms *ivf.MaintenanceStats
@@ -1413,6 +1490,30 @@ func (db *DB) Maintain() (*MaintenanceReport, error) {
 	}
 	db.recordMaintenance(rep)
 	return rep, nil
+}
+
+// splitTwoPhase runs the two-phase splitter, retrying a few times when a
+// concurrent commit invalidates the prepared plan, then falling back to the
+// single-transaction split so a sustained write storm cannot starve
+// maintenance of progress (the fallback pays the writer-gate hold once).
+func (db *DB) splitTwoPhase(part int64) (*ivf.MaintenanceStats, error) {
+	const staleRetries = 3
+	for attempt := 0; attempt < staleRetries; attempt++ {
+		ms, err := db.ix.SplitPartitionTwoPhase(part)
+		if err == nil {
+			return ms, nil
+		}
+		if !errors.Is(err, ivf.ErrPlanStale) {
+			return nil, err
+		}
+	}
+	var ms *ivf.MaintenanceStats
+	err := db.store.Update(func(wt *storage.WriteTxn) error {
+		var serr error
+		ms, serr = db.ix.SplitPartition(wt, part)
+		return serr
+	})
+	return ms, err
 }
 
 // Analyze refreshes the attribute statistics used by the hybrid optimizer.

@@ -290,6 +290,42 @@ func (s *ShardedDB) scatter(fn func(i int, sh *DB) error) error {
 	return nil
 }
 
+// scatterCancel is scatter for the search paths: the first shard to fail
+// closes the shared cancel channel, so still-running sibling scans abandon
+// their remaining partitions instead of completing work whose result the
+// gather will discard. fn forwards cancel into its scan's SearchOptions/
+// BatchOptions; a sibling reaped this way reports ivf.ErrCanceled, which
+// is an echo of the original failure, never the returned error.
+func (s *ShardedDB) scatterCancel(fn func(i int, sh *DB, cancel <-chan struct{}) error) error {
+	cancel := make(chan struct{})
+	var once sync.Once
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *DB) {
+			defer wg.Done()
+			err := fn(i, sh, cancel)
+			errs[i] = err
+			if err != nil && !errors.Is(err, ivf.ErrCanceled) {
+				once.Do(func() { close(cancel) })
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	var echo error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ivf.ErrCanceled) {
+			return err
+		}
+		echo = err
+	}
+	return echo
+}
+
 // --- point operations: route by hash ---
 
 // Upsert inserts or replaces one item on its hash-designated shard.
@@ -622,12 +658,14 @@ func (s *ShardedDB) searchScatter(rts []*storage.ReadTxn, req SearchRequest, reu
 		CandidatesOnly: true,
 	}
 	outs := make([]shardOut, len(s.shards))
-	err := s.scatter(func(i int, sh *DB) error {
+	err := s.scatterCancel(func(i int, sh *DB, cancel <-chan struct{}) error {
 		if reuse != nil && reuse[i] != nil {
 			outs[i] = *reuse[i]
 			return nil
 		}
-		res, info, err := sh.ix.Search(rts[i], req.Vector, sopts)
+		so := sopts
+		so.Cancel = cancel
+		res, info, err := sh.ix.Search(rts[i], req.Vector, so)
 		if err != nil {
 			return err
 		}
@@ -846,12 +884,14 @@ func (s *ShardedDB) batchScatter(rts []*storage.ReadTxn, req BatchSearchRequest,
 		RerankFactor: req.RerankFactor, CandidatesOnly: true,
 	}
 	outs := make([]batchShardOut, len(s.shards))
-	err := s.scatter(func(i int, sh *DB) error {
+	err := s.scatterCancel(func(i int, sh *DB, cancel <-chan struct{}) error {
 		if reuse != nil && reuse[i] != nil {
 			outs[i] = *reuse[i]
 			return nil
 		}
-		res, info, err := sh.ix.BatchSearch(rts[i], queries, bopts)
+		bo := bopts
+		bo.Cancel = cancel
+		res, info, err := sh.ix.BatchSearch(rts[i], queries, bo)
 		if err != nil {
 			return err
 		}
