@@ -1188,3 +1188,173 @@ func BenchmarkCachedSearch(b *testing.B) {
 	b.ReportMetric(hitRatio, "hit-ratio")
 	b.ReportMetric(recall/measured, "recall@10")
 }
+
+// BenchmarkGroupCommitIngest measures the LSM ingest path for the BENCH
+// trajectory: single-writer vs 8-writer group-committed insert throughput,
+// then the search tail idle vs during a saturating insert storm absorbed by
+// the memtable. On multi-core hosts the grouped rate should clear 3x the
+// single-writer rate (writers amortize the writer gate and WAL commit);
+// storm-p99-ms should stay near idle-p99-ms at unchanged recall@10.
+func BenchmarkGroupCommitIngest(b *testing.B) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	n := ds.Train.Rows
+	bootstrap := n / 2
+	const stormN = 800
+	row := func(i int) []float32 { return ds.Train.Row(i % n) }
+	mk := func(name string, lsm bool) *micronn.DB {
+		db, err := micronn.Open(filepath.Join(b.TempDir(), name+".mnn"), micronn.Options{
+			Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+			TargetPartitionSize: 100,
+			LSMIngest:           lsm, MemtableMaxItems: 512,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		items := make([]micronn.Item, 0, bootstrap)
+		for i := 0; i < bootstrap; i++ {
+			items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	pctMs := func(durs []time.Duration, pct int) float64 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return float64(durs[len(durs)*pct/100]) / 1e6
+	}
+	searchOnce := func(db *micronn.DB, i int) time.Duration {
+		time.Sleep(500 * time.Microsecond)
+		q := ds.Queries.Row(i % ds.Queries.Rows)
+		start := time.Now()
+		if _, err := db.Search(micronn.SearchRequest{Vector: q, K: 10, NProbe: 8}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	var singleRate, groupedRate, avgGroup, idleP99, stormP99, recall float64
+	for iter := 0; iter < b.N; iter++ {
+		// Single-writer baseline: one goroutine, one txn per insert.
+		db := mk(fmt.Sprintf("gci-single%d", iter), false)
+		start := time.Now()
+		for i := 0; i < stormN; i++ {
+			if err := db.Upsert(micronn.Item{ID: fmt.Sprintf("s%d", i), Vector: row(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		singleRate += float64(stormN) / time.Since(start).Seconds()
+		db.Close()
+
+		// Grouped: 8 writers race into the committer.
+		db = mk(fmt.Sprintf("gci-grouped%d", iter), true)
+		const writers = 8
+		var wg sync.WaitGroup
+		start = time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < stormN/writers; i++ {
+					if err := db.Upsert(micronn.Item{ID: fmt.Sprintf("g%d-%d", w, i), Vector: row(w*stormN/writers + i)}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		groupedRate += float64(stormN/writers*writers) / time.Since(start).Seconds()
+		st, err := db.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Ingest.GroupCommits > 0 {
+			avgGroup += float64(st.Ingest.GroupedOps) / float64(st.Ingest.GroupCommits)
+		}
+		if _, err := db.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+
+		// Search tail: idle window, then under a capped saturating storm.
+		idle := make([]time.Duration, 0, 150)
+		for i := 0; i < 150; i++ {
+			idle = append(idle, searchOnce(db, i))
+		}
+		stop := make(chan struct{})
+		werr := make(chan error, 1)
+		go func() {
+			for i := 0; i < 1500; i++ {
+				select {
+				case <-stop:
+					werr <- nil
+					return
+				default:
+				}
+				if err := db.Upsert(micronn.Item{ID: fmt.Sprintf("storm%d", i), Vector: row(i)}); err != nil {
+					werr <- err
+					return
+				}
+			}
+			werr <- nil
+		}()
+		storm := make([]time.Duration, 0, 150)
+		for i := 0; i < 150; i++ {
+			storm = append(storm, searchOnce(db, i))
+		}
+		close(stop)
+		if err := <-werr; err != nil {
+			b.Fatal(err)
+		}
+		idleP99 += pctMs(idle, 99)
+		stormP99 += pctMs(storm, 99)
+
+		// Recall@10 on the quiesced store.
+		if _, err := db.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+		const measured = 15
+		var r float64
+		for q := 0; q < measured; q++ {
+			qv := ds.Queries.Row(q % ds.Queries.Rows)
+			resp, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, NProbe: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exact, err := db.Search(micronn.SearchRequest{Vector: qv, K: 10, Exact: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := make(map[string]bool, len(exact.Results))
+			for _, res := range exact.Results {
+				want[res.ID] = true
+			}
+			hits := 0
+			for _, res := range resp.Results {
+				if want[res.ID] {
+					hits++
+				}
+			}
+			if len(exact.Results) > 0 {
+				r += float64(hits) / float64(len(exact.Results))
+			}
+		}
+		recall += r / measured
+		db.Close()
+	}
+	b.ReportMetric(singleRate/float64(b.N), "single-inserts/s")
+	b.ReportMetric(groupedRate/float64(b.N), "grouped-inserts/s")
+	b.ReportMetric(groupedRate/singleRate, "grouped-speedup-x")
+	b.ReportMetric(avgGroup/float64(b.N), "avg-group-size")
+	b.ReportMetric(idleP99/float64(b.N), "idle-p99-ms")
+	b.ReportMetric(stormP99/float64(b.N), "storm-p99-ms")
+	b.ReportMetric(recall/float64(b.N), "recall@10")
+}

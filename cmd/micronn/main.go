@@ -114,7 +114,9 @@ func usage() {
 commands:
   create  -dim N [-metric L2|cosine|dot] [-partition-size N]
           [-quant none|sq8|sq4] [-clip P] [-shards N] [-backend file|mmap|memory]
-  load    [-n N] [-seed N]          load N random vectors (ids vNNNNNNNN)
+  load    [-n N] [-seed N] [-lsm]   load N random vectors (ids vNNNNNNNN);
+                                    -lsm routes writes through the memtable
+                                    group-commit path
   rebuild                           full index rebuild
   flush                             incremental delta flush
   maintain [-flush-threshold N] [-min N] [-max N] [-watch D]
@@ -200,10 +202,11 @@ func cmdLoad(path string, args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	n := fs.Int("n", 10000, "number of random vectors")
 	seed := fs.Int64("seed", 1, "random seed")
+	lsm := fs.Bool("lsm", false, "route writes through the LSM memtable / group-commit path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := openDB(path, micronn.Options{})
+	d, err := openDB(path, micronn.Options{LSMIngest: *lsm})
 	if err != nil {
 		return err
 	}
@@ -441,6 +444,24 @@ func cmdStats(path string) error {
 	} else {
 		fmt.Printf("result cache:     disabled\n")
 	}
+	if in := st.Ingest; in.Enabled {
+		avgGroup := 0.0
+		if in.GroupCommits > 0 {
+			avgGroup = float64(in.GroupedOps) / float64(in.GroupCommits)
+		}
+		fmt.Printf("lsm ingest:       %d ops in %d group commits (avg %.1f, max %d), %d seals (%d rows)\n",
+			in.GroupedOps, in.GroupCommits, avgGroup, in.MaxGroupSize, in.Seals, in.SealedRows)
+		fmt.Printf("  sorted runs:    %d runs, %d live rows, %d tombstones, %d unmerged\n",
+			in.RunCount, in.RunRows, in.TombstoneRows, in.UnmergedItems)
+		fmt.Printf("  backpressure:   %d triggers, %d hard-limit waits (%.1f ms total)\n",
+			in.BackpressureTriggers, in.BackpressureWaits, float64(in.BackpressureWaitNs)/1e6)
+	}
+	if m := st.Maintenance; m.Passes > 0 {
+		fmt.Printf("maintenance:      %d passes (%d flush, %d split, %d merge, %d compact, %d rebuild), %d stale retries, %d errors\n",
+			m.Passes, m.Flushes, m.Splits, m.Merges, m.Compactions, m.Rebuilds, m.StaleRetries, m.Errors)
+	}
+	fmt.Printf("writer gate:      %d waits (%.1f ms total)\n",
+		st.GateWaits, float64(st.GateWaitNs)/1e6)
 	fmt.Printf("file size:        %.1f MiB (WAL %.1f MiB)\n",
 		float64(st.FileBytes)/(1<<20), float64(st.WALBytes)/(1<<20))
 	if sharded {

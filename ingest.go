@@ -1,0 +1,398 @@
+package micronn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micronn/internal/ivf"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+)
+
+// This file is the LSM-shaped ingest path (Options.LSMIngest): a memtable of
+// enqueued write operations in front of the WAL'd delta store, drained by a
+// dedicated committer goroutine that batches every writer accumulated while
+// the previous transaction held the single-writer gate into ONE storage
+// transaction — the group commit. Callers block until their group's commit
+// and receive its error, so the durability contract is unchanged (an Upsert
+// that returned nil is on disk exactly as before); what changes is cost:
+// one gate acquisition, one WAL append/sync and one data-generation bump are
+// amortized over the whole group instead of paid per point write.
+//
+// After each group the committer seals the delta store into an immutable
+// sorted run (ivf.SealDelta) once it exceeds the memtable bounds, and
+// applies backpressure when unmerged rows (delta + runs) outrun compaction:
+// past MaxUnmergedItems it kicks a background Maintain (single-flight);
+// past HardLimitItems it additionally holds the ingest pipeline briefly so
+// compaction can catch up, bounding worst-case search cost.
+
+// ingestOp is one writer's enqueued unit of work: either an upsert batch
+// (items + pre-converted attributes, index-aligned) or a delete batch.
+// Pre-validation happens at enqueue time so one writer's malformed request
+// fails only that writer, never the whole group.
+type ingestOp struct {
+	items  []Item
+	attrs  []map[string]reldb.Value
+	dels   []string
+	strict bool // Delete (not DeleteBatch): absent ids are an error
+	errc   chan error
+}
+
+// ingester owns the memtable and the committer goroutine.
+type ingester struct {
+	db *DB
+
+	// sealItems is the delta-store row count that triggers a seal — the
+	// min of Options.MemtableMaxItems and MemtableMaxBytes expressed in
+	// rows at this dimensionality.
+	sealItems int64
+	// maxUnmerged / hardLimit are the backpressure thresholds in unmerged
+	// rows (delta + live run rows).
+	maxUnmerged int64
+	hardLimit   int64
+
+	// declared holds the schema's attribute names for enqueue-time
+	// validation (the committer must not discover per-writer mistakes
+	// mid-group).
+	declared map[string]bool
+
+	mu      sync.Mutex
+	pending []*ingestOp
+	stopped bool
+
+	wake chan struct{} // buffered(1): writers nudge the committer
+	stop chan struct{}
+	done chan struct{}
+
+	// Telemetry (read by Stats without locks).
+	groupCommits atomic.Uint64
+	groupedOps   atomic.Uint64
+	maxGroup     atomic.Int64
+	seals        atomic.Uint64
+	sealedRows   atomic.Int64
+	bpTriggers   atomic.Uint64
+	bpWaits      atomic.Uint64
+	bpWaitNs     atomic.Int64
+
+	// Single-flight background compaction.
+	bgActive atomic.Bool
+	bgWG     sync.WaitGroup
+}
+
+// ingestDefaults (see Options).
+const (
+	defaultMemtableMaxItems = 4096
+	defaultMemtableMaxBytes = 4 << 20
+)
+
+func newIngester(db *DB) *ingester {
+	opts := db.opts
+	items := int64(opts.MemtableMaxItems)
+	if items <= 0 {
+		items = defaultMemtableMaxItems
+	}
+	bytes := opts.MemtableMaxBytes
+	if bytes <= 0 {
+		bytes = defaultMemtableMaxBytes
+	}
+	// The delta store keeps float32 vectors regardless of quantization, so
+	// rows-per-byte-budget is bytes / (4*Dim).
+	if rowBytes := int64(4 * db.ix.Config().Dim); rowBytes > 0 {
+		if byRows := bytes / rowBytes; byRows < items {
+			items = byRows
+		}
+	}
+	if items < 1 {
+		items = 1
+	}
+	maxUnmerged := int64(opts.MaxUnmergedItems)
+	if maxUnmerged <= 0 {
+		maxUnmerged = 4 * items
+	}
+	hard := int64(opts.HardLimitItems)
+	if hard <= 0 {
+		hard = 2 * maxUnmerged
+	}
+	if hard < maxUnmerged {
+		hard = maxUnmerged
+	}
+	declared := make(map[string]bool, len(db.ix.Config().Attributes))
+	for _, a := range db.ix.Config().Attributes {
+		declared[a.Name] = true
+	}
+	return &ingester{
+		db:          db,
+		sealItems:   items,
+		maxUnmerged: maxUnmerged,
+		hardLimit:   hard,
+		declared:    declared,
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// upsert enqueues an upsert batch and blocks until its group commits.
+func (g *ingester) upsert(items []Item) error {
+	dim := g.db.ix.Config().Dim
+	attrs := make([]map[string]reldb.Value, len(items))
+	for i, item := range items {
+		if len(item.Vector) != dim {
+			return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(item.Vector), dim)
+		}
+		a, err := convertAttrs(item.Attributes)
+		if err != nil {
+			return err
+		}
+		for name := range a {
+			if !g.declared[name] {
+				return fmt.Errorf("ivf: undeclared attribute %q", name)
+			}
+		}
+		attrs[i] = a
+	}
+	return g.enqueue(&ingestOp{items: items, attrs: attrs, errc: make(chan error, 1)})
+}
+
+// delete enqueues a delete batch; strict surfaces ErrNotFound for absent
+// ids (the single-Delete contract) without failing the rest of the group.
+func (g *ingester) delete(ids []string, strict bool) error {
+	return g.enqueue(&ingestOp{dels: ids, strict: strict, errc: make(chan error, 1)})
+}
+
+func (g *ingester) enqueue(op *ingestOp) error {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.pending = append(g.pending, op)
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+	return <-op.errc
+}
+
+// run is the committer goroutine: it drains the memtable into group
+// commits until shutdown, then commits whatever is still queued (writers
+// blocked in enqueue at Close time still get a real answer).
+func (g *ingester) run() {
+	defer close(g.done)
+	for {
+		select {
+		case <-g.stop:
+			g.mu.Lock()
+			g.stopped = true
+			batch := g.pending
+			g.pending = nil
+			g.mu.Unlock()
+			g.commitGroup(batch)
+			return
+		case <-g.wake:
+			for {
+				g.mu.Lock()
+				batch := g.pending
+				g.pending = nil
+				g.mu.Unlock()
+				if len(batch) == 0 {
+					break
+				}
+				g.commitGroup(batch)
+				g.afterGroup()
+			}
+		}
+	}
+}
+
+// commitGroup applies every queued operation in one storage transaction and
+// hands each waiter the commit's error. A strict delete of an absent id is
+// a per-waiter soft error: that waiter gets ErrNotFound, the group still
+// commits (requests were pre-validated, so remaining in-transaction errors
+// are storage-level and rightly fail everyone).
+func (g *ingester) commitGroup(batch []*ingestOp) {
+	if len(batch) == 0 {
+		return
+	}
+	soft := make([]error, len(batch))
+	err := g.db.store.Update(func(wt *storage.WriteTxn) error {
+		for i, op := range batch {
+			soft[i] = nil
+			for j, item := range op.items {
+				if err := g.db.ix.Upsert(wt, item.ID, item.Vector, op.attrs[j]); err != nil {
+					if errors.Is(err, ivf.ErrDimMismatch) {
+						return fmt.Errorf("%w: %v", ErrDimMismatch, err)
+					}
+					return err
+				}
+			}
+			for _, id := range op.dels {
+				if err := g.db.ix.Delete(wt, id); err != nil {
+					if errors.Is(err, ivf.ErrNotFound) {
+						if op.strict {
+							soft[i] = ErrNotFound
+						}
+						continue
+					}
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		g.groupCommits.Add(1)
+		g.groupedOps.Add(uint64(len(batch)))
+		// Only the committer writes maxGroup; load-compare-store is safe.
+		if n := int64(len(batch)); n > g.maxGroup.Load() {
+			g.maxGroup.Store(n)
+		}
+	}
+	for i, op := range batch {
+		e := err
+		if e == nil {
+			e = soft[i]
+		}
+		op.errc <- e
+	}
+}
+
+// unmerged reads the delta and unmerged row counts at a fresh snapshot.
+func (g *ingester) unmerged() (delta, unmerged int64, err error) {
+	err = g.db.store.View(func(rt *storage.ReadTxn) error {
+		st, e := g.db.ix.Stats(rt)
+		if e != nil {
+			return e
+		}
+		delta = st.DeltaCount
+		unmerged = st.DeltaCount + st.RunRows
+		return nil
+	})
+	return delta, unmerged, err
+}
+
+// afterGroup runs the between-groups policy: seal the delta into a sorted
+// run past the memtable bounds, and apply flush backpressure when unmerged
+// rows outrun compaction. Seal failures are tolerated — durability lives in
+// the group commit; the next group retries the seal.
+func (g *ingester) afterGroup() {
+	delta, unmerged, err := g.unmerged()
+	if err != nil {
+		return
+	}
+	if g.db.ix.SupportsRuns() && delta >= g.sealItems {
+		var sealed int64
+		err := g.db.store.Update(func(wt *storage.WriteTxn) error {
+			var e error
+			sealed, e = g.db.ix.SealDelta(wt)
+			return e
+		})
+		if err == nil && sealed > 0 {
+			g.seals.Add(1)
+			g.sealedRows.Add(sealed)
+		}
+	}
+	if unmerged < g.maxUnmerged {
+		return
+	}
+	g.triggerMaintain()
+	if unmerged < g.hardLimit {
+		return
+	}
+	// Hard limit: hold the pipeline (writers queue in the memtable behind
+	// this) until compaction makes headway or a short deadline passes —
+	// ingest slows instead of letting search cost grow without bound.
+	g.bpWaits.Add(1)
+	start := time.Now()
+	const hardWait = 250 * time.Millisecond
+	for time.Since(start) < hardWait {
+		select {
+		case <-g.stop:
+			g.bpWaitNs.Add(int64(time.Since(start)))
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+		_, u, err := g.unmerged()
+		if err != nil || u < g.hardLimit {
+			break
+		}
+		g.triggerMaintain()
+	}
+	g.bpWaitNs.Add(int64(time.Since(start)))
+}
+
+// triggerMaintain starts one background maintenance pass unless one started
+// here is already running (single-flight; the AutoMaintain loop, if any,
+// runs independently).
+func (g *ingester) triggerMaintain() {
+	if !g.bgActive.CompareAndSwap(false, true) {
+		return
+	}
+	g.bpTriggers.Add(1)
+	g.bgWG.Add(1)
+	go func() {
+		defer g.bgWG.Done()
+		defer g.bgActive.Store(false)
+		if _, err := g.db.Maintain(); err != nil && !errors.Is(err, ErrClosed) {
+			g.db.maintMu.Lock()
+			g.db.maintTotals.Errors++
+			g.db.maintMu.Unlock()
+		}
+	}()
+}
+
+// shutdown stops the committer (draining queued writers with a final group
+// commit) and waits for any background compaction it started.
+func (g *ingester) shutdown() {
+	close(g.stop)
+	<-g.done
+	g.bgWG.Wait()
+}
+
+// IngestStats reports the LSM ingest path. The run/tombstone counts are
+// filled from the index whether or not the path is enabled (runs can exist
+// from a previous open); the group-commit and backpressure counters are
+// cumulative for this handle.
+type IngestStats struct {
+	// Enabled is true when writes flow through the group committer.
+	Enabled bool
+	// GroupCommits counts committed groups; GroupedOps the writer calls
+	// they carried. GroupedOps/GroupCommits is the achieved batching
+	// factor; MaxGroupSize the largest single group.
+	GroupCommits uint64
+	GroupedOps   uint64
+	MaxGroupSize int64
+	// Seals counts delta-to-run seals; SealedRows the rows they moved.
+	Seals      uint64
+	SealedRows int64
+	// RunCount / RunRows are the live immutable sorted runs awaiting
+	// compaction; TombstoneRows counts deletes shadowing run rows.
+	RunCount      int64
+	RunRows       int64
+	TombstoneRows int64
+	// UnmergedItems is delta + run rows — the backpressure signal
+	// compared against Options.MaxUnmergedItems.
+	UnmergedItems int64
+	// BackpressureTriggers counts background compactions kicked by the
+	// soft limit; BackpressureWaits/WaitNs the hard-limit pipeline holds.
+	BackpressureTriggers uint64
+	BackpressureWaits    uint64
+	BackpressureWaitNs   int64
+}
+
+// counters snapshots the ingester-side counters into st.
+func (g *ingester) counters(st *IngestStats) {
+	st.Enabled = true
+	st.GroupCommits = g.groupCommits.Load()
+	st.GroupedOps = g.groupedOps.Load()
+	st.MaxGroupSize = g.maxGroup.Load()
+	st.Seals = g.seals.Load()
+	st.SealedRows = g.sealedRows.Load()
+	st.BackpressureTriggers = g.bpTriggers.Load()
+	st.BackpressureWaits = g.bpWaits.Load()
+	st.BackpressureWaitNs = g.bpWaitNs.Load()
+}

@@ -250,6 +250,32 @@ func TestBackendsRunnerSmoke(t *testing.T) {
 	}
 }
 
+// TestWriteStormRunnerSmoke runs the write-storm scenario at tiny scale
+// and asserts the acceptance criteria it prints: the committer actually
+// grouped concurrent writers, recall@10 holds through the storms, and (on
+// hosts with spare cores) grouped throughput and storm-window p99 meet
+// their bounds.
+func TestWriteStormRunnerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runner")
+	}
+	var out bytes.Buffer
+	cfg := tinyConfig(t, &out)
+	cfg.Scale = 0.002
+	if err := WriteStorm(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"single-writer", "ungrouped", "grouped", "10x storm", "100x storm"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("write-storm output missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "VIOLATION") {
+		t.Errorf("write-storm scenario reported a violation:\n%s", s)
+	}
+}
+
 // TestQuantizationScanBytesReduction asserts the acceptance criterion at
 // the bench layer: on the same dataset and probe settings, SQ8 scans at
 // least 2x fewer bytes than float32 while keeping recall@K within 95% of

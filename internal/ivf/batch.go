@@ -92,6 +92,29 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 			groups[p] = append(groups[p], qi)
 		}
 	}
+	// Like the delta, every unmerged sorted run is scanned by every query —
+	// MQO makes that one shared scan per run. Tombstoned run rows are
+	// skipped via the dead set.
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dead map[int64]bool
+	if runParts, anyDead := st.liveRunParts(); len(runParts) > 0 {
+		all := make([]int, nq)
+		for qi := range all {
+			all[qi] = qi
+		}
+		for _, p := range runParts {
+			groups[p] = all
+			info.QueryPartitionPairs += nq
+		}
+		if anyDead {
+			if dead, err = ix.deadVids(txn); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
 	info.PartitionScans = len(groups)
 
 	// On a quantized index each query carries precomputed asymmetric-
@@ -150,7 +173,7 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scanned, pairs, bytesRead, err := ix.batchWorker(txn, work, opts.Cancel, queries, qqs, cb, heaps, heapMus)
+			scanned, pairs, bytesRead, err := ix.batchWorker(txn, work, opts.Cancel, queries, qqs, cb, dead, heaps, heapMus)
 			statMu.Lock()
 			info.VectorsScanned += scanned
 			info.DistancePairs += pairs
@@ -242,7 +265,7 @@ type partWork struct {
 // one kernel call, amortizing the scan over every query in the group. On
 // quantized partitions the tile holds SQ8 codes and each interested query's
 // asymmetric kernel runs over it — the tile is still read once and shared.
-func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, cancel <-chan struct{}, queries *vec.Matrix, qqs []*quant.Query, cb *quant.Codebook, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs, bytesRead int64, err error) {
+func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, cancel <-chan struct{}, queries *vec.Matrix, qqs []*quant.Query, cb *quant.Codebook, dead map[int64]bool, heaps []*topk.Heap, heapMus []sync.Mutex) (scanned, pairs, bytesRead int64, err error) {
 	dim := ix.cfg.Dim
 	tile := vec.NewMatrix(scanBatch, dim)
 	codes := make([]byte, 0, scanBatch*dim)
@@ -298,6 +321,9 @@ func (ix *Index) batchWorker(txn btree.ReadTxn, work <-chan partWork, cancel <-c
 		}
 
 		perr := ix.vectors.Scan(txn, []reldb.Value{reldb.I(w.part)}, func(row reldb.Row) error {
+			if w.part < 0 && dead[row[1].Int] {
+				return nil // tombstoned run row
+			}
 			bytesRead += int64(len(row[3].Bts))
 			if quantized {
 				codes = append(codes, row[3].Bts...)

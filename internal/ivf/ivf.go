@@ -41,6 +41,12 @@ const (
 	// needed for reranking, point lookups and retraining live here, keyed
 	// by vid.
 	tblRawVecs = "rawvecs"
+	// tblTombs records deletions against immutable sorted runs (see
+	// runs.go): run rows are never rewritten in place, so deleting a
+	// run-resident asset leaves the vectors row and writes a tombstone
+	// (vid -> owning run partition) that searches skip and compaction
+	// folds. Absent in databases created before runs existed.
+	tblTombs = "tombstones"
 )
 
 // metaCodebook is the meta-table key holding the serialized SQ8 codebook.
@@ -165,6 +171,34 @@ type state struct {
 	// the result cache existed; they simply start counting at their next
 	// write.
 	DataGen int64 `json:"data_gen,omitempty"`
+	// Runs lists the live immutable sorted runs (LSM ingest, see runs.go),
+	// oldest first. Each run's rows live in the vectors table at the
+	// negative partition id -Run.ID. Empty in databases that never sealed
+	// a run.
+	Runs []runInfo `json:"runs,omitempty"`
+	// NextRunID is the next unused run id (run ids start at 1 and are
+	// never reused, so a compacted run's negative partition id can never
+	// be confused with a later run's).
+	NextRunID int64 `json:"next_run_id,omitempty"`
+}
+
+// runLiveRows totals the live (non-tombstoned) rows across all runs.
+func (st *state) runLiveRows() int64 {
+	var n int64
+	for _, r := range st.Runs {
+		n += r.Rows
+	}
+	return n
+}
+
+// runIdx finds the run with the given id, or -1.
+func (st *state) runIdx(id int64) int {
+	for i := range st.Runs {
+		if st.Runs[i].ID == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // Index is the disk-resident IVF index.
@@ -179,6 +213,7 @@ type Index struct {
 	attrs     *reldb.Table
 	meta      *reldb.Table
 	rawvecs   *reldb.Table // nil unless quantization is enabled
+	tombs     *reldb.Table // nil in databases created before runs existed
 
 	attrIndexes map[string]*reldb.Index // attribute name -> secondary index
 	ftsIndexes  map[string]*fts.Index   // attribute name -> fts index
@@ -342,6 +377,11 @@ func Create(db *reldb.DB, wt *storage.WriteTxn, cfg Config) (*Index, error) {
 			Key:  []reldb.Column{{Name: "key", Type: reldb.TypeText}},
 			Cols: []reldb.Column{{Name: "value", Type: reldb.TypeBlob}},
 		},
+		{
+			Name: tblTombs,
+			Key:  []reldb.Column{{Name: "vid", Type: reldb.TypeInt64}},
+			Cols: []reldb.Column{{Name: "part", Type: reldb.TypeInt64}},
+		},
 	}
 	if cfg.Quantization != quant.None {
 		schemas = append(schemas, &reldb.Schema{
@@ -437,6 +477,13 @@ func open(db *reldb.DB, cfg Config) (*Index, error) {
 			return nil, err
 		}
 	}
+	if db.HasTable(tblTombs) {
+		// Databases created before runs existed lack the table; they can
+		// never hold runs (sealing requires it), so nil is safe.
+		if ix.tombs, err = db.Table(tblTombs); err != nil {
+			return nil, err
+		}
+	}
 	for i, a := range cfg.Attributes {
 		ix.attrPos[a.Name] = 1 + i // position in the attrs row (after vid)
 		if a.Indexed {
@@ -499,7 +546,7 @@ type Stats struct {
 	DeltaCount    int64
 	NumPartitions int64
 	// AvgPartitionSize is vectors-per-partition over the IVF partitions
-	// (excluding the delta).
+	// (excluding the delta and the unmerged runs).
 	AvgPartitionSize float64
 	// AvgSizeAtBuild is the average partition size right after the last
 	// full build; the monitor compares growth against it.
@@ -508,6 +555,13 @@ type Stats struct {
 	// DataGen is the data-generation counter backing the result cache
 	// (see state.DataGen).
 	DataGen int64
+	// RunCount / RunRows / DeadRows describe the unmerged immutable runs:
+	// how many there are, their live rows (counted in NumVectors, not yet
+	// in any IVF partition) and their tombstoned rows still awaiting
+	// compaction (counted nowhere).
+	RunCount int64
+	RunRows  int64
+	DeadRows int64
 }
 
 // Stats reads the monitor counters at the transaction's snapshot.
@@ -523,9 +577,14 @@ func (ix *Index) Stats(txn btree.ReadTxn) (Stats, error) {
 		AvgSizeAtBuild: st.AvgSizeAtBuild,
 		Generation:     st.Generation,
 		DataGen:        st.DataGen,
+		RunCount:       int64(len(st.Runs)),
+		RunRows:        st.runLiveRows(),
+	}
+	for _, r := range st.Runs {
+		s.DeadRows += r.Dead
 	}
 	if st.NumPartitions > 0 {
-		s.AvgPartitionSize = float64(st.NumVectors-st.DeltaCount) / float64(st.NumPartitions)
+		s.AvgPartitionSize = float64(st.NumVectors-st.DeltaCount-s.RunRows) / float64(st.NumPartitions)
 	}
 	return s, nil
 }
@@ -571,7 +630,7 @@ func (ix *Index) NeedsRebuild(txn btree.ReadTxn) (bool, error) {
 	if st.AvgSizeAtBuild == 0 {
 		return false, nil
 	}
-	avg := float64(st.NumVectors-st.DeltaCount) / float64(st.NumPartitions)
+	avg := float64(st.NumVectors-st.DeltaCount-st.runLiveRows()) / float64(st.NumPartitions)
 	return avg > st.AvgSizeAtBuild*(1+ix.cfg.RebuildGrowthThreshold), nil
 }
 
@@ -683,10 +742,25 @@ func (ix *Index) removeAsset(wt *storage.WriteTxn, asset string, st *state) (int
 	}
 	part, vid := row[1].Int, row[2].Int
 
-	if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(vid)); err != nil {
-		return part, false, err
+	if part < 0 {
+		// The asset lives in an immutable run: leave the vectors row in
+		// place and write a tombstone instead. Searches skip tombstoned
+		// vids; compaction physically deletes the row and the tombstone.
+		// All side rows (assets/vids/rawvecs/attrs/fts) are cleaned
+		// eagerly below, exactly like a normal delete.
+		if err := ix.tombs.Put(wt, reldb.Row{reldb.I(vid), reldb.I(part)}); err != nil {
+			return part, false, err
+		}
+		if i := st.runIdx(-part); i >= 0 {
+			st.Runs[i].Rows--
+			st.Runs[i].Dead++
+		}
+	} else {
+		if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(vid)); err != nil {
+			return part, false, err
+		}
 	}
-	if part != DeltaPartition {
+	if part > 0 {
 		// Keep the per-partition count exact: the maintenance planner
 		// reads it to decide splits and merges (paper §3.6's monitor).
 		if err := ix.adjustCentroidCount(wt, part, -1); err != nil {

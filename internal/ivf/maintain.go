@@ -40,6 +40,9 @@ const (
 	ActionNone MaintenanceAction = "none"
 	// ActionRebuild is the initial full build of a never-built index.
 	ActionRebuild MaintenanceAction = "rebuild"
+	// ActionCompact folds one immutable sorted run into the IVF partitions,
+	// physically purging its tombstones (LSM ingest, see runs.go).
+	ActionCompact MaintenanceAction = "compact"
 	// ActionFlush folds the delta-store into the IVF partitions.
 	ActionFlush MaintenanceAction = "flush"
 	// ActionSplit re-clusters one oversized partition into 2+ partitions.
@@ -116,6 +119,13 @@ func (ix *Index) PlanMaintenance(txn btree.ReadTxn, pol MaintenancePolicy) (*Mai
 		}
 		return &MaintenancePlan{Action: ActionNone}, nil
 	}
+	if len(st.Runs) > 0 {
+		// Compact the oldest run first: runs are scanned by every search, so
+		// draining them beats growing the backlog. Partition is the run's
+		// vectors-table partition id (-run id).
+		r := st.Runs[0]
+		return &MaintenancePlan{Action: ActionCompact, Partition: -r.ID, Size: r.Rows + r.Dead}, nil
+	}
 	if st.DeltaCount >= int64(pol.FlushThreshold) {
 		return &MaintenancePlan{Action: ActionFlush, Size: st.DeltaCount}, nil
 	}
@@ -157,6 +167,8 @@ func (ix *Index) MaintainStep(wt *storage.WriteTxn, pol MaintenancePolicy) (*Mai
 	switch plan.Action {
 	case ActionRebuild:
 		ms, err = ix.Rebuild(wt)
+	case ActionCompact:
+		ms, err = ix.CompactRun(wt, -plan.Partition)
 	case ActionFlush:
 		ms, err = ix.FlushDelta(wt)
 	case ActionSplit:
@@ -741,13 +753,47 @@ func (ix *Index) CheckInvariants(txn btree.ReadTxn) error {
 			return fmt.Errorf("ivf: invariant: codebook unreadable: %w", err)
 		}
 	}
+
+	// Tombstones mark run rows as logically deleted: the vector row remains
+	// (runs are immutable) but every side row is gone and the state no longer
+	// counts it. Consumed during the vector scan; leftovers are orphans.
+	tombSet := make(map[int64]int64) // vid -> run partition
+	if ix.tombs != nil {
+		err = ix.tombs.Scan(txn, nil, func(row reldb.Row) error {
+			if row[1].Int >= 0 {
+				return fmt.Errorf("ivf: invariant: tombstone for vid %d names non-run partition %d", row[0].Int, row[1].Int)
+			}
+			tombSet[row[0].Int] = row[1].Int
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	runLive := make(map[int64]int64)
+	runDead := make(map[int64]int64)
+
 	err = ix.vectors.Scan(txn, nil, func(row reldb.Row) error {
 		part, vid, asset := row[0].Int, row[1].Int, row[2].Str
+		if part < 0 {
+			if tp, dead := tombSet[vid]; dead {
+				if tp != part {
+					return fmt.Errorf("ivf: invariant: tombstone for vid %d names run %d, row lives in %d", vid, tp, part)
+				}
+				delete(tombSet, vid)
+				runDead[part]++
+				// Dead rows are invisible: no side rows, no state counts.
+				return nil
+			}
+			runLive[part]++
+		}
 		if _, dup := seen[vid]; dup {
 			return fmt.Errorf("ivf: invariant: vid %d stored in two partitions", vid)
 		}
 		seen[vid] = loc{part, asset}
-		partSizes[part]++
+		if part >= 0 {
+			partSizes[part]++
+		}
 		total++
 		if part == DeltaPartition {
 			delta++
@@ -772,6 +818,23 @@ func (ix *Index) CheckInvariants(txn btree.ReadTxn) error {
 	}
 	if delta != st.DeltaCount {
 		return fmt.Errorf("ivf: invariant: %d delta rows, state says %d", delta, st.DeltaCount)
+	}
+	for vid, part := range tombSet {
+		return fmt.Errorf("ivf: invariant: tombstone for vid %d (run %d) has no vector row", vid, part)
+	}
+	for _, r := range st.Runs {
+		if runLive[-r.ID] != r.Rows || runDead[-r.ID] != r.Dead {
+			return fmt.Errorf("ivf: invariant: run %d holds %d live / %d dead rows, state says %d / %d",
+				r.ID, runLive[-r.ID], runDead[-r.ID], r.Rows, r.Dead)
+		}
+		delete(runLive, -r.ID)
+		delete(runDead, -r.ID)
+	}
+	for part := range runLive {
+		return fmt.Errorf("ivf: invariant: partition %d holds rows but names no live run", part)
+	}
+	for part := range runDead {
+		return fmt.Errorf("ivf: invariant: partition %d holds tombstoned rows but names no live run", part)
 	}
 
 	// The vid and asset mappings must mirror the vector rows exactly.

@@ -1,0 +1,462 @@
+package ivf
+
+// Immutable sorted runs: the LSM-shaped middle tier of the ingest path
+// (memtable -> runs -> partitions). SealDelta moves the whole delta-store
+// into a fresh run in one transaction: rows keep their vids (the scan order
+// of the delta IS vid order, so runs are id-sorted), payloads are encoded
+// with the current codebook when one exists, and the run is thereafter
+// immutable — deleting a run-resident asset writes a tombstone instead of
+// rewriting the run, and searches skip tombstoned vids. Runs live in the
+// vectors table at negative partition ids (run N occupies partition -N), so
+// every scan, snapshot and crash-recovery property of partition rows holds
+// for run rows with zero new storage machinery. CompactRun folds one run
+// back into the IVF partitions (physically deleting its tombstoned rows),
+// either inside a caller-owned transaction or — via CompactRunTwoPhase —
+// with the expensive planning half outside the writer gate, exactly like
+// the two-phase partition split.
+
+import (
+	"errors"
+	"time"
+
+	"micronn/internal/btree"
+	"micronn/internal/reldb"
+	"micronn/internal/storage"
+	"micronn/internal/vec"
+)
+
+// runInfo describes one immutable sorted run. Rows counts the live
+// (non-tombstoned) rows, Dead the tombstoned ones still occupying space
+// until compaction. Persisted in state.Runs, oldest run first.
+type runInfo struct {
+	ID   int64 `json:"id"`
+	Rows int64 `json:"rows"`
+	Dead int64 `json:"dead,omitempty"`
+}
+
+// ErrNoRuns is returned by SealDelta on a database created before the
+// tombstone table existed: such a store cannot honor run deletes, so it
+// cannot hold runs.
+var ErrNoRuns = errors.New("ivf: database predates sorted runs (no tombstone table)")
+
+// SupportsRuns reports whether this database can seal runs (false only for
+// databases created before the tombstone table existed).
+func (ix *Index) SupportsRuns() bool { return ix.tombs != nil }
+
+// SealDelta moves every delta-store row into a new immutable sorted run,
+// returning the sealed row count (0 when the delta is empty — no run is
+// created). The run's payloads are encoded with the current codebook when
+// one exists; before the first build they stay float32, and Rebuild — the
+// only operation that changes the codebook — absorbs all runs, so a live
+// run's encoding always matches the live codebook. Seal changes no
+// centroids, so it bumps only DataGen: the centroid and codebook caches
+// survive, and searches simply pick up the run partition from the state.
+func (ix *Index) SealDelta(wt *storage.WriteTxn) (int64, error) {
+	if ix.tombs == nil {
+		return 0, ErrNoRuns
+	}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return 0, err
+	}
+	if st.DeltaCount == 0 {
+		return 0, nil
+	}
+	cb, err := ix.loadCodebook(wt)
+	if err != nil {
+		return 0, err
+	}
+	if st.NextRunID == 0 {
+		st.NextRunID = 1
+	}
+	runID := st.NextRunID
+	part := -runID
+
+	keys, err := ix.collectKeys(wt, []reldb.Value{reldb.I(DeltaPartition)})
+	if err != nil {
+		return 0, err
+	}
+	x := make([]float32, ix.cfg.Dim)
+	for _, k := range keys {
+		row, err := ix.vectors.Get(wt, reldb.I(DeltaPartition), reldb.I(k.vid))
+		if err != nil {
+			return 0, err
+		}
+		asset := row[2].Str
+		var blob []byte
+		if cb != nil {
+			blob = cb.Encode(make([]byte, 0, cb.CodeSize()), vec.FromBlob(x, row[3].Bts))
+		} else {
+			blob = append([]byte(nil), row[3].Bts...)
+		}
+		if err := ix.vectors.Delete(wt, reldb.I(DeltaPartition), reldb.I(k.vid)); err != nil {
+			return 0, err
+		}
+		if err := ix.vectors.Put(wt, reldb.Row{reldb.I(part), reldb.I(k.vid), reldb.S(asset), reldb.B(blob)}); err != nil {
+			return 0, err
+		}
+		if err := ix.assets.Put(wt, reldb.Row{reldb.S(asset), reldb.I(part), reldb.I(k.vid)}); err != nil {
+			return 0, err
+		}
+		if err := ix.vids.Put(wt, reldb.Row{reldb.I(k.vid), reldb.I(part), reldb.S(asset)}); err != nil {
+			return 0, err
+		}
+		if err := wt.SpillIfNeeded(); err != nil {
+			return 0, err
+		}
+	}
+
+	n := int64(len(keys))
+	st.Runs = append(st.Runs, runInfo{ID: runID, Rows: n})
+	st.NextRunID++
+	st.DeltaCount = 0
+	st.DataGen++
+	if err := ix.putState(wt, st); err != nil {
+		return 0, err
+	}
+	wt.OnCommit(func() { ix.locks.Bump(DeltaPartition, part) })
+	return n, nil
+}
+
+// liveRunParts returns the vectors-table partition ids of the live runs,
+// and whether any run carries tombstones (searches then need the dead set).
+func (st *state) liveRunParts() (parts []int64, anyDead bool) {
+	for _, r := range st.Runs {
+		parts = append(parts, -r.ID)
+		if r.Dead > 0 {
+			anyDead = true
+		}
+	}
+	return parts, anyDead
+}
+
+// deadVids reads the tombstone set at txn's snapshot: the vids of run rows
+// that are logically deleted but not yet compacted away. vids are globally
+// unique, so membership alone identifies a dead row regardless of run.
+func (ix *Index) deadVids(txn btree.ReadTxn) (map[int64]bool, error) {
+	if ix.tombs == nil {
+		return nil, nil
+	}
+	dead := make(map[int64]bool)
+	err := ix.tombs.ScanKeys(txn, nil, func(key reldb.Row) error {
+		dead[key[0].Int] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dead, nil
+}
+
+// purgeTombstones physically deletes every tombstoned run row and its
+// tombstone. Rebuild calls it first, so its full-table rewrite sees exactly
+// the live rows the state counts.
+func (ix *Index) purgeTombstones(wt *storage.WriteTxn, ms *MaintenanceStats) error {
+	if ix.tombs == nil {
+		return nil
+	}
+	type tomb struct{ vid, part int64 }
+	var tombs []tomb
+	err := ix.tombs.Scan(wt, nil, func(row reldb.Row) error {
+		tombs = append(tombs, tomb{vid: row[0].Int, part: row[1].Int})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range tombs {
+		if err := ix.vectors.Delete(wt, reldb.I(t.part), reldb.I(t.vid)); err != nil && !errors.Is(err, reldb.ErrNotFound) {
+			return err
+		}
+		if err := ix.tombs.Delete(wt, reldb.I(t.vid)); err != nil {
+			return err
+		}
+		ms.RowChanges += 2
+		if err := wt.SpillIfNeeded(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldRunRows folds one run's rows into the IVF partitions using the
+// caller's private centroid state (FlushDelta's inline path — the caller
+// owns cents/counts/touched across the delta and every run, so the
+// running-mean updates compose). dead holds the tombstone set; dead rows
+// are physically deleted, live rows move byte-identically (their payload
+// encoding already matches the live codebook) to the partition with the
+// nearest centroid.
+func (ix *Index) foldRunRows(wt *storage.WriteTxn, part int64, dead map[int64]bool, cents *vec.Matrix, ids []int64, counts []int64, touched map[int]bool, ms *MaintenanceStats) error {
+	rows, err := ix.collectPartition(wt, part)
+	if err != nil {
+		return err
+	}
+	x := make([]float32, ix.cfg.Dim)
+	dists := make([]float32, cents.Rows)
+	for _, r := range rows {
+		if dead[r.vid] {
+			if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(r.vid)); err != nil {
+				return err
+			}
+			if err := ix.tombs.Delete(wt, reldb.I(r.vid)); err != nil {
+				return err
+			}
+			ms.RowChanges += 2
+			continue
+		}
+		blob := r.blob
+		if ix.rawvecs != nil {
+			if blob, err = ix.rawVector(wt, r.vid); err != nil {
+				return err
+			}
+		}
+		vec.FromBlob(x, blob)
+		vec.DistancesOneToMany(ix.cfg.Metric, x, cents, nil, dists)
+		best := argminRange(dists)
+		if err := ix.moveRow(wt, part, ids[best], r); err != nil {
+			return err
+		}
+		ms.RowChanges += 4
+		ms.VectorsAssigned++
+		counts[best]++
+		vec.Lerp(cents.Row(best), x, 1/float32(counts[best]))
+		touched[best] = true
+		if err := wt.SpillIfNeeded(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactPlan is a prepared run compaction: everything the expensive phase
+// computed from its snapshot, self-contained (row blobs and vectors are
+// copies) so it can be applied under a later write transaction.
+type compactPlan struct {
+	runID int64
+	gen   int64 // state.Generation at the snapshot: assignments bind to it
+	live  []partRow
+	dead  []int64 // tombstoned vids to purge
+	// assign[i] is live[i]'s destination: an index into destIDs.
+	assign  []int
+	destIDs []int64
+	// cents holds the destination centroids after the running-mean updates;
+	// added[c] is how many rows this compaction adds to destination c.
+	cents *vec.Matrix
+	added []int64
+}
+
+// computeCompact runs the expensive half of a run compaction against any
+// snapshot, without writing: collect the run, split live from tombstoned,
+// and assign every live row to its nearest centroid, nudging a private
+// centroid copy by the running mean exactly like FlushDelta.
+func (ix *Index) computeCompact(txn btree.ReadTxn, st *state, runID int64) (*compactPlan, error) {
+	part := -runID
+	rows, err := ix.collectPartition(txn, part)
+	if err != nil {
+		return nil, err
+	}
+	dead, err := ix.deadVids(txn)
+	if err != nil {
+		return nil, err
+	}
+	plan := &compactPlan{runID: runID, gen: st.Generation}
+	for _, r := range rows {
+		if dead[r.vid] {
+			plan.dead = append(plan.dead, r.vid)
+		} else {
+			plan.live = append(plan.live, r)
+		}
+	}
+
+	cs, err := ix.loadCentroids(txn)
+	if err != nil {
+		return nil, err
+	}
+	if cs.mat.Rows == 0 {
+		return nil, ErrNotBuilt
+	}
+	plan.destIDs = append([]int64(nil), cs.ids...)
+	plan.cents = vec.NewMatrix(cs.mat.Rows, cs.mat.Dim)
+	copy(plan.cents.Data, cs.mat.Data)
+	counts, err := ix.freshCounts(txn, cs.ids)
+	if err != nil {
+		return nil, err
+	}
+	plan.added = make([]int64, len(cs.ids))
+	plan.assign = make([]int, len(plan.live))
+
+	x := make([]float32, ix.cfg.Dim)
+	dists := make([]float32, plan.cents.Rows)
+	for i, r := range plan.live {
+		blob := r.blob
+		if ix.rawvecs != nil {
+			if blob, err = ix.rawVector(txn, r.vid); err != nil {
+				return nil, err
+			}
+		}
+		vec.FromBlob(x, blob)
+		vec.DistancesOneToMany(ix.cfg.Metric, x, plan.cents, nil, dists)
+		best := argminRange(dists)
+		plan.assign[i] = best
+		plan.added[best]++
+		counts[best]++
+		vec.Lerp(plan.cents.Row(best), x, 1/float32(counts[best]))
+	}
+	return plan, nil
+}
+
+// applyCompact executes a prepared compaction inside wt: purge the dead
+// rows, move the live rows, refresh the touched centroids and drop the run
+// from the state. Destination counts are re-read from the centroid table
+// and incremented by the rows added — concurrent deletes in destination
+// partitions (which decrement counts without bumping Generation) stay
+// exact. The caller has already validated the plan's snapshot.
+func (ix *Index) applyCompact(wt *storage.WriteTxn, plan *compactPlan, ms *MaintenanceStats) error {
+	part := -plan.runID
+	st, err := ix.getState(wt)
+	if err != nil {
+		return err
+	}
+	for _, vid := range plan.dead {
+		if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(vid)); err != nil {
+			return err
+		}
+		if err := ix.tombs.Delete(wt, reldb.I(vid)); err != nil {
+			return err
+		}
+		ms.RowChanges += 2
+	}
+	for i, r := range plan.live {
+		if err := ix.moveRow(wt, part, plan.destIDs[plan.assign[i]], r); err != nil {
+			return err
+		}
+		ms.RowChanges += 4
+		ms.VectorsAssigned++
+	}
+	bumped := []int64{part}
+	for c, added := range plan.added {
+		if added == 0 {
+			continue
+		}
+		crow, err := ix.centroids.Get(wt, reldb.I(plan.destIDs[c]))
+		if err != nil {
+			return err
+		}
+		blob := vec.ToBlob(make([]byte, 0, vec.BlobSize(ix.cfg.Dim)), plan.cents.Row(c))
+		if err := ix.centroids.Put(wt, reldb.Row{reldb.I(plan.destIDs[c]), reldb.B(blob), reldb.I(crow[2].Int + added)}); err != nil {
+			return err
+		}
+		ms.RowChanges++
+		bumped = append(bumped, plan.destIDs[c])
+	}
+
+	if i := st.runIdx(plan.runID); i >= 0 {
+		st.Runs = append(st.Runs[:i], st.Runs[i+1:]...)
+	}
+	st.Generation++
+	st.DataGen++
+	if err := ix.putState(wt, st); err != nil {
+		return err
+	}
+	wt.OnCommit(func() { ix.locks.Bump(bumped...) })
+	ms.Partitions = int(st.NumPartitions)
+	return nil
+}
+
+// CompactRun folds one run into the IVF partitions inside wt: tombstoned
+// rows are physically deleted, live rows join the partition with the
+// nearest centroid (running-mean centroid update, like FlushDelta). A run
+// id no longer in the state is a no-op. CompactRunTwoPhase is the variant
+// that keeps the expensive planning outside the writer gate.
+func (ix *Index) CompactRun(wt *storage.WriteTxn, runID int64) (*MaintenanceStats, error) {
+	start := time.Now()
+	ms := &MaintenanceStats{}
+	st, err := ix.getState(wt)
+	if err != nil {
+		return nil, err
+	}
+	if st.runIdx(runID) < 0 {
+		ms.Duration = time.Since(start)
+		return ms, nil
+	}
+	if st.NumPartitions == 0 {
+		return nil, ErrNotBuilt
+	}
+	plan, err := ix.computeCompact(wt, &st, runID)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.applyCompact(wt, plan, ms); err != nil {
+		return nil, err
+	}
+	ms.Duration = time.Since(start)
+	return ms, nil
+}
+
+// CompactRunTwoPhase compacts a run without holding the store-wide writer
+// gate during the expensive half. Phase one pins a read snapshot — holding
+// only the run's partition lock, so concurrent searches and point writes
+// proceed — and computes the assignment plan. Phase two upgrades to a
+// write transaction and validates that no concurrent commit touched the
+// run (its partition version) or the centroid set (the state generation)
+// before applying; ErrPlanStale is returned otherwise and the caller
+// retries or falls back to the single-transaction CompactRun. A run that
+// vanished (or an index rebuilt empty) since the step was planned is a
+// no-op.
+func (ix *Index) CompactRunTwoPhase(runID int64) (*MaintenanceStats, error) {
+	start := time.Now()
+	ms := &MaintenanceStats{}
+	part := -runID
+	unlock := ix.locks.Lock(part)
+	defer unlock()
+
+	// Version before snapshot: see SplitPartitionTwoPhase and locks.go.
+	base := ix.locks.Version(part)
+	pt, err := ix.db.Store().BeginPrepare()
+	if err != nil {
+		return nil, err
+	}
+	defer pt.Abort()
+
+	rt := pt.Read()
+	st, err := ix.getState(rt)
+	if err != nil {
+		return nil, err
+	}
+	if st.runIdx(runID) < 0 || st.NumPartitions == 0 {
+		ms.Duration = time.Since(start)
+		return ms, nil
+	}
+	plan, err := ix.computeCompact(rt, &st, runID)
+	if err != nil {
+		return nil, err
+	}
+
+	wt, stale, err := pt.Upgrade()
+	if err != nil {
+		return nil, err
+	}
+	if stale > 0 {
+		// Tolerate unrelated commits (delta upserts, other partitions'
+		// maintenance): only a commit that touched this run or moved the
+		// centroid set invalidates the assignments.
+		fresh, err := ix.getState(wt)
+		if err != nil {
+			wt.Rollback()
+			return nil, err
+		}
+		if ix.locks.Version(part) != base || fresh.Generation != plan.gen {
+			wt.Rollback()
+			return nil, ErrPlanStale
+		}
+	}
+	if err := ix.applyCompact(wt, plan, ms); err != nil {
+		wt.Rollback()
+		return nil, err
+	}
+	if err := wt.Commit(); err != nil {
+		return nil, err
+	}
+	ms.Duration = time.Since(start)
+	return ms, nil
+}

@@ -213,6 +213,9 @@ type scanCtx struct {
 	cb      *quant.Codebook // non-nil when partitions hold SQ8 codes
 	qq      *quant.Query    // asymmetric-distance state (approximate scans)
 	cancel  <-chan struct{} // closed to abandon the search (ErrCanceled)
+	// dead is the tombstone set (vids of logically deleted run rows), loaded
+	// only when some probed run carries tombstones; workers skip these rows.
+	dead map[int64]bool
 }
 
 // canceled reports whether the search's cancel channel has been closed.
@@ -258,6 +261,24 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 	if cb != nil {
 		ctx.qq = cb.NewQuery(ix.cfg.Metric, q)
 		heapK = k * ix.rerankFactor(opts.RerankFactor)
+	}
+
+	// Every search scans the unmerged sorted runs in addition to the probed
+	// partitions (like the delta, they hold rows no partition covers yet).
+	// Appending here covers every caller — exact, probe-set and post-filter
+	// paths alike. Run rows are encoded like partition rows, so the workers'
+	// quantized-scan mode applies to them unchanged.
+	st, err := ix.getState(txn)
+	if err != nil {
+		return nil, err
+	}
+	if runParts, anyDead := st.liveRunParts(); len(runParts) > 0 {
+		parts = append(parts, runParts...)
+		if anyDead {
+			if ctx.dead, err = ix.deadVids(txn); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	info.PartitionsScanned += len(parts)
@@ -460,6 +481,9 @@ func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, ctx *scanCtx
 		}
 		perr := ix.vectors.Scan(txn, []reldb.Value{reldb.I(part)}, func(row reldb.Row) error {
 			vid := row[1].Int
+			if part < 0 && ctx.dead[vid] {
+				return nil // tombstoned run row
+			}
 			if len(ctx.filters) > 0 {
 				ok, ferr := ix.evalFilters(txn, vid, ctx.filters)
 				if ferr != nil {

@@ -32,6 +32,7 @@ package rescache
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -50,6 +51,15 @@ type Stats struct {
 	// stale entry (sharded databases only: shards whose generation had not
 	// moved contributed their cached candidates without being re-scanned).
 	SkippedScans uint64
+	// NegativePuts counts cached negative responses (zero results) — they
+	// bypass the admission doorkeeper because they are tiny and the scans
+	// they avoid tend to be the expensive, filter-heavy kind.
+	NegativePuts uint64
+	// AdmissionDeferred counts filter-heavy responses NOT cached because
+	// the doorkeeper had not seen their key recently: a filter-heavy key
+	// is admitted only on its second occurrence within the admission TTL,
+	// so one-off analytic queries cannot churn the LRU.
+	AdmissionDeferred uint64
 	// Entries and Bytes describe the current contents.
 	Entries int
 	Bytes   int64
@@ -92,9 +102,37 @@ type Cache struct {
 	bytes      int64
 
 	hits, misses, invalidations, evictions, skipped uint64
+	negPuts, admDeferred                            uint64
+
+	// Filter-heavy admission doorkeeper: first-sighting timestamps (unix
+	// nanos) keyed by fingerprint, consulted by PutWithPolicy. nowFn is
+	// injectable so tests can drive TTL expiry deterministically.
+	admTTL time.Duration
+	seen   map[Key]int64
+	nowFn  func() int64
 
 	fmu     sync.Mutex
 	flights map[Key]*flight
+}
+
+// DefaultAdmissionTTL is the doorkeeper window: a filter-heavy key is
+// admitted only when re-seen within this long of its first sighting.
+const DefaultAdmissionTTL = time.Minute
+
+// admissionMaxTracked bounds the doorkeeper's memory: past it, expired
+// sightings are pruned and, if still full, the tracker resets (losing
+// pending first-sightings is safe — it only defers admission again).
+const admissionMaxTracked = 4096
+
+// PutPolicy carries one response's admission inputs (see PutWithPolicy).
+type PutPolicy struct {
+	// FilterHeavy marks a response to a query with a large filter set —
+	// subject to the second-occurrence doorkeeper.
+	FilterHeavy bool
+	// Negative marks an empty response (zero results). Negative responses
+	// bypass the doorkeeper: caching them is nearly free and the queries
+	// they answer are often repeated verbatim (UI polling an empty state).
+	Negative bool
 }
 
 // flight is one in-progress singleflight computation.
@@ -118,8 +156,33 @@ func New(maxEntries int, maxBytes int64) *Cache {
 		maxBytes:   maxBytes,
 		lru:        list.New(),
 		index:      make(map[Key]*list.Element),
+		admTTL:     DefaultAdmissionTTL,
+		seen:       make(map[Key]int64),
+		nowFn:      func() int64 { return time.Now().UnixNano() },
 		flights:    make(map[Key]*flight),
 	}
+}
+
+// SetAdmissionTTL overrides the doorkeeper window (non-positive restores
+// the default).
+func (c *Cache) SetAdmissionTTL(d time.Duration) {
+	if d <= 0 {
+		d = DefaultAdmissionTTL
+	}
+	c.mu.Lock()
+	c.admTTL = d
+	c.mu.Unlock()
+}
+
+// SetClock injects the doorkeeper's time source (tests only; nil restores
+// the wall clock).
+func (c *Cache) SetClock(now func() int64) {
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	c.mu.Lock()
+	c.nowFn = now
+	c.mu.Unlock()
 }
 
 // GensEqual reports whether two generation vectors are element-wise equal
@@ -209,6 +272,54 @@ func (c *Cache) Put(key Key, gens []int64, val any, size int64) {
 	}
 }
 
+// PutWithPolicy is Put gated by the admission policy: a filter-heavy,
+// non-negative response is cached only when its key was already seen within
+// the admission TTL (the doorkeeper's second-occurrence rule) or is
+// refreshing an existing entry. Negative responses always store — including
+// filter-heavy ones — and are validated on lookup exactly like any entry,
+// so a data-generation bump invalidates a cached empty result the same as
+// a populated one.
+func (c *Cache) PutWithPolicy(key Key, gens []int64, val any, size int64, pol PutPolicy) {
+	if pol.FilterHeavy && !pol.Negative && !c.admit(key) {
+		return
+	}
+	if pol.Negative {
+		c.mu.Lock()
+		c.negPuts++
+		c.mu.Unlock()
+	}
+	c.Put(key, gens, val, size)
+}
+
+// admit runs the doorkeeper: true when key may enter the cache now.
+func (c *Cache) admit(key Key) bool {
+	now := c.nowFn()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[key]; ok {
+		// Refreshing (or re-stamping) an entry that paid admission once.
+		return true
+	}
+	ttl := int64(c.admTTL)
+	if t, ok := c.seen[key]; ok && now-t <= ttl {
+		delete(c.seen, key)
+		return true
+	}
+	if len(c.seen) >= admissionMaxTracked {
+		for k, t := range c.seen {
+			if now-t > ttl {
+				delete(c.seen, k)
+			}
+		}
+		if len(c.seen) >= admissionMaxTracked {
+			c.seen = make(map[Key]int64)
+		}
+	}
+	c.seen[key] = now
+	c.admDeferred++
+	return false
+}
+
 // remove unlinks el; evicted=true counts it against the eviction stat.
 func (c *Cache) remove(el *list.Element, evicted bool) {
 	e := el.Value.(*entry)
@@ -245,13 +356,15 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Invalidations: c.invalidations,
-		Evictions:     c.evictions,
-		SkippedScans:  c.skipped,
-		Entries:       c.lru.Len(),
-		Bytes:         c.bytes,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Invalidations:     c.invalidations,
+		Evictions:         c.evictions,
+		SkippedScans:      c.skipped,
+		NegativePuts:      c.negPuts,
+		AdmissionDeferred: c.admDeferred,
+		Entries:           c.lru.Len(),
+		Bytes:             c.bytes,
 	}
 }
 

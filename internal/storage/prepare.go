@@ -3,6 +3,8 @@ package storage
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // This file implements the two-phase write path and the FIFO writer gate:
@@ -20,6 +22,12 @@ type writerGate struct {
 	mu      sync.Mutex
 	busy    bool
 	waiters []chan struct{}
+
+	// Contention telemetry: how many acquisitions had to queue behind a
+	// holder, and the total time spent queued. Group-commit batching exists
+	// to amortize exactly this wait, so it is surfaced through Store.Stats.
+	waits  atomic.Uint64
+	waitNs atomic.Int64
 }
 
 func (g *writerGate) acquire() {
@@ -32,7 +40,10 @@ func (g *writerGate) acquire() {
 	ch := make(chan struct{})
 	g.waiters = append(g.waiters, ch)
 	g.mu.Unlock()
+	start := time.Now()
 	<-ch
+	g.waits.Add(1)
+	g.waitNs.Add(int64(time.Since(start)))
 }
 
 func (g *writerGate) release() {

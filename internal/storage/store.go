@@ -393,6 +393,11 @@ type Stats struct {
 	Commits       uint64
 	Checkpoints   uint64
 	PagesWritten  uint64
+	// GateWaits / GateWaitNs count writer-gate acquisitions that queued
+	// behind a holder and the total nanoseconds spent queued — the
+	// contention that group commit amortizes.
+	GateWaits  uint64
+	GateWaitNs int64
 }
 
 // Stats returns a snapshot of operational counters.
@@ -412,6 +417,8 @@ func (s *Store) Stats() Stats {
 		Commits:       s.statCommits,
 		Checkpoints:   s.statCheckpoints,
 		PagesWritten:  s.statPagesOut,
+		GateWaits:     s.writer.waits.Load(),
+		GateWaitNs:    s.writer.waitNs.Load(),
 	}
 }
 

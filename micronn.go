@@ -161,6 +161,33 @@
 //
 //	sdb, err := micronn.OpenSharded("photos.d", micronn.Options{Dim: 128, Shards: 4})
 //
+// # Ingest path
+//
+// With Options.LSMIngest the write path is LSM-shaped. Upsert, UpsertBatch,
+// Delete and DeleteBatch enqueue onto an in-memory memtable under a short
+// mutex and return after a group commit: a dedicated committer goroutine
+// batches every writer that accumulated while the previous transaction held
+// the single-writer gate into one storage transaction, so the gate wait,
+// the WAL append and the data-generation bump are paid once per group
+// instead of once per call. Each waiter receives its group's commit error —
+// a call that returned nil is durable exactly as before — and a strict
+// Delete of an absent id fails only that caller, never its group.
+//
+// When the WAL'd delta store exceeds Options.MemtableMaxItems or
+// MemtableMaxBytes, the committer seals it into an immutable sorted run:
+// id-ordered rows moved out of the delta in one transaction, quantized with
+// the current codebook when one is trained. Searches read the delta, the
+// runs and the IVF partitions under one snapshot with newest-wins
+// shadowing (deletes of run-resident rows leave tombstones folded out at
+// compaction). Maintain compacts the oldest run into the partitions via
+// the same two-phase prepare path as splits, so compaction never stalls
+// point writes; flush backpressure bounds the unmerged total — past
+// Options.MaxUnmergedItems the committer kicks a background compaction,
+// and past HardLimitItems it briefly holds the pipeline so compaction
+// catches up. Stats.Ingest reports group sizes, seals, unmerged rows and
+// backpressure; the MICRONN_TEST_INGEST=lsm environment variable
+// force-enables the path for the CI matrix leg.
+//
 // # Quick start
 //
 //	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128})
@@ -204,6 +231,13 @@ const EnvCacheVar = "MICRONN_TEST_CACHE"
 // whole suite can re-run quantized (the CI quantization leg, mirroring
 // MICRONN_TEST_BACKEND). It never affects reopening an existing database.
 const EnvQuantVar = "MICRONN_TEST_QUANT"
+
+// EnvIngestVar is an environment variable for the test matrix: setting it
+// to "lsm" force-enables the LSM ingest path (Options.LSMIngest) in every
+// Open and OpenSharded that did not enable it, so the whole suite can
+// re-run with group-committed writes and sealed runs (the CI ingest leg,
+// mirroring MICRONN_TEST_BACKEND).
+const EnvIngestVar = "MICRONN_TEST_INGEST"
 
 // Metric is the vector distance metric.
 type Metric = vec.Metric
@@ -401,6 +435,27 @@ type Options struct {
 	// section for the exactness contract). On a sharded database one
 	// cache serves the whole router with per-shard validation.
 	ResultCache ResultCacheOptions
+	// LSMIngest enables the LSM-shaped ingest path (see the package
+	// documentation's "Ingest path" section): writes enqueue onto a
+	// memtable and return after a group commit, the delta store seals
+	// into immutable sorted runs past the memtable bounds, and
+	// maintenance compacts the runs back into the IVF partitions. The
+	// MICRONN_TEST_INGEST=lsm environment variable force-enables it.
+	LSMIngest bool
+	// MemtableMaxItems is the delta-store row count that triggers a seal
+	// into a sorted run (0 = 4096). Only meaningful with LSMIngest.
+	MemtableMaxItems int
+	// MemtableMaxBytes bounds the delta store by approximate vector bytes
+	// instead (0 = 4 MiB); the lower of the two bounds wins.
+	MemtableMaxBytes int64
+	// MaxUnmergedItems is the flush-backpressure soft limit: once
+	// delta + run rows exceed it, the committer triggers a background
+	// compaction (0 = 4x the memtable row bound).
+	MaxUnmergedItems int
+	// HardLimitItems is the backpressure hard limit: past it the
+	// committer briefly holds the ingest pipeline while compaction
+	// catches up (0 = 2x MaxUnmergedItems).
+	HardLimitItems int
 	// Seed makes index construction deterministic.
 	Seed int64
 	// Shards is the shard count for OpenSharded (create time only): items
@@ -419,6 +474,14 @@ type ResultCacheOptions struct {
 	MaxEntries int
 	// MaxBytes bounds the cache's approximate memory (0 = 8 MiB).
 	MaxBytes int64
+	// AdmissionTTL tunes the filter-heavy admission doorkeeper: a
+	// response to a query carrying two or more filters is cached only on
+	// its second occurrence within this window, so one-off analytic
+	// queries cannot churn the LRU (0 = 1 minute). Negative responses
+	// (zero results) bypass the doorkeeper and are cached immediately —
+	// they are tiny, and generation validation still invalidates them the
+	// moment a write commits.
+	AdmissionTTL time.Duration
 
 	// ignoreEnv suppresses the MICRONN_TEST_CACHE override — set on the
 	// per-shard Options by OpenSharded, whose router-level cache already
@@ -437,7 +500,32 @@ func (o ResultCacheOptions) resolve() *rescache.Cache {
 	if !enabled {
 		return nil
 	}
-	return rescache.New(o.MaxEntries, o.MaxBytes)
+	c := rescache.New(o.MaxEntries, o.MaxBytes)
+	c.SetAdmissionTTL(o.AdmissionTTL)
+	return c
+}
+
+// filterHeavyFilters is the filter count at which a query is "filter-heavy"
+// for cache admission (see ResultCacheOptions.AdmissionTTL).
+const filterHeavyFilters = 2
+
+// searchPutPolicy classifies a search response for cache admission.
+func searchPutPolicy(nFilters int, resp *SearchResponse) rescache.PutPolicy {
+	return rescache.PutPolicy{
+		FilterHeavy: nFilters >= filterHeavyFilters,
+		Negative:    len(resp.Results) == 0,
+	}
+}
+
+// batchPutPolicy classifies a batch response: negative only when every
+// query came back empty (batches carry no filters, so never filter-heavy).
+func batchPutPolicy(resp *BatchSearchResponse) rescache.PutPolicy {
+	for _, rs := range resp.Results {
+		if len(rs) > 0 {
+			return rescache.PutPolicy{}
+		}
+	}
+	return rescache.PutPolicy{Negative: true}
 }
 
 // DB is an embedded MicroNN database. All methods are safe for concurrent
@@ -463,6 +551,9 @@ type DB struct {
 
 	// cache is the generation-versioned result cache (nil when disabled).
 	cache *rescache.Cache
+
+	// ing is the LSM ingest committer (nil unless Options.LSMIngest).
+	ing *ingester
 
 	// Background maintainer lifecycle (nil channels when AutoMaintain is
 	// off). maintStop is closed exactly once by stopMaintainer; maintDone
@@ -502,6 +593,9 @@ func Open(path string, opts Options) (*DB, error) {
 	}
 	if opts.ClipPercentile >= 0.5 {
 		return nil, badRequestf("ClipPercentile %v out of range [0, 0.5)", opts.ClipPercentile)
+	}
+	if !opts.LSMIngest && os.Getenv(EnvIngestVar) == "lsm" {
+		opts.LSMIngest = true
 	}
 	if opts.Quantization == QuantNone {
 		if name := os.Getenv(EnvQuantVar); name != "" {
@@ -592,6 +686,10 @@ func Open(path string, opts Options) (*DB, error) {
 		opts.FlushThreshold = ix.Config().TargetPartitionSize
 	}
 	db := &DB{store: store, rdb: rdb, ix: ix, opts: opts, cache: opts.ResultCache.resolve()}
+	if opts.LSMIngest {
+		db.ing = newIngester(db)
+		go db.ing.run()
+	}
 	if opts.AutoMaintain {
 		interval := opts.MaintainInterval
 		if interval <= 0 {
@@ -610,6 +708,12 @@ func Open(path string, opts Options) (*DB, error) {
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
+	}
+	// Stop the ingest committer first: it drains queued writers with a
+	// final group commit (they get real answers, not ErrClosed) and waits
+	// for any background compaction it kicked, all against a live store.
+	if db.ing != nil {
+		db.ing.shutdown()
 	}
 	db.stopMaintainer()
 	// A manual Maintain pass may still be in flight; it observes closed at
@@ -669,10 +773,15 @@ func (db *DB) Upsert(item Item) error {
 	return db.UpsertBatch([]Item{item})
 }
 
-// UpsertBatch inserts or replaces items in one atomic transaction.
+// UpsertBatch inserts or replaces items in one atomic transaction. Under
+// Options.LSMIngest the batch rides a group commit shared with concurrent
+// writers; the batch itself stays atomic either way.
 func (db *DB) UpsertBatch(items []Item) error {
 	if err := db.checkOpen(); err != nil {
 		return err
+	}
+	if db.ing != nil {
+		return db.ing.upsert(items)
 	}
 	err := db.store.Update(func(wt *storage.WriteTxn) error {
 		for _, item := range items {
@@ -697,6 +806,9 @@ func (db *DB) Delete(id string) error {
 	if err := db.checkOpen(); err != nil {
 		return err
 	}
+	if db.ing != nil {
+		return db.ing.delete([]string{id}, true)
+	}
 	err := db.store.Update(func(wt *storage.WriteTxn) error {
 		return db.ix.Delete(wt, id)
 	})
@@ -710,6 +822,9 @@ func (db *DB) Delete(id string) error {
 func (db *DB) DeleteBatch(ids []string) error {
 	if err := db.checkOpen(); err != nil {
 		return err
+	}
+	if db.ing != nil {
+		return db.ing.delete(ids, false)
 	}
 	return db.store.Update(func(wt *storage.WriteTxn) error {
 		for _, id := range ids {
@@ -977,6 +1092,7 @@ func (db *DB) Search(req SearchRequest) (*SearchResponse, error) {
 		return resp, err
 	}
 	return cachedQuery(db, db.searchCacheKey(req), cloneSearchResponse, searchResponseSize,
+		func(resp *SearchResponse) rescache.PutPolicy { return searchPutPolicy(len(req.Filters), resp) },
 		func(rt *storage.ReadTxn) (*SearchResponse, error) { return db.searchAt(rt, req) })
 }
 
@@ -1007,7 +1123,7 @@ type flightResult[T any] struct {
 // run executes the query at a pinned snapshot; clone copies the shared
 // cached value before handing it to the caller; size feeds the byte
 // budget.
-func cachedQuery[T any](db *DB, key rescache.Key, clone func(T) T, size func(T) int64, run func(*storage.ReadTxn) (T, error)) (T, error) {
+func cachedQuery[T any](db *DB, key rescache.Key, clone func(T) T, size func(T) int64, pol func(T) rescache.PutPolicy, run func(*storage.ReadTxn) (T, error)) (T, error) {
 	var zero T
 	readGen := func() ([]int64, error) {
 		rt, err := db.store.BeginRead()
@@ -1039,7 +1155,7 @@ func cachedQuery[T any](db *DB, key rescache.Key, clone func(T) T, size func(T) 
 		if err != nil {
 			return zero, nil, err
 		}
-		db.cache.Put(key, gens, resp, size(resp))
+		db.cache.PutWithPolicy(key, gens, resp, size(resp), pol(resp))
 		return resp, gens, nil
 	}
 
@@ -1228,6 +1344,7 @@ func (db *DB) BatchSearch(req BatchSearchRequest) (*BatchSearchResponse, error) 
 		return resp, err
 	}
 	return cachedQuery(db, db.batchCacheKey(req), cloneBatchSearchResponse, batchSearchResponseSize,
+		batchPutPolicy,
 		func(rt *storage.ReadTxn) (*BatchSearchResponse, error) { return db.batchSearchAt(rt, queries, req) })
 }
 
@@ -1255,8 +1372,9 @@ type MaintenanceReport struct {
 	// Steps is the number of maintenance steps executed, each in its own
 	// short write transaction.
 	Steps int
-	// Rebuilds/Flushes/Splits/Merges break the steps down by kind.
-	Rebuilds, Flushes, Splits, Merges int
+	// Rebuilds/Flushes/Splits/Merges/Compactions break the steps down by
+	// kind.
+	Rebuilds, Flushes, Splits, Merges, Compactions int
 	// Duration of the maintenance work.
 	Duration time.Duration
 	// RowChanges is the number of database row writes performed — the
@@ -1292,6 +1410,8 @@ func (r *MaintenanceReport) count(a ivf.MaintenanceAction) {
 		r.Splits++
 	case ivf.ActionMerge:
 		r.Merges++
+	case ivf.ActionCompact:
+		r.Compactions++
 	}
 }
 
@@ -1319,8 +1439,13 @@ func (r *MaintenanceReport) absorb(plan *ivf.MaintenancePlan, ms *ivf.Maintenanc
 type MaintenanceTotals struct {
 	// Passes counts completed maintenance passes (Maintain calls).
 	Passes int64
-	// Rebuilds/Flushes/Splits/Merges count executed steps by kind.
-	Rebuilds, Flushes, Splits, Merges int64
+	// Rebuilds/Flushes/Splits/Merges/Compactions count executed steps by
+	// kind (Compactions are sorted-run folds under LSM ingest).
+	Rebuilds, Flushes, Splits, Merges, Compactions int64
+	// StaleRetries counts two-phase maintenance plans (splits, run
+	// compactions) invalidated by a concurrent commit and retried — the
+	// price of keeping the writer gate open through the expensive half.
+	StaleRetries int64
 	// Errors counts background passes that failed.
 	Errors int64
 }
@@ -1340,7 +1465,16 @@ func (db *DB) recordStep(a ivf.MaintenanceAction) {
 		db.maintTotals.Splits++
 	case ivf.ActionMerge:
 		db.maintTotals.Merges++
+	case ivf.ActionCompact:
+		db.maintTotals.Compactions++
 	}
+}
+
+// recordStaleRetry counts one invalidated-and-retried two-phase plan.
+func (db *DB) recordStaleRetry() {
+	db.maintMu.Lock()
+	db.maintTotals.StaleRetries++
+	db.maintMu.Unlock()
 }
 
 // recordMaintenance marks a finished pass.
@@ -1472,6 +1606,18 @@ func (db *DB) Maintain() (*MaintenanceReport, error) {
 			rep.absorb(preview, ms)
 			continue
 		}
+		if preview.Action == ivf.ActionCompact {
+			// Run compaction mirrors the split: the fold's assignment
+			// work runs against a pinned snapshot under the run's own
+			// lock, with only the apply step inside the writer gate.
+			ms, err := db.compactTwoPhase(-preview.Partition)
+			if err != nil {
+				return nil, err
+			}
+			db.recordStep(ivf.ActionCompact)
+			rep.absorb(preview, ms)
+			continue
+		}
 		var plan *ivf.MaintenancePlan
 		var ms *ivf.MaintenanceStats
 		err = db.store.Update(func(wt *storage.WriteTxn) error {
@@ -1506,11 +1652,36 @@ func (db *DB) splitTwoPhase(part int64) (*ivf.MaintenanceStats, error) {
 		if !errors.Is(err, ivf.ErrPlanStale) {
 			return nil, err
 		}
+		db.recordStaleRetry()
 	}
 	var ms *ivf.MaintenanceStats
 	err := db.store.Update(func(wt *storage.WriteTxn) error {
 		var serr error
 		ms, serr = db.ix.SplitPartition(wt, part)
+		return serr
+	})
+	return ms, err
+}
+
+// compactTwoPhase folds one sorted run into the partitions with the same
+// prepare/validate/apply protocol (and the same stale-plan fallback) as
+// splitTwoPhase.
+func (db *DB) compactTwoPhase(runID int64) (*ivf.MaintenanceStats, error) {
+	const staleRetries = 3
+	for attempt := 0; attempt < staleRetries; attempt++ {
+		ms, err := db.ix.CompactRunTwoPhase(runID)
+		if err == nil {
+			return ms, nil
+		}
+		if !errors.Is(err, ivf.ErrPlanStale) {
+			return nil, err
+		}
+		db.recordStaleRetry()
+	}
+	var ms *ivf.MaintenanceStats
+	err := db.store.Update(func(wt *storage.WriteTxn) error {
+		var serr error
+		ms, serr = db.ix.CompactRun(wt, runID)
 		return serr
 	})
 	return ms, err
@@ -1552,6 +1723,15 @@ type Stats struct {
 	NeedsRebuild bool
 	// Maintenance accumulates the maintenance work done on this handle.
 	Maintenance MaintenanceTotals
+	// Ingest reports the LSM ingest path: group-commit batching, sealed
+	// sorted runs, tombstones and flush backpressure. The run counts are
+	// filled even when the path is disabled.
+	Ingest IngestStats
+	// GateWaits counts write transactions that queued behind the
+	// single-writer gate; GateWaitNs is their total queued time. Group
+	// commit exists to keep these flat under concurrent point writes.
+	GateWaits  uint64
+	GateWaitNs int64
 	// LastMaintainAction is the most recent maintenance pass's action
 	// ("" before the first pass).
 	LastMaintainAction string
@@ -1596,6 +1776,12 @@ type CacheStats struct {
 	// SkippedShardScans counts per-shard scans avoided by partial reuse
 	// on a sharded database (shards whose generation had not moved).
 	SkippedShardScans uint64
+	// NegativePuts counts cached empty responses (negative caching);
+	// AdmissionDeferred counts filter-heavy responses the doorkeeper
+	// declined to cache on first sight (see
+	// ResultCacheOptions.AdmissionTTL).
+	NegativePuts      uint64
+	AdmissionDeferred uint64
 	// Entries and Bytes describe the current contents.
 	Entries int
 	Bytes   int64
@@ -1624,6 +1810,8 @@ func cacheStatsOf(c *rescache.Cache) CacheStats {
 		Invalidations:     st.Invalidations,
 		Evictions:         st.Evictions,
 		SkippedShardScans: st.SkippedScans,
+		NegativePuts:      st.NegativePuts,
+		AdmissionDeferred: st.AdmissionDeferred,
 		Entries:           st.Entries,
 		Bytes:             st.Bytes,
 	}
@@ -1648,6 +1836,10 @@ func (db *DB) Stats() (Stats, error) {
 		out.DeltaCount = st.DeltaCount
 		out.NumPartitions = st.NumPartitions
 		out.AvgPartitionSize = st.AvgPartitionSize
+		out.Ingest.RunCount = st.RunCount
+		out.Ingest.RunRows = st.RunRows
+		out.Ingest.TombstoneRows = st.DeadRows
+		out.Ingest.UnmergedItems = st.DeltaCount + st.RunRows
 		out.SmallestPartition, out.LargestPartition, err = db.ix.PartitionSizeBounds(rt)
 		if err != nil {
 			return err
@@ -1664,11 +1856,16 @@ func (db *DB) Stats() (Stats, error) {
 		out.LastMaintainAction = db.lastMaint.Action
 	}
 	db.maintMu.Unlock()
+	if db.ing != nil {
+		db.ing.counters(&out.Ingest)
+	}
 	cfg := db.ix.Config()
 	out.Quantization = cfg.Quantization
 	out.ClipPercentile = cfg.ClipPercentile
 	ss := db.store.Stats()
 	out.Backend = ss.Backend.String()
+	out.GateWaits = ss.GateWaits
+	out.GateWaitNs = ss.GateWaitNs
 	out.CacheBytes = ss.PoolBytes
 	out.CacheBudget = db.store.PoolBudget()
 	out.CacheHits = ss.PoolHits

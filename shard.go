@@ -620,7 +620,8 @@ func (s *ShardedDB) cachedSearchOn(rts []*storage.ReadTxn, req SearchRequest, ke
 	}
 	if store {
 		entry := &shardSearchEntry{outs: outs, resp: resp}
-		s.cache.Put(key, gens, entry, shardSearchEntrySize(entry))
+		s.cache.PutWithPolicy(key, gens, entry, shardSearchEntrySize(entry),
+			searchPutPolicy(len(req.Filters), resp))
 	}
 	return resp, gens, nil
 }
@@ -871,7 +872,7 @@ func (s *ShardedDB) cachedBatchSearchOn(rts []*storage.ReadTxn, req BatchSearchR
 	}
 	if store {
 		entry := &shardBatchEntry{outs: outs, resp: resp}
-		s.cache.Put(key, gens, entry, shardBatchEntrySize(entry))
+		s.cache.PutWithPolicy(key, gens, entry, shardBatchEntrySize(entry), batchPutPolicy(resp))
 	}
 	return resp, gens, nil
 }
@@ -1064,6 +1065,7 @@ func mergeReports(reps []*MaintenanceReport) *MaintenanceReport {
 		out.Flushes += rep.Flushes
 		out.Splits += rep.Splits
 		out.Merges += rep.Merges
+		out.Compactions += rep.Compactions
 		out.Duration += rep.Duration
 		out.RowChanges += rep.RowChanges
 		out.VectorsAssigned += rep.VectorsAssigned
@@ -1172,7 +1174,26 @@ func AggregateStats(per []Stats) Stats {
 		out.Maintenance.Flushes += st.Maintenance.Flushes
 		out.Maintenance.Splits += st.Maintenance.Splits
 		out.Maintenance.Merges += st.Maintenance.Merges
+		out.Maintenance.Compactions += st.Maintenance.Compactions
+		out.Maintenance.StaleRetries += st.Maintenance.StaleRetries
 		out.Maintenance.Errors += st.Maintenance.Errors
+		out.Ingest.Enabled = out.Ingest.Enabled || st.Ingest.Enabled
+		out.Ingest.GroupCommits += st.Ingest.GroupCommits
+		out.Ingest.GroupedOps += st.Ingest.GroupedOps
+		if st.Ingest.MaxGroupSize > out.Ingest.MaxGroupSize {
+			out.Ingest.MaxGroupSize = st.Ingest.MaxGroupSize
+		}
+		out.Ingest.Seals += st.Ingest.Seals
+		out.Ingest.SealedRows += st.Ingest.SealedRows
+		out.Ingest.RunCount += st.Ingest.RunCount
+		out.Ingest.RunRows += st.Ingest.RunRows
+		out.Ingest.TombstoneRows += st.Ingest.TombstoneRows
+		out.Ingest.UnmergedItems += st.Ingest.UnmergedItems
+		out.Ingest.BackpressureTriggers += st.Ingest.BackpressureTriggers
+		out.Ingest.BackpressureWaits += st.Ingest.BackpressureWaits
+		out.Ingest.BackpressureWaitNs += st.Ingest.BackpressureWaitNs
+		out.GateWaits += st.GateWaits
+		out.GateWaitNs += st.GateWaitNs
 		if st.LastMaintainAction != "" {
 			out.LastMaintainAction = st.LastMaintainAction
 		}
@@ -1195,7 +1216,7 @@ func AggregateStats(per []Stats) Stats {
 		out.FileBytes += st.FileBytes
 	}
 	if out.NumPartitions > 0 {
-		out.AvgPartitionSize = float64(out.NumVectors-out.DeltaCount) / float64(out.NumPartitions)
+		out.AvgPartitionSize = float64(out.NumVectors-out.DeltaCount-out.Ingest.RunRows) / float64(out.NumPartitions)
 	}
 	return out
 }
