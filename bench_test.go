@@ -1241,7 +1241,7 @@ func BenchmarkGroupCommitIngest(b *testing.B) {
 		return time.Since(start)
 	}
 
-	var singleRate, groupedRate, avgGroup, idleP99, stormP99, recall float64
+	var singleRate, groupedRate, avgGroup, idleP99, stormP99, recall, writeAmp float64
 	for iter := 0; iter < b.N; iter++ {
 		// Single-writer baseline: one goroutine, one txn per insert.
 		db := mk(fmt.Sprintf("gci-single%d", iter), false)
@@ -1254,8 +1254,15 @@ func BenchmarkGroupCommitIngest(b *testing.B) {
 		singleRate += float64(stormN) / time.Since(start).Seconds()
 		db.Close()
 
-		// Grouped: 8 writers race into the committer.
+		// Grouped: 8 writers race into the committer. Maintenance row
+		// writes are measured from here to the quiesced end of the iter:
+		// divided by the rows ingested they are the write-amplification
+		// factor the tiered compaction policy keeps flat.
 		db = mk(fmt.Sprintf("gci-grouped%d", iter), true)
+		st0, err := db.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
 		const writers = 8
 		var wg sync.WaitGroup
 		start = time.Now()
@@ -1291,6 +1298,7 @@ func BenchmarkGroupCommitIngest(b *testing.B) {
 		}
 		stop := make(chan struct{})
 		werr := make(chan error, 1)
+		var stormed int
 		go func() {
 			for i := 0; i < 1500; i++ {
 				select {
@@ -1303,6 +1311,7 @@ func BenchmarkGroupCommitIngest(b *testing.B) {
 					werr <- err
 					return
 				}
+				stormed++
 			}
 			werr <- nil
 		}()
@@ -1321,6 +1330,12 @@ func BenchmarkGroupCommitIngest(b *testing.B) {
 		if _, err := db.Maintain(); err != nil {
 			b.Fatal(err)
 		}
+		st1, err := db.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		writeAmp += float64(st1.Maintenance.RowChanges-st0.Maintenance.RowChanges) /
+			float64(stormN+stormed)
 		const measured = 15
 		var r float64
 		for q := 0; q < measured; q++ {
@@ -1357,4 +1372,212 @@ func BenchmarkGroupCommitIngest(b *testing.B) {
 	b.ReportMetric(idleP99/float64(b.N), "idle-p99-ms")
 	b.ReportMetric(stormP99/float64(b.N), "storm-p99-ms")
 	b.ReportMetric(recall/float64(b.N), "recall@10")
+	b.ReportMetric(writeAmp/float64(b.N), "write-amp-rows/row")
+}
+
+// BenchmarkTieredCompaction compares LSM maintenance write amplification
+// between the tiered compaction policy (whole tiers merged in one pass,
+// the PR 9 default) and the oldest-run-only policy it replaced, over an
+// identical saturating ingest with an identical maintenance cadence. It
+// also measures run-zone pruning: sealed waves carry disjoint indexed
+// attribute values, so a filtered search skips the non-matching runs via
+// their attribute Blooms — pruned-runs must be > 0 at prune-divergences 0
+// (results byte-identical with pruning on and off).
+func BenchmarkTieredCompaction(b *testing.B) {
+	spec, err := workload.ByName("InternalA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(benchScale)
+	ds := spec.Generate()
+	n := ds.Train.Rows
+	bootstrap := n / 2
+	row := func(i int) []float32 { return ds.Train.Row(i % n) }
+	const ingestN = 2048
+
+	ampRun := func(name string, maxCompact int) (float64, int64) {
+		db, err := micronn.Open(filepath.Join(b.TempDir(), name+".mnn"), micronn.Options{
+			Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+			TargetPartitionSize: 100,
+			LSMIngest:           true, MemtableMaxItems: 256,
+			MaxCompactRuns:   maxCompact,
+			MaxUnmergedItems: 1 << 20, // cadence below is the only maintenance
+			// No splits: partition rebalancing noise would swamp the
+			// compaction-policy difference this benchmark isolates.
+			MaxPartitionSize: 1 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		items := make([]micronn.Item, 0, bootstrap)
+		for i := 0; i < bootstrap; i++ {
+			items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+		base, err := db.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Memtable-sized waves, each awaited until the async sealer turns it
+		// into a run: both variants drain the identical run set, so the
+		// comparison isolates the compaction policy, not seal timing.
+		const waveSize = 256
+		for wave := 0; wave < ingestN/waveSize; wave++ {
+			items := make([]micronn.Item, 0, waveSize)
+			for i := 0; i < waveSize; i++ {
+				items = append(items, micronn.Item{
+					ID: fmt.Sprintf("amp-%s-%d", name, wave*waveSize+i), Vector: row(wave*waveSize + i),
+				})
+			}
+			if err := db.UpsertBatch(items); err != nil {
+				b.Fatal(err)
+			}
+			for deadline := time.Now().Add(5 * time.Second); ; {
+				st, err := db.Stats()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Ingest.RunCount >= int64(wave+1) || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			st, err := db.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Ingest.RunCount == 0 {
+				break
+			}
+			if _, err := db.Maintain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := db.FlushDelta(); err != nil {
+			b.Fatal(err)
+		}
+		end, err := db.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(end.PagesWritten-base.PagesWritten)/float64(ingestN), name[:6]+"-pages/row")
+		return float64(end.Maintenance.RowChanges-base.Maintenance.RowChanges) / float64(ingestN),
+			end.Maintenance.Compactions - base.Maintenance.Compactions
+	}
+
+	pruneRun := func() (pruned int64, divergences int) {
+		db, err := micronn.Open(filepath.Join(b.TempDir(), "prune.mnn"), micronn.Options{
+			Dim: spec.Dim, Metric: spec.Metric, Seed: spec.Seed,
+			TargetPartitionSize: 100,
+			LSMIngest:           true, MemtableMaxItems: 256,
+			MaxUnmergedItems: 1 << 20,
+			Attributes:       []micronn.AttributeDef{{Name: "wave", Type: micronn.AttrText, Indexed: true}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		items := make([]micronn.Item, 0, bootstrap)
+		for i := 0; i < bootstrap; i++ {
+			items = append(items, micronn.Item{
+				ID: workload.AssetID(i), Vector: ds.Train.Row(i),
+				Attributes: map[string]any{"wave": "base"},
+			})
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+		for w, tag := range []string{"alpha", "beta", "gamma"} {
+			wave := make([]micronn.Item, 0, 256)
+			for i := 0; i < 256; i++ {
+				wave = append(wave, micronn.Item{
+					ID: fmt.Sprintf("pr-%s-%d", tag, i), Vector: row(bootstrap + w*256 + i),
+					Attributes: map[string]any{"wave": tag},
+				})
+			}
+			if err := db.UpsertBatch(wave); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Seals are asynchronous; wait for at least two waves to become runs.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			st, err := db.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Ingest.RunCount >= 2 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		query := func() [][]string {
+			var out [][]string
+			for i := 0; i < 25; i++ {
+				resp, err := db.Search(micronn.SearchRequest{
+					Vector: ds.Queries.Row(i % ds.Queries.Rows), K: 10,
+					Filters: []micronn.Filter{micronn.Eq("wave", "alpha")},
+					Plan:    micronn.PlanPostFilter, NoCache: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids := make([]string, len(resp.Results))
+				for j, r := range resp.Results {
+					ids[j] = r.ID
+				}
+				out = append(out, ids)
+			}
+			return out
+		}
+		on := query()
+		st, err := db.Stats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.SetZonePruning(false)
+		off := query()
+		for i := range on {
+			if len(on[i]) != len(off[i]) {
+				divergences++
+				continue
+			}
+			for j := range on[i] {
+				if on[i][j] != off[i][j] {
+					divergences++
+					break
+				}
+			}
+		}
+		return st.Ingest.ZonePrunedRuns, divergences
+	}
+
+	var tiered, oldest, tieredMerges, oldestMerges, pruned, diverged float64
+	for iter := 0; iter < b.N; iter++ {
+		tAmp, tM := ampRun(fmt.Sprintf("tiered%d", iter), 0)
+		oAmp, oM := ampRun(fmt.Sprintf("oldest%d", iter), 1)
+		p, d := pruneRun()
+		tiered += tAmp
+		oldest += oAmp
+		tieredMerges += float64(tM)
+		oldestMerges += float64(oM)
+		pruned += float64(p)
+		diverged += float64(d)
+	}
+	b.ReportMetric(tiered/float64(b.N), "tiered-write-amp")
+	b.ReportMetric(oldest/float64(b.N), "oldest-write-amp")
+	b.ReportMetric(tieredMerges/float64(b.N), "tiered-merges")
+	b.ReportMetric(oldestMerges/float64(b.N), "oldest-merges")
+	b.ReportMetric(pruned/float64(b.N), "pruned-runs")
+	b.ReportMetric(diverged/float64(b.N), "prune-divergences")
 }

@@ -290,8 +290,8 @@ func cmdMaintain(path string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("maintain: %s (%d steps: %d flush, %d split, %d merge, %d rebuild), %d rows changed, %v; %d partitions sized [%d, %d]\n",
-			rep.Action, rep.Steps, rep.Flushes, rep.Splits, rep.Merges, rep.Rebuilds,
+		fmt.Printf("maintain: %s (%d steps: %d compact, %d flush, %d split, %d merge, %d rebuild), %d rows changed, %v; %d partitions sized [%d, %d]\n",
+			rep.Action, rep.Steps, rep.Compactions, rep.Flushes, rep.Splits, rep.Merges, rep.Rebuilds,
 			rep.RowChanges, rep.Duration.Round(time.Millisecond),
 			st.NumPartitions, st.SmallestPartition, st.LargestPartition)
 		if *watch <= 0 {
@@ -451,14 +451,21 @@ func cmdStats(path string) error {
 		}
 		fmt.Printf("lsm ingest:       %d ops in %d group commits (avg %.1f, max %d), %d seals (%d rows)\n",
 			in.GroupedOps, in.GroupCommits, avgGroup, in.MaxGroupSize, in.Seals, in.SealedRows)
+		if in.SealFailures > 0 {
+			fmt.Printf("  seal failures:  %d (last: %s)\n", in.SealFailures, in.LastSealError)
+		}
 		fmt.Printf("  sorted runs:    %d runs, %d live rows, %d tombstones, %d unmerged\n",
 			in.RunCount, in.RunRows, in.TombstoneRows, in.UnmergedItems)
 		fmt.Printf("  backpressure:   %d triggers, %d hard-limit waits (%.1f ms total)\n",
 			in.BackpressureTriggers, in.BackpressureWaits, float64(in.BackpressureWaitNs)/1e6)
 	}
+	if in := st.Ingest; in.ZonePruneChecks > 0 {
+		fmt.Printf("zone pruning:     %d run scans skipped across %d checks\n",
+			in.ZonePrunedRuns, in.ZonePruneChecks)
+	}
 	if m := st.Maintenance; m.Passes > 0 {
-		fmt.Printf("maintenance:      %d passes (%d flush, %d split, %d merge, %d compact, %d rebuild), %d stale retries, %d errors\n",
-			m.Passes, m.Flushes, m.Splits, m.Merges, m.Compactions, m.Rebuilds, m.StaleRetries, m.Errors)
+		fmt.Printf("maintenance:      %d passes (%d flush, %d split, %d merge, %d compact, %d rebuild), %d stale retries, %d errors, %d row changes\n",
+			m.Passes, m.Flushes, m.Splits, m.Merges, m.Compactions, m.Rebuilds, m.StaleRetries, m.Errors, m.RowChanges)
 	}
 	fmt.Printf("writer gate:      %d waits (%.1f ms total)\n",
 		st.GateWaits, float64(st.GateWaitNs)/1e6)

@@ -80,6 +80,16 @@ type ingester struct {
 	// Single-flight background compaction.
 	bgActive atomic.Bool
 	bgWG     sync.WaitGroup
+
+	// Single-flight background seal (see triggerSeal). sealFailures and
+	// lastSealErr surface a persistently failing seal: durability is safe
+	// regardless (it lives in the group commit), but unmerged rows would
+	// pile up silently.
+	sealActive   atomic.Bool
+	sealWG       sync.WaitGroup
+	sealFailures atomic.Uint64
+	sealErrMu    sync.Mutex
+	lastSealErr  string
 }
 
 // ingestDefaults (see Options).
@@ -275,26 +285,16 @@ func (g *ingester) unmerged() (delta, unmerged int64, err error) {
 	return delta, unmerged, err
 }
 
-// afterGroup runs the between-groups policy: seal the delta into a sorted
-// run past the memtable bounds, and apply flush backpressure when unmerged
-// rows outrun compaction. Seal failures are tolerated — durability lives in
-// the group commit; the next group retries the seal.
+// afterGroup runs the between-groups policy: hand the delta to the
+// background sealer past the memtable bounds, and apply flush backpressure
+// when unmerged rows outrun compaction.
 func (g *ingester) afterGroup() {
 	delta, unmerged, err := g.unmerged()
 	if err != nil {
 		return
 	}
 	if g.db.ix.SupportsRuns() && delta >= g.sealItems {
-		var sealed int64
-		err := g.db.store.Update(func(wt *storage.WriteTxn) error {
-			var e error
-			sealed, e = g.db.ix.SealDelta(wt)
-			return e
-		})
-		if err == nil && sealed > 0 {
-			g.seals.Add(1)
-			g.sealedRows.Add(sealed)
-		}
+		g.triggerSeal()
 	}
 	if unmerged < g.maxUnmerged {
 		return
@@ -325,6 +325,43 @@ func (g *ingester) afterGroup() {
 	g.bpWaitNs.Add(int64(time.Since(start)))
 }
 
+// triggerSeal seals the delta into a sorted run on a background goroutine,
+// single-flight, so no group commit ever waits behind the seal
+// transaction. The crash contract is unchanged: durability lives in the
+// group txn, and the seal runs in its own transaction — after a crash the
+// rows are in the delta XOR the run, never torn. Failures are counted and
+// the error retained (durability is unaffected, but a seal that fails
+// forever must be observable); the next trigger retries.
+func (g *ingester) triggerSeal() {
+	if !g.sealActive.CompareAndSwap(false, true) {
+		return
+	}
+	g.sealWG.Add(1)
+	go func() {
+		defer g.sealWG.Done()
+		defer g.sealActive.Store(false)
+		var sealed int64
+		err := g.db.store.Update(func(wt *storage.WriteTxn) error {
+			var e error
+			sealed, e = g.db.ix.SealDelta(wt)
+			return e
+		})
+		if err != nil {
+			if !errors.Is(err, ErrClosed) && !errors.Is(err, storage.ErrClosed) {
+				g.sealFailures.Add(1)
+				g.sealErrMu.Lock()
+				g.lastSealErr = err.Error()
+				g.sealErrMu.Unlock()
+			}
+			return
+		}
+		if sealed > 0 {
+			g.seals.Add(1)
+			g.sealedRows.Add(sealed)
+		}
+	}()
+}
+
 // triggerMaintain starts one background maintenance pass unless one started
 // here is already running (single-flight; the AutoMaintain loop, if any,
 // runs independently).
@@ -346,10 +383,12 @@ func (g *ingester) triggerMaintain() {
 }
 
 // shutdown stops the committer (draining queued writers with a final group
-// commit) and waits for any background compaction it started.
+// commit) and waits for any background seal or compaction it started — the
+// store must not close under an in-flight seal transaction.
 func (g *ingester) shutdown() {
 	close(g.stop)
 	<-g.done
+	g.sealWG.Wait()
 	g.bgWG.Wait()
 }
 
@@ -367,8 +406,14 @@ type IngestStats struct {
 	GroupedOps   uint64
 	MaxGroupSize int64
 	// Seals counts delta-to-run seals; SealedRows the rows they moved.
-	Seals      uint64
-	SealedRows int64
+	// Seals run on a background goroutine (single-flight); SealFailures
+	// counts failed seal transactions and LastSealError keeps the most
+	// recent failure's message — durability is unaffected (it lives in the
+	// group commit), but a persistently failing seal stalls run formation.
+	Seals         uint64
+	SealedRows    int64
+	SealFailures  uint64
+	LastSealError string
 	// RunCount / RunRows are the live immutable sorted runs awaiting
 	// compaction; TombstoneRows counts deletes shadowing run rows.
 	RunCount      int64
@@ -382,6 +427,11 @@ type IngestStats struct {
 	BackpressureTriggers uint64
 	BackpressureWaits    uint64
 	BackpressureWaitNs   int64
+	// ZonePruneChecks counts searches' per-run zone/Bloom prune decisions;
+	// ZonePrunedRuns how many run scans they skipped (see internal/ivf
+	// zone.go). Filled from the index whether or not LSM ingest is enabled.
+	ZonePruneChecks int64
+	ZonePrunedRuns  int64
 }
 
 // counters snapshots the ingester-side counters into st.
@@ -392,6 +442,10 @@ func (g *ingester) counters(st *IngestStats) {
 	st.MaxGroupSize = g.maxGroup.Load()
 	st.Seals = g.seals.Load()
 	st.SealedRows = g.sealedRows.Load()
+	st.SealFailures = g.sealFailures.Load()
+	g.sealErrMu.Lock()
+	st.LastSealError = g.lastSealErr
+	g.sealErrMu.Unlock()
 	st.BackpressureTriggers = g.bpTriggers.Load()
 	st.BackpressureWaits = g.bpWaits.Load()
 	st.BackpressureWaitNs = g.bpWaitNs.Load()

@@ -399,5 +399,242 @@ func WriteStorm(cfg Config) error {
 	}
 	fmt.Fprintf(cfg.Out, "\ningest state after storms: %d runs (%d rows), %d unmerged, %d seals, %d backpressure triggers\n",
 		st.Ingest.RunCount, st.Ingest.RunRows, st.Ingest.UnmergedItems, st.Ingest.Seals, st.Ingest.BackpressureTriggers)
+
+	// --- Phase 3: compaction write amplification, tiered vs oldest-run ---
+	//
+	// The same saturating (100x-shaped, unpaced) ingest is replayed against
+	// two fresh stores that differ only in compaction policy: the tiered
+	// default (MaxCompactRuns=8, whole tiers merged in one pass) and the PR 8
+	// oldest-run-only policy (MaxCompactRuns=1). Both get the identical
+	// maintenance cadence and a full drain, then write amplification is
+	// compared two ways: logically (maintenance row writes per row ingested,
+	// Stats.Maintenance.RowChanges) and physically (WAL page images per row,
+	// Stats.PagesWritten). Merging a tier writes each destination partition
+	// once per merge instead of once per run, so both amplifications should
+	// come out at or below the single-run policy's.
+	const ampN = 4096
+	ampRun := func(name string, maxCompact int) (logAmp, pageAmp float64, merges int64, err error) {
+		path := filepath.Join(cfg.Dir, "storm-amp-"+name+".mnn")
+		os.Remove(path)
+		os.Remove(path + "-wal")
+		os.Remove(path + ".lock")
+		db, err := micronn.Open(path, micronn.Options{
+			Dim:                 spec.Dim,
+			Metric:              spec.Metric,
+			TargetPartitionSize: 100,
+			Seed:                spec.Seed,
+			LSMIngest:           true,
+			MemtableMaxItems:    512,
+			MaxCompactRuns:      maxCompact,
+			// Disable flush backpressure: the fixed Maintain cadence below
+			// is the only maintenance, so runs actually accumulate and the
+			// policies pick differently-sized merges. Splits are disabled
+			// too — partition rebalancing noise would swamp the
+			// compaction-policy difference this phase isolates.
+			MaxUnmergedItems: 1 << 20,
+			MaxPartitionSize: 1 << 20,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer db.Close()
+		items := make([]micronn.Item, 0, bootstrap)
+		for i := 0; i < bootstrap; i++ {
+			items = append(items, micronn.Item{ID: workload.AssetID(i), Vector: ds.Train.Row(i)})
+		}
+		if err := db.UpsertBatch(items); err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := db.Rebuild(); err != nil {
+			return 0, 0, 0, err
+		}
+		base, err := db.Stats()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// Memtable-sized waves, each awaited until the async sealer turns
+		// it into a run, so every ingested row reaches the partitions
+		// through compaction and both variants drain the identical run set
+		// — the comparison isolates the compaction policy, not seal
+		// timing.
+		const waveSize = 512
+		for wave := 0; wave < ampN/waveSize; wave++ {
+			items := make([]micronn.Item, 0, waveSize)
+			for i := 0; i < waveSize; i++ {
+				id := fmt.Sprintf("amp-%s-%d", name, wave*waveSize+i)
+				items = append(items, micronn.Item{ID: id, Vector: row(wave*waveSize + i)})
+			}
+			if err := db.UpsertBatch(items); err != nil {
+				return 0, 0, 0, err
+			}
+			for deadline := time.Now().Add(5 * time.Second); ; {
+				stt, err := db.Stats()
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if stt.Ingest.RunCount >= int64(wave+1) || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// Drain: the tiered policy folds the whole same-size tier in one
+		// merge, the oldest-run policy folds one run per pass.
+		for i := 0; i < 100; i++ {
+			stt, err := db.Stats()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if stt.Ingest.RunCount == 0 {
+				break
+			}
+			if _, err := db.Maintain(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		if _, err := db.FlushDelta(); err != nil {
+			return 0, 0, 0, err
+		}
+		end, err := db.Stats()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		logAmp = float64(end.Maintenance.RowChanges-base.Maintenance.RowChanges) / float64(ampN)
+		pageAmp = float64(end.PagesWritten-base.PagesWritten) / float64(ampN)
+		return logAmp, pageAmp, end.Maintenance.Compactions - base.Maintenance.Compactions, nil
+	}
+	tieredLog, tieredPage, tieredMerges, err := ampRun("tiered", 0)
+	if err != nil {
+		return err
+	}
+	oldestLog, oldestPage, oldestMerges, err := ampRun("oldest", 1)
+	if err != nil {
+		return err
+	}
+
+	tw = newTable(cfg.Out)
+	fmt.Fprintln(tw, "Compaction policy\tRows\tMerges\tRow writes/row\tWAL pages/row")
+	fmt.Fprintf(tw, "tiered (MaxCompactRuns=8)\t%d\t%d\t%.2f\t%.2f\n", ampN, tieredMerges, tieredLog, tieredPage)
+	fmt.Fprintf(tw, "oldest-run (MaxCompactRuns=1)\t%d\t%d\t%.2f\t%.2f\n", ampN, oldestMerges, oldestLog, oldestPage)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out)
+	verdict(tieredLog <= oldestLog+1e-9,
+		fmt.Sprintf("tiered logical write amp %.2f row writes/row at or below oldest-run %.2f", tieredLog, oldestLog))
+	verdict(tieredPage <= oldestPage*1.05+1e-9,
+		fmt.Sprintf("tiered physical write amp %.2f WAL pages/row at or below oldest-run %.2f (5%% noise allowance)", tieredPage, oldestPage))
+
+	// --- Phase 4: run-zone pruning under filtered search ---
+	//
+	// Three sealed waves carry disjoint values of an indexed attribute, so
+	// an equality filter from one wave can never match the others' runs —
+	// their attribute Blooms prune those scans entirely. The criterion is
+	// byte-identical results with pruning on and off, with a non-zero
+	// pruned-run count.
+	prunePath := filepath.Join(cfg.Dir, "storm-prune.mnn")
+	os.Remove(prunePath)
+	os.Remove(prunePath + "-wal")
+	os.Remove(prunePath + ".lock")
+	pruneDB, err := micronn.Open(prunePath, micronn.Options{
+		Dim:                 spec.Dim,
+		Metric:              spec.Metric,
+		TargetPartitionSize: 100,
+		Seed:                spec.Seed,
+		LSMIngest:           true,
+		MemtableMaxItems:    512,
+		Attributes:          []micronn.AttributeDef{{Name: "wave", Type: micronn.AttrText, Indexed: true}},
+	})
+	if err != nil {
+		return err
+	}
+	defer pruneDB.Close()
+	items := make([]micronn.Item, 0, 400)
+	for i := 0; i < 400; i++ {
+		items = append(items, micronn.Item{
+			ID: workload.AssetID(i), Vector: ds.Train.Row(i),
+			Attributes: map[string]any{"wave": "base"},
+		})
+	}
+	if err := pruneDB.UpsertBatch(items); err != nil {
+		return err
+	}
+	if _, err := pruneDB.Rebuild(); err != nil {
+		return err
+	}
+	for w, tag := range []string{"alpha", "beta", "gamma"} {
+		wave := make([]micronn.Item, 0, 512)
+		for i := 0; i < 512; i++ {
+			wave = append(wave, micronn.Item{
+				ID: fmt.Sprintf("prune-%s-%d", tag, i), Vector: row(400 + w*512 + i),
+				Attributes: map[string]any{"wave": tag},
+			})
+		}
+		if err := pruneDB.UpsertBatch(wave); err != nil {
+			return err
+		}
+	}
+	// Seals are asynchronous: wait until at least two waves have become runs.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		stt, err := pruneDB.Stats()
+		if err != nil {
+			return err
+		}
+		if stt.Ingest.RunCount >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pruneQueries := func() ([][]string, error) {
+		var out [][]string
+		for i := 0; i < 40; i++ {
+			resp, err := pruneDB.Search(micronn.SearchRequest{
+				Vector: ds.Queries.Row(i % ds.Queries.Rows), K: 10,
+				Filters: []micronn.Filter{micronn.Eq("wave", "alpha")},
+				Plan:    micronn.PlanPostFilter, NoCache: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]string, len(resp.Results))
+			for j, r := range resp.Results {
+				ids[j] = r.ID
+			}
+			out = append(out, ids)
+		}
+		return out, nil
+	}
+	onIDs, err := pruneQueries()
+	if err != nil {
+		return err
+	}
+	pst, err := pruneDB.Stats()
+	if err != nil {
+		return err
+	}
+	pruneDB.SetZonePruning(false)
+	offIDs, err := pruneQueries()
+	if err != nil {
+		return err
+	}
+	identical := len(onIDs) == len(offIDs)
+	for i := 0; identical && i < len(onIDs); i++ {
+		if len(onIDs[i]) != len(offIDs[i]) {
+			identical = false
+			break
+		}
+		for j := range onIDs[i] {
+			if onIDs[i][j] != offIDs[i][j] {
+				identical = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(cfg.Out, "zone pruning: %d of %d run scans skipped over %d filtered searches (%d runs live)\n",
+		pst.Ingest.ZonePrunedRuns, pst.Ingest.ZonePruneChecks, len(onIDs), pst.Ingest.RunCount)
+	verdict(pst.Ingest.ZonePrunedRuns > 0,
+		fmt.Sprintf("attribute Blooms pruned %d run scans across %d checks", pst.Ingest.ZonePrunedRuns, pst.Ingest.ZonePruneChecks))
+	verdict(identical,
+		"filtered search results byte-identical with zone pruning on and off")
 	return nil
 }

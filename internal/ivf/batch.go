@@ -99,8 +99,11 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 	if err != nil {
 		return nil, nil, err
 	}
-	var dead map[int64]bool
-	if runParts, anyDead := st.liveRunParts(); len(runParts) > 0 {
+	runParts, dead, err := ix.runScanSet(txn, &st, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(runParts) > 0 {
 		all := make([]int, nq)
 		for qi := range all {
 			all[qi] = qi
@@ -108,11 +111,6 @@ func (ix *Index) BatchSearch(txn btree.ReadTxn, queries *vec.Matrix, opts BatchO
 		for _, p := range runParts {
 			groups[p] = all
 			info.QueryPartitionPairs += nq
-		}
-		if anyDead {
-			if dead, err = ix.deadVids(txn); err != nil {
-				return nil, nil, err
-			}
 		}
 	}
 	info.PartitionScans = len(groups)

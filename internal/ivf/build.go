@@ -156,6 +156,9 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 		}
 		st.DeltaCount, st.NumPartitions, st.AvgSizeAtBuild = 0, 0, 0
 		st.NextPartID = 1
+		if err := ix.clearRunZones(wt, st.Runs); err != nil {
+			return nil, err
+		}
 		st.Runs = nil // purged above; NextRunID advances monotonically
 		st.Generation++
 		st.DataGen++
@@ -284,6 +287,9 @@ func (ix *Index) Rebuild(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 	st.NumPartitions = int64(k)
 	st.AvgSizeAtBuild = float64(len(keys)) / float64(k)
 	st.NextPartID = int64(k) + 1
+	if err := ix.clearRunZones(wt, st.Runs); err != nil {
+		return nil, err
+	}
 	st.Runs = nil // rewrite absorbed every run row; NextRunID keeps advancing
 	st.Generation++
 	st.DataGen++
@@ -417,6 +423,9 @@ func (ix *Index) FlushDelta(wt *storage.WriteTxn) (*MaintenanceStats, error) {
 			if err := ix.foldRunRows(wt, -r.ID, dead, cents, cs.ids, counts, touched, ms); err != nil {
 				return nil, err
 			}
+		}
+		if err := ix.clearRunZones(wt, st.Runs); err != nil {
+			return nil, err
 		}
 		st.Runs = nil
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"micronn/internal/btree"
 	"micronn/internal/fts"
@@ -243,6 +244,15 @@ type Index struct {
 	// locks is the partition-granular lock manager and version table
 	// backing two-phase maintenance (see locks.go and maintain.go).
 	locks partLocks
+
+	// Per-run zone metadata cache and prune controls (see zone.go). The
+	// cache is sound without generation keying: a run and its zone row are
+	// created and deleted in the same transaction.
+	zoneMu     sync.Mutex
+	zoneCache  map[int64]*runZone
+	pruneOff   atomic.Bool
+	zoneChecks atomic.Int64
+	zonePruned atomic.Int64
 }
 
 // probeScratch is the centroid-distance scratch used by probeSet.
@@ -934,6 +944,7 @@ func (ix *Index) DropCaches() {
 	ix.statsCache = nil
 	ix.statsGen = -1
 	ix.statsMu.Unlock()
+	ix.dropZoneCache()
 }
 
 // codebookEntry caches the decoded SQ8 codebook for one index generation.

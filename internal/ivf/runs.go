@@ -76,6 +76,19 @@ func (ix *Index) SealDelta(wt *storage.WriteTxn) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+
+	// Zone metadata is computed alongside the move: the delta scan is in
+	// vid order, so the run's range is just the first and last key. The
+	// attribute Bloom covers the (column, value) pairs of the indexed
+	// attributes — the only ones equality filters can prune on.
+	zone := &runZone{VIDs: newBloom(len(keys))}
+	if len(keys) > 0 {
+		zone.MinVID, zone.MaxVID = keys[0].vid, keys[len(keys)-1].vid
+	}
+	if len(ix.attrIndexes) > 0 {
+		zone.Attrs = newBloom(len(keys) * len(ix.attrIndexes))
+	}
+
 	x := make([]float32, ix.cfg.Dim)
 	for _, k := range keys {
 		row, err := ix.vectors.Get(wt, reldb.I(DeltaPartition), reldb.I(k.vid))
@@ -101,9 +114,26 @@ func (ix *Index) SealDelta(wt *storage.WriteTxn) (int64, error) {
 		if err := ix.vids.Put(wt, reldb.Row{reldb.I(k.vid), reldb.I(part), reldb.S(asset)}); err != nil {
 			return 0, err
 		}
+		zone.VIDs.addHash(hashVid(k.vid))
+		if zone.Attrs != nil {
+			arow, err := ix.attrs.Get(wt, reldb.I(k.vid))
+			if err != nil && !errors.Is(err, reldb.ErrNotFound) {
+				return 0, err
+			}
+			if err == nil {
+				for name := range ix.attrIndexes {
+					if h, ok := hashAttr(name, arow[ix.attrPos[name]]); ok {
+						zone.Attrs.addHash(h)
+					}
+				}
+			}
+		}
 		if err := wt.SpillIfNeeded(); err != nil {
 			return 0, err
 		}
+	}
+	if err := ix.putRunZone(wt, runID, zone); err != nil {
+		return 0, err
 	}
 
 	n := int64(len(keys))
@@ -228,14 +258,20 @@ func (ix *Index) foldRunRows(wt *storage.WriteTxn, part int64, dead map[int64]bo
 	return nil
 }
 
-// compactPlan is a prepared run compaction: everything the expensive phase
-// computed from its snapshot, self-contained (row blobs and vectors are
-// copies) so it can be applied under a later write transaction.
+// compactPlan is a prepared compaction of one or more runs (a tier, see
+// planCompaction): everything the expensive phase computed from its
+// snapshot, self-contained (row blobs and vectors are copies) so it can be
+// applied under a later write transaction. Merging several runs in one
+// plan is the write-amplification lever: each touched destination
+// partition's centroid row, the state row and the shared WAL pages are
+// rewritten once per merge instead of once per run.
 type compactPlan struct {
-	runID int64
-	gen   int64 // state.Generation at the snapshot: assignments bind to it
-	live  []partRow
-	dead  []int64 // tombstoned vids to purge
+	runIDs []int64
+	gen    int64 // state.Generation at the snapshot: assignments bind to it
+	live   []partRow
+	// liveSrc[i] is live[i]'s source partition (runs differ within a plan).
+	liveSrc []int64
+	dead    []deadRow // tombstoned rows to purge
 	// assign[i] is live[i]'s destination: an index into destIDs.
 	assign  []int
 	destIDs []int64
@@ -245,26 +281,35 @@ type compactPlan struct {
 	added []int64
 }
 
-// computeCompact runs the expensive half of a run compaction against any
-// snapshot, without writing: collect the run, split live from tombstoned,
-// and assign every live row to its nearest centroid, nudging a private
-// centroid copy by the running mean exactly like FlushDelta.
-func (ix *Index) computeCompact(txn btree.ReadTxn, st *state, runID int64) (*compactPlan, error) {
-	part := -runID
-	rows, err := ix.collectPartition(txn, part)
-	if err != nil {
-		return nil, err
-	}
+// deadRow locates one tombstoned run row: the vid to purge and the run
+// partition holding it.
+type deadRow struct{ vid, part int64 }
+
+// computeCompact runs the expensive half of a multi-run compaction against
+// any snapshot, without writing: collect every run, split live from
+// tombstoned, and assign every live row to its nearest centroid, nudging a
+// private centroid copy by the running mean exactly like FlushDelta. vids
+// are globally unique across runs (re-upserting a run-resident asset
+// tombstones the old row first), so the merge is order-independent.
+func (ix *Index) computeCompact(txn btree.ReadTxn, st *state, runIDs []int64) (*compactPlan, error) {
 	dead, err := ix.deadVids(txn)
 	if err != nil {
 		return nil, err
 	}
-	plan := &compactPlan{runID: runID, gen: st.Generation}
-	for _, r := range rows {
-		if dead[r.vid] {
-			plan.dead = append(plan.dead, r.vid)
-		} else {
-			plan.live = append(plan.live, r)
+	plan := &compactPlan{runIDs: runIDs, gen: st.Generation}
+	for _, runID := range runIDs {
+		part := -runID
+		rows, err := ix.collectPartition(txn, part)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if dead[r.vid] {
+				plan.dead = append(plan.dead, deadRow{vid: r.vid, part: part})
+			} else {
+				plan.live = append(plan.live, r)
+				plan.liveSrc = append(plan.liveSrc, part)
+			}
 		}
 	}
 
@@ -306,34 +351,40 @@ func (ix *Index) computeCompact(txn btree.ReadTxn, st *state, runID int64) (*com
 }
 
 // applyCompact executes a prepared compaction inside wt: purge the dead
-// rows, move the live rows, refresh the touched centroids and drop the run
-// from the state. Destination counts are re-read from the centroid table
-// and incremented by the rows added — concurrent deletes in destination
-// partitions (which decrement counts without bumping Generation) stay
-// exact. The caller has already validated the plan's snapshot.
+// rows, move the live rows, refresh the touched centroids once for the
+// whole merge and drop every folded run (and its zone row) from the state.
+// Destination counts are re-read from the centroid table and incremented
+// by the rows added — concurrent deletes in destination partitions (which
+// decrement counts without bumping Generation) stay exact. The caller has
+// already validated the plan's snapshot.
 func (ix *Index) applyCompact(wt *storage.WriteTxn, plan *compactPlan, ms *MaintenanceStats) error {
-	part := -plan.runID
 	st, err := ix.getState(wt)
 	if err != nil {
 		return err
 	}
-	for _, vid := range plan.dead {
-		if err := ix.vectors.Delete(wt, reldb.I(part), reldb.I(vid)); err != nil {
+	for _, d := range plan.dead {
+		if err := ix.vectors.Delete(wt, reldb.I(d.part), reldb.I(d.vid)); err != nil {
 			return err
 		}
-		if err := ix.tombs.Delete(wt, reldb.I(vid)); err != nil {
+		if err := ix.tombs.Delete(wt, reldb.I(d.vid)); err != nil {
 			return err
 		}
 		ms.RowChanges += 2
 	}
 	for i, r := range plan.live {
-		if err := ix.moveRow(wt, part, plan.destIDs[plan.assign[i]], r); err != nil {
+		if err := ix.moveRow(wt, plan.liveSrc[i], plan.destIDs[plan.assign[i]], r); err != nil {
 			return err
 		}
 		ms.RowChanges += 4
 		ms.VectorsAssigned++
 	}
-	bumped := []int64{part}
+	var bumped []int64
+	for _, runID := range plan.runIDs {
+		bumped = append(bumped, -runID)
+		if err := ix.deleteRunZone(wt, runID); err != nil {
+			return err
+		}
+	}
 	for c, added := range plan.added {
 		if added == 0 {
 			continue
@@ -350,8 +401,10 @@ func (ix *Index) applyCompact(wt *storage.WriteTxn, plan *compactPlan, ms *Maint
 		bumped = append(bumped, plan.destIDs[c])
 	}
 
-	if i := st.runIdx(plan.runID); i >= 0 {
-		st.Runs = append(st.Runs[:i], st.Runs[i+1:]...)
+	for _, runID := range plan.runIDs {
+		if i := st.runIdx(runID); i >= 0 {
+			st.Runs = append(st.Runs[:i], st.Runs[i+1:]...)
+		}
 	}
 	st.Generation++
 	st.DataGen++
@@ -363,26 +416,50 @@ func (ix *Index) applyCompact(wt *storage.WriteTxn, plan *compactPlan, ms *Maint
 	return nil
 }
 
-// CompactRun folds one run into the IVF partitions inside wt: tombstoned
-// rows are physically deleted, live rows join the partition with the
-// nearest centroid (running-mean centroid update, like FlushDelta). A run
-// id no longer in the state is a no-op. CompactRunTwoPhase is the variant
-// that keeps the expensive planning outside the writer gate.
+// presentRuns filters runIDs down to the ones still live in st, preserving
+// order.
+func presentRuns(st *state, runIDs []int64) []int64 {
+	var present []int64
+	for _, id := range runIDs {
+		if st.runIdx(id) >= 0 {
+			present = append(present, id)
+		}
+	}
+	return present
+}
+
+// CompactRun folds one run into the IVF partitions inside wt — the
+// single-run form of CompactRuns, kept for callers that drain runs one at
+// a time.
 func (ix *Index) CompactRun(wt *storage.WriteTxn, runID int64) (*MaintenanceStats, error) {
+	return ix.CompactRuns(wt, []int64{runID})
+}
+
+// CompactRuns folds a set of runs (a tier, see planCompaction) into the
+// IVF partitions inside wt: tombstoned rows are physically deleted, live
+// rows join the partition with the nearest centroid (running-mean centroid
+// update, like FlushDelta), and each touched destination is written once
+// for the whole merge. Run ids no longer in the state are skipped; if none
+// remain the call is a no-op. The single transaction makes the merge
+// all-or-nothing under a crash: every source run is either fully folded or
+// fully intact. CompactRunsTwoPhase is the variant that keeps the
+// expensive planning outside the writer gate.
+func (ix *Index) CompactRuns(wt *storage.WriteTxn, runIDs []int64) (*MaintenanceStats, error) {
 	start := time.Now()
 	ms := &MaintenanceStats{}
 	st, err := ix.getState(wt)
 	if err != nil {
 		return nil, err
 	}
-	if st.runIdx(runID) < 0 {
+	present := presentRuns(&st, runIDs)
+	if len(present) == 0 {
 		ms.Duration = time.Since(start)
 		return ms, nil
 	}
 	if st.NumPartitions == 0 {
 		return nil, ErrNotBuilt
 	}
-	plan, err := ix.computeCompact(wt, &st, runID)
+	plan, err := ix.computeCompact(wt, &st, present)
 	if err != nil {
 		return nil, err
 	}
@@ -393,25 +470,36 @@ func (ix *Index) CompactRun(wt *storage.WriteTxn, runID int64) (*MaintenanceStat
 	return ms, nil
 }
 
-// CompactRunTwoPhase compacts a run without holding the store-wide writer
-// gate during the expensive half. Phase one pins a read snapshot — holding
-// only the run's partition lock, so concurrent searches and point writes
-// proceed — and computes the assignment plan. Phase two upgrades to a
-// write transaction and validates that no concurrent commit touched the
-// run (its partition version) or the centroid set (the state generation)
-// before applying; ErrPlanStale is returned otherwise and the caller
-// retries or falls back to the single-transaction CompactRun. A run that
-// vanished (or an index rebuilt empty) since the step was planned is a
-// no-op.
+// CompactRunTwoPhase is the single-run form of CompactRunsTwoPhase.
 func (ix *Index) CompactRunTwoPhase(runID int64) (*MaintenanceStats, error) {
+	return ix.CompactRunsTwoPhase([]int64{runID})
+}
+
+// CompactRunsTwoPhase compacts a set of runs without holding the
+// store-wide writer gate during the expensive half. Phase one pins a read
+// snapshot — holding only the run partitions' locks, so concurrent
+// searches and point writes proceed — and computes the assignment plan
+// across all runs. Phase two upgrades to a write transaction and validates
+// that no concurrent commit touched any of the runs (their partition
+// versions) or the centroid set (the state generation) before applying;
+// ErrPlanStale is returned otherwise and the caller retries or falls back
+// to the single-transaction CompactRuns. Runs that vanished (or an index
+// rebuilt empty) since the step was planned are skipped.
+func (ix *Index) CompactRunsTwoPhase(runIDs []int64) (*MaintenanceStats, error) {
 	start := time.Now()
 	ms := &MaintenanceStats{}
-	part := -runID
-	unlock := ix.locks.Lock(part)
+	parts := make([]int64, len(runIDs))
+	for i, id := range runIDs {
+		parts[i] = -id
+	}
+	unlock := ix.locks.Lock(parts...)
 	defer unlock()
 
-	// Version before snapshot: see SplitPartitionTwoPhase and locks.go.
-	base := ix.locks.Version(part)
+	// Versions before snapshot: see SplitPartitionTwoPhase and locks.go.
+	base := make([]partVersion, len(parts))
+	for i, p := range parts {
+		base[i] = ix.locks.Version(p)
+	}
 	pt, err := ix.db.Store().BeginPrepare()
 	if err != nil {
 		return nil, err
@@ -423,11 +511,12 @@ func (ix *Index) CompactRunTwoPhase(runID int64) (*MaintenanceStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.runIdx(runID) < 0 || st.NumPartitions == 0 {
+	present := presentRuns(&st, runIDs)
+	if len(present) == 0 || st.NumPartitions == 0 {
 		ms.Duration = time.Since(start)
 		return ms, nil
 	}
-	plan, err := ix.computeCompact(rt, &st, runID)
+	plan, err := ix.computeCompact(rt, &st, present)
 	if err != nil {
 		return nil, err
 	}
@@ -438,14 +527,20 @@ func (ix *Index) CompactRunTwoPhase(runID int64) (*MaintenanceStats, error) {
 	}
 	if stale > 0 {
 		// Tolerate unrelated commits (delta upserts, other partitions'
-		// maintenance): only a commit that touched this run or moved the
-		// centroid set invalidates the assignments.
+		// maintenance): only a commit that touched one of these runs or
+		// moved the centroid set invalidates the assignments.
 		fresh, err := ix.getState(wt)
 		if err != nil {
 			wt.Rollback()
 			return nil, err
 		}
-		if ix.locks.Version(part) != base || fresh.Generation != plan.gen {
+		moved := fresh.Generation != plan.gen
+		for i, p := range parts {
+			if ix.locks.Version(p) != base[i] {
+				moved = true
+			}
+		}
+		if moved {
 			wt.Rollback()
 			return nil, ErrPlanStale
 		}

@@ -267,19 +267,20 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 	// partitions (like the delta, they hold rows no partition covers yet).
 	// Appending here covers every caller — exact, probe-set and post-filter
 	// paths alike. Run rows are encoded like partition rows, so the workers'
-	// quantized-scan mode applies to them unchanged.
+	// quantized-scan mode applies to them unchanged. runScanSet consults the
+	// per-run zone metadata (zone.go): runs whose attribute Blooms rule out
+	// an equality filter group are skipped, and the tombstone load is
+	// bounded to the scanned runs' vid range.
 	st, err := ix.getState(txn)
 	if err != nil {
 		return nil, err
 	}
-	if runParts, anyDead := st.liveRunParts(); len(runParts) > 0 {
-		parts = append(parts, runParts...)
-		if anyDead {
-			if ctx.dead, err = ix.deadVids(txn); err != nil {
-				return nil, err
-			}
-		}
+	runParts, dead, err := ix.runScanSet(txn, &st, opts.Filters)
+	if err != nil {
+		return nil, err
 	}
+	parts = append(parts, runParts...)
+	ctx.dead = dead
 
 	info.PartitionsScanned += len(parts)
 	workers := ix.cfg.Workers

@@ -1,0 +1,367 @@
+package ivf
+
+// Per-run zone metadata: a small, immutable summary persisted in the same
+// transaction that seals a run, so the read path can skip runs without
+// touching their rows. Each zone carries the run's vid range plus two Bloom
+// filters — one over the vids, one over the (column, value) pairs of the
+// indexed attributes. Shadow/newest-wins lookups use the range to bound the
+// tombstone scan, and filtered searches skip a run entirely when some CNF
+// group is all equality predicates on indexed attributes and none of their
+// values can be present in the run. Bloom false positives only cost a scan
+// that finds nothing; there are no false negatives, so pruned results are
+// byte-identical to unpruned ones.
+//
+// Zones live in the meta table under "runzone:<id>" — NOT inside the state
+// row, which is rewritten by every point write and would drag kilobytes of
+// filter bits through the WAL each time. A run and its zone are created in
+// one transaction and deleted in one transaction, so any snapshot that sees
+// the run sees its zone; the process-local cache below is therefore never
+// stale for live entries. Runs sealed before this metadata existed simply
+// have no zone row and are never pruned.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"micronn/internal/btree"
+	"micronn/internal/reldb"
+	"micronn/internal/stats"
+	"micronn/internal/storage"
+)
+
+// bloomBitsPerKey sizes run Blooms (~1% false positives with 7 probes).
+const (
+	bloomBitsPerKey = 10
+	bloomProbes     = 6
+)
+
+// bloom is a fixed-size Bloom filter. Bits marshals as base64, so a zone
+// row stays a single compact JSON blob in the meta table.
+type bloom struct {
+	Bits []byte `json:"bits"`
+	K    uint32 `json:"k"`
+}
+
+func newBloom(keys int) *bloom {
+	if keys < 1 {
+		keys = 1
+	}
+	nbits := keys * bloomBitsPerKey
+	return &bloom{Bits: make([]byte, (nbits+7)/8), K: bloomProbes}
+}
+
+// addHash sets the filter bits for one 64-bit hash using double hashing
+// (Kirsch-Mitzenmacher): bit_i = (h_lo + i*h_hi) mod nbits.
+func (b *bloom) addHash(h uint64) {
+	nbits := uint32(len(b.Bits)) * 8
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < b.K; i++ {
+		bit := (h1 + i*h2) % nbits
+		b.Bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// mayContain reports whether the hash may have been added. A nil or empty
+// filter answers true: no information means no pruning.
+func (b *bloom) mayContain(h uint64) bool {
+	if b == nil || len(b.Bits) == 0 {
+		return true
+	}
+	nbits := uint32(len(b.Bits)) * 8
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < b.K; i++ {
+		bit := (h1 + i*h2) % nbits
+		if b.Bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashVid hashes a vector id for the vid Bloom.
+func hashVid(vid int64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(vid))
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// hashAttr hashes one (column, value) pair for the attribute Bloom. The
+// column name is included (NUL-separated) so equal values in different
+// columns do not collide, and the value bytes are typed exactly as stored.
+// Null values return ok=false: a null never satisfies an equality
+// predicate, so it carries no pruning information.
+func hashAttr(col string, v reldb.Value) (uint64, bool) {
+	h := fnv.New64a()
+	h.Write([]byte(col))
+	h.Write([]byte{0})
+	var buf [8]byte
+	switch v.Type {
+	case reldb.TypeInt64:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int))
+		h.Write(buf[:])
+	case reldb.TypeFloat64:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Flt))
+		h.Write(buf[:])
+	case reldb.TypeText:
+		h.Write([]byte(v.Str))
+	case reldb.TypeBlob:
+		h.Write(v.Bts)
+	default:
+		return 0, false
+	}
+	return h.Sum64(), true
+}
+
+// runZone is the persisted per-run summary. Attrs is nil when the schema
+// has no indexed attributes (nothing to prune on).
+type runZone struct {
+	MinVID int64  `json:"min_vid"`
+	MaxVID int64  `json:"max_vid"`
+	VIDs   *bloom `json:"vids,omitempty"`
+	Attrs  *bloom `json:"attrs,omitempty"`
+}
+
+func runZoneKey(runID int64) string { return fmt.Sprintf("runzone:%d", runID) }
+
+// putRunZone persists a zone in the caller's transaction (SealDelta's) and
+// primes the cache once the commit publishes.
+func (ix *Index) putRunZone(wt *storage.WriteTxn, runID int64, z *runZone) error {
+	blob, err := json.Marshal(z)
+	if err != nil {
+		return err
+	}
+	if err := ix.meta.Put(wt, reldb.Row{reldb.S(runZoneKey(runID)), reldb.B(blob)}); err != nil {
+		return err
+	}
+	wt.OnCommit(func() {
+		ix.zoneMu.Lock()
+		if ix.zoneCache == nil {
+			ix.zoneCache = make(map[int64]*runZone)
+		}
+		ix.zoneCache[runID] = z
+		ix.zoneMu.Unlock()
+	})
+	return nil
+}
+
+// deleteRunZone removes a zone row inside the transaction that removes its
+// run, and evicts the cache entry once the commit publishes. Missing rows
+// (runs sealed before zones existed) are fine.
+func (ix *Index) deleteRunZone(wt *storage.WriteTxn, runID int64) error {
+	if err := ix.meta.Delete(wt, reldb.S(runZoneKey(runID))); err != nil && !errors.Is(err, reldb.ErrNotFound) {
+		return err
+	}
+	wt.OnCommit(func() {
+		ix.zoneMu.Lock()
+		delete(ix.zoneCache, runID)
+		ix.zoneMu.Unlock()
+	})
+	return nil
+}
+
+// clearRunZones drops the zone rows of every listed run — used by Rebuild
+// and FlushDelta, which absorb all runs at once.
+func (ix *Index) clearRunZones(wt *storage.WriteTxn, runs []runInfo) error {
+	for _, r := range runs {
+		if err := ix.deleteRunZone(wt, r.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runZoneFor returns the zone of a live run at txn's snapshot, or nil for
+// runs sealed before zone metadata existed. The cache is sound because a
+// run and its zone are created and deleted atomically: any snapshot in
+// which the run is live observes exactly the zone the seal wrote. Legacy
+// zoneless runs are negative-cached (the entry maps to nil).
+func (ix *Index) runZoneFor(txn btree.ReadTxn, runID int64) (*runZone, error) {
+	ix.zoneMu.Lock()
+	z, ok := ix.zoneCache[runID]
+	ix.zoneMu.Unlock()
+	if ok {
+		return z, nil
+	}
+	row, err := ix.meta.Get(txn, reldb.S(runZoneKey(runID)))
+	if err != nil {
+		if !errors.Is(err, reldb.ErrNotFound) {
+			return nil, err
+		}
+		z = nil
+	} else {
+		z = &runZone{}
+		if err := json.Unmarshal(row[1].Bts, z); err != nil {
+			return nil, err
+		}
+	}
+	ix.zoneMu.Lock()
+	if ix.zoneCache == nil {
+		ix.zoneCache = make(map[int64]*runZone)
+	}
+	ix.zoneCache[runID] = z
+	ix.zoneMu.Unlock()
+	return z, nil
+}
+
+// dropZoneCache empties the process-local zone cache (DropCaches hook).
+func (ix *Index) dropZoneCache() {
+	ix.zoneMu.Lock()
+	ix.zoneCache = nil
+	ix.zoneMu.Unlock()
+}
+
+// SetZonePruning toggles zone/Bloom run pruning at search time. Pruning is
+// on by default; disabling it forces every search to scan every live run —
+// the control arm for the byte-identical property tests and benches.
+func (ix *Index) SetZonePruning(enabled bool) { ix.pruneOff.Store(!enabled) }
+
+// ZonePruneCounters returns how many run-prune checks ran and how many
+// runs were skipped as a result, since the index was opened.
+func (ix *Index) ZonePruneCounters() (checks, pruned int64) {
+	return ix.zoneChecks.Load(), ix.zonePruned.Load()
+}
+
+// prunableEqGroups extracts the CNF groups usable for zone pruning: groups
+// whose every predicate is an equality on an indexed attribute with a
+// non-null value. Such a group is satisfiable inside a run only if at
+// least one of its (column, value) hashes hits the run's attribute Bloom;
+// if none does, no run row can pass the whole CNF filter and the run is
+// skippable. Groups with other operators (ranges, matches) or non-indexed
+// columns yield no hashes and never prune.
+func (ix *Index) prunableEqGroups(filters []stats.Filter) [][]uint64 {
+	var groups [][]uint64
+	for _, f := range filters {
+		if len(f.AnyOf) == 0 {
+			continue
+		}
+		hashes := make([]uint64, 0, len(f.AnyOf))
+		ok := true
+		for _, p := range f.AnyOf {
+			if p.Op != reldb.OpEq {
+				ok = false
+				break
+			}
+			if _, indexed := ix.attrIndexes[p.Column]; !indexed {
+				ok = false
+				break
+			}
+			h, hok := hashAttr(p.Column, p.Value)
+			if !hok {
+				ok = false
+				break
+			}
+			hashes = append(hashes, h)
+		}
+		if ok {
+			groups = append(groups, hashes)
+		}
+	}
+	return groups
+}
+
+// runScanSet decides which live runs a search must scan. For each run with
+// a zone and at least one prunable equality group, the run is skipped when
+// some group has no hash in the run's attribute Bloom. The returned dead
+// set covers only the scanned runs: it is loaded lazily, bounded to the
+// scanned runs' combined vid range when every scanned run has a zone, and
+// skipped entirely when no scanned run carries tombstones.
+func (ix *Index) runScanSet(txn btree.ReadTxn, st *state, filters []stats.Filter) (parts []int64, dead map[int64]bool, err error) {
+	if len(st.Runs) == 0 {
+		return nil, nil, nil
+	}
+	var groups [][]uint64
+	if !ix.pruneOff.Load() {
+		groups = ix.prunableEqGroups(filters)
+	}
+	var (
+		anyDead        bool
+		bounded        = true
+		minVID, maxVID int64
+		haveRange      bool
+	)
+	for _, r := range st.Runs {
+		var z *runZone
+		if len(groups) > 0 || !ix.pruneOff.Load() {
+			if z, err = ix.runZoneFor(txn, r.ID); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(groups) > 0 && z != nil && z.Attrs != nil {
+			ix.zoneChecks.Add(1)
+			skip := false
+			for _, g := range groups {
+				hit := false
+				for _, h := range g {
+					if z.Attrs.mayContain(h) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				ix.zonePruned.Add(1)
+				continue
+			}
+		}
+		parts = append(parts, -r.ID)
+		if r.Dead > 0 {
+			anyDead = true
+		}
+		if z == nil {
+			bounded = false
+		} else if !haveRange {
+			minVID, maxVID, haveRange = z.MinVID, z.MaxVID, true
+		} else {
+			if z.MinVID < minVID {
+				minVID = z.MinVID
+			}
+			if z.MaxVID > maxVID {
+				maxVID = z.MaxVID
+			}
+		}
+	}
+	if !anyDead || len(parts) == 0 {
+		return parts, nil, nil
+	}
+	if bounded && haveRange {
+		dead, err = ix.deadVidsInRange(txn, minVID, maxVID)
+	} else {
+		dead, err = ix.deadVids(txn)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return parts, dead, nil
+}
+
+// deadVidsInRange reads the tombstone set restricted to [minVID, maxVID] —
+// the combined vid range of the runs a search will actually scan. The
+// tombstone table is keyed by vid, so this is a single seek plus an early
+// stop instead of a full scan.
+func (ix *Index) deadVidsInRange(txn btree.ReadTxn, minVID, maxVID int64) (map[int64]bool, error) {
+	if ix.tombs == nil {
+		return nil, nil
+	}
+	dead := make(map[int64]bool)
+	err := ix.tombs.ScanKeysFrom(txn, []reldb.Value{reldb.I(minVID)}, func(key reldb.Row) error {
+		if key[0].Int > maxVID {
+			return reldb.ErrStopScan
+		}
+		dead[key[0].Int] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dead, nil
+}

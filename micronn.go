@@ -174,14 +174,42 @@
 // Delete of an absent id fails only that caller, never its group.
 //
 // When the WAL'd delta store exceeds Options.MemtableMaxItems or
-// MemtableMaxBytes, the committer seals it into an immutable sorted run:
-// id-ordered rows moved out of the delta in one transaction, quantized with
-// the current codebook when one is trained. Searches read the delta, the
-// runs and the IVF partitions under one snapshot with newest-wins
+// MemtableMaxBytes, the committer hands the delta to a single-flight
+// background sealer that moves it into an immutable sorted run: id-ordered
+// rows moved out of the delta in one transaction of its own, quantized
+// with the current codebook when one is trained. Because the seal runs off
+// the group-commit path, no writer's latency ever includes the seal
+// transaction, and the crash contract is unchanged — durability lives in
+// the group commit, and a crash mid-seal leaves the rows in the delta XOR
+// the run, never torn. Seal failures are counted (Stats.Ingest.SealFailures,
+// LastSealError) rather than silently retried. Searches read the delta,
+// the runs and the IVF partitions under one snapshot with newest-wins
 // shadowing (deletes of run-resident rows leave tombstones folded out at
-// compaction). Maintain compacts the oldest run into the partitions via
-// the same two-phase prepare path as splits, so compaction never stalls
-// point writes; flush backpressure bounds the unmerged total — past
+// compaction).
+//
+// Compaction policy: Maintain groups the live runs into size tiers
+// (tier t holds runs of [4^t, 4^(t+1)) rows) and folds the fullest tier —
+// up to Options.MaxCompactRuns runs — in one merge via the same two-phase
+// prepare path as splits, so compaction never stalls point writes. Merging
+// a whole tier at once writes each touched destination partition, each
+// centroid row and the state row once per merge instead of once per run,
+// which is what keeps write amplification (Stats.Maintenance.RowChanges /
+// rows ingested, or physically Stats.PagesWritten) flat under sustained
+// storms. MaxCompactRuns: 1 restores the one-run-per-step policy.
+//
+// Zone metadata: sealing also persists, in the same transaction, a small
+// per-run zone summary — the run's vid range plus Bloom filters over its
+// vids and its indexed attribute values. Searches consult the zones
+// instead of paying for runs that cannot matter: a filtered search whose
+// equality predicates miss a run's attribute Bloom skips that run
+// entirely, and the tombstone set is loaded only when a scanned run
+// carries deletes, bounded to the scanned runs' vid range. Blooms have no
+// false negatives, so pruned results are byte-identical to unpruned ones
+// (Options.DisableZonePruning and DB.SetZonePruning exist for A/B
+// verification; Stats.Ingest.ZonePruneChecks/ZonePrunedRuns count the
+// effect).
+//
+// Flush backpressure bounds the unmerged total — past
 // Options.MaxUnmergedItems the committer kicks a background compaction,
 // and past HardLimitItems it briefly holds the pipeline so compaction
 // catches up. Stats.Ingest reports group sizes, seals, unmerged rows and
@@ -456,6 +484,18 @@ type Options struct {
 	// committer briefly holds the ingest pipeline while compaction
 	// catches up (0 = 2x MaxUnmergedItems).
 	HardLimitItems int
+	// MaxCompactRuns caps how many sorted runs one maintenance compaction
+	// step merges (0 = 8). Maintenance groups runs into size tiers and
+	// folds a whole tier per step, writing each touched partition once for
+	// the merge; 1 restores the PR 8 one-run-per-step policy (the
+	// write-amplification control arm in the benches).
+	MaxCompactRuns int
+	// DisableZonePruning turns off per-run zone/Bloom pruning at search
+	// time: every search then scans every live run and loads the full
+	// tombstone set, exactly as before zone metadata existed. Pruning
+	// never changes results (Blooms have no false negatives), so this
+	// exists for A/B benches and the byte-identical property tests.
+	DisableZonePruning bool
 	// Seed makes index construction deterministic.
 	Seed int64
 	// Shards is the shard count for OpenSharded (create time only): items
@@ -685,6 +725,7 @@ func Open(path string, opts Options) (*DB, error) {
 	if opts.FlushThreshold == 0 {
 		opts.FlushThreshold = ix.Config().TargetPartitionSize
 	}
+	ix.SetZonePruning(!opts.DisableZonePruning)
 	db := &DB{store: store, rdb: rdb, ix: ix, opts: opts, cache: opts.ResultCache.resolve()}
 	if opts.LSMIngest {
 		db.ing = newIngester(db)
@@ -1446,16 +1487,25 @@ type MaintenanceTotals struct {
 	// compactions) invalidated by a concurrent commit and retried — the
 	// price of keeping the writer gate open through the expensive half.
 	StaleRetries int64
+	// RowChanges is the cumulative count of row writes/deletes maintenance
+	// performed. Divided by the rows ingested over the same span it is the
+	// maintenance write-amplification factor — the number the tiered
+	// compaction policy exists to keep flat under sustained ingest.
+	RowChanges int64
 	// Errors counts background passes that failed.
 	Errors int64
 }
 
-// recordStep counts one committed maintenance step. Steps are recorded as
-// they commit (not when the pass ends), so totals snapshots taken while a
+// recordStep counts one committed maintenance step and accumulates its row
+// writes into the write-amplification counter. Steps are recorded as they
+// commit (not when the pass ends), so totals snapshots taken while a
 // background pass is mid-flight stay accurate.
-func (db *DB) recordStep(a ivf.MaintenanceAction) {
+func (db *DB) recordStep(a ivf.MaintenanceAction, ms *ivf.MaintenanceStats) {
 	db.maintMu.Lock()
 	defer db.maintMu.Unlock()
+	if ms != nil {
+		db.maintTotals.RowChanges += ms.RowChanges
+	}
 	switch a {
 	case ivf.ActionRebuild:
 		db.maintTotals.Rebuilds++
@@ -1515,7 +1565,7 @@ func (db *DB) Rebuild() (*MaintenanceReport, error) {
 		return nil, err
 	}
 	rep := report("rebuild", ms)
-	db.recordStep(ivf.ActionRebuild)
+	db.recordStep(ivf.ActionRebuild, ms)
 	db.recordMaintenance(rep)
 	return rep, nil
 }
@@ -1535,7 +1585,7 @@ func (db *DB) FlushDelta() (*MaintenanceReport, error) {
 		return nil, err
 	}
 	rep := report("flush", ms)
-	db.recordStep(ivf.ActionFlush)
+	db.recordStep(ivf.ActionFlush, ms)
 	db.recordMaintenance(rep)
 	return rep, nil
 }
@@ -1546,6 +1596,7 @@ func (db *DB) maintPolicy() ivf.MaintenancePolicy {
 		FlushThreshold:   db.opts.FlushThreshold,
 		MinPartitionSize: db.opts.MinPartitionSize,
 		MaxPartitionSize: db.opts.MaxPartitionSize,
+		MaxCompactRuns:   db.opts.MaxCompactRuns,
 	}
 }
 
@@ -1602,19 +1653,20 @@ func (db *DB) Maintain() (*MaintenanceReport, error) {
 			if err != nil {
 				return nil, err
 			}
-			db.recordStep(ivf.ActionSplit)
+			db.recordStep(ivf.ActionSplit, ms)
 			rep.absorb(preview, ms)
 			continue
 		}
 		if preview.Action == ivf.ActionCompact {
-			// Run compaction mirrors the split: the fold's assignment
-			// work runs against a pinned snapshot under the run's own
-			// lock, with only the apply step inside the writer gate.
-			ms, err := db.compactTwoPhase(-preview.Partition)
+			// Run compaction mirrors the split: the merge's assignment
+			// work runs against a pinned snapshot under the runs' own
+			// locks, with only the apply step inside the writer gate.
+			// preview.Runs is the whole size tier the planner selected.
+			ms, err := db.compactTwoPhase(preview.Runs)
 			if err != nil {
 				return nil, err
 			}
-			db.recordStep(ivf.ActionCompact)
+			db.recordStep(ivf.ActionCompact, ms)
 			rep.absorb(preview, ms)
 			continue
 		}
@@ -1631,7 +1683,7 @@ func (db *DB) Maintain() (*MaintenanceReport, error) {
 		if plan.Action == ivf.ActionNone {
 			break
 		}
-		db.recordStep(plan.Action)
+		db.recordStep(plan.Action, ms)
 		rep.absorb(plan, ms)
 	}
 	db.recordMaintenance(rep)
@@ -1663,13 +1715,13 @@ func (db *DB) splitTwoPhase(part int64) (*ivf.MaintenanceStats, error) {
 	return ms, err
 }
 
-// compactTwoPhase folds one sorted run into the partitions with the same
-// prepare/validate/apply protocol (and the same stale-plan fallback) as
-// splitTwoPhase.
-func (db *DB) compactTwoPhase(runID int64) (*ivf.MaintenanceStats, error) {
+// compactTwoPhase folds a tier of sorted runs into the partitions with the
+// same prepare/validate/apply protocol (and the same stale-plan fallback)
+// as splitTwoPhase.
+func (db *DB) compactTwoPhase(runIDs []int64) (*ivf.MaintenanceStats, error) {
 	const staleRetries = 3
 	for attempt := 0; attempt < staleRetries; attempt++ {
-		ms, err := db.ix.CompactRunTwoPhase(runID)
+		ms, err := db.ix.CompactRunsTwoPhase(runIDs)
 		if err == nil {
 			return ms, nil
 		}
@@ -1681,10 +1733,18 @@ func (db *DB) compactTwoPhase(runID int64) (*ivf.MaintenanceStats, error) {
 	var ms *ivf.MaintenanceStats
 	err := db.store.Update(func(wt *storage.WriteTxn) error {
 		var serr error
-		ms, serr = db.ix.CompactRun(wt, runID)
+		ms, serr = db.ix.CompactRuns(wt, runIDs)
 		return serr
 	})
 	return ms, err
+}
+
+// SetZonePruning toggles per-run zone/Bloom pruning at search time (on by
+// default unless Options.DisableZonePruning was set). Pruning never changes
+// results — Blooms have no false negatives — so this is an A/B switch for
+// benches and correctness tests, safe to flip on a live database.
+func (db *DB) SetZonePruning(enabled bool) {
+	db.ix.SetZonePruning(enabled)
 }
 
 // Analyze refreshes the attribute statistics used by the hybrid optimizer.
@@ -1758,6 +1818,10 @@ type Stats struct {
 	WALBytes int64
 	// FileBytes is the main database file size (pages * page size).
 	FileBytes int64
+	// PagesWritten is the cumulative count of page images appended to the
+	// WAL since this handle opened the store — the physical
+	// write-amplification signal the benches divide by rows ingested.
+	PagesWritten uint64
 	// Cache reports the query result cache (all zeros when disabled). On
 	// a sharded database the one router-level cache is reported.
 	Cache CacheStats
@@ -1859,6 +1923,9 @@ func (db *DB) Stats() (Stats, error) {
 	if db.ing != nil {
 		db.ing.counters(&out.Ingest)
 	}
+	// Zone-prune counters live on the index, not the ingester: pruning
+	// works on reopened stores whether or not LSM ingest is enabled.
+	out.Ingest.ZonePruneChecks, out.Ingest.ZonePrunedRuns = db.ix.ZonePruneCounters()
 	cfg := db.ix.Config()
 	out.Quantization = cfg.Quantization
 	out.ClipPercentile = cfg.ClipPercentile
@@ -1873,6 +1940,7 @@ func (db *DB) Stats() (Stats, error) {
 	out.CacheEvictions = ss.PoolEvictions
 	out.WALBytes = ss.WALBytes
 	out.FileBytes = int64(ss.PageCount) * int64(db.store.PageSize())
+	out.PagesWritten = ss.PagesWritten
 	out.Cache = cacheStatsOf(db.cache)
 	return out, nil
 }

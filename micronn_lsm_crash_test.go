@@ -227,3 +227,161 @@ func TestLSMSealCrash(t *testing.T) {
 		})
 	}
 }
+
+// TestLSMCompactRunsCrash kills the WAL mid-multi-run-compaction. Three
+// sealed runs (plus tombstones and a delta shadow over run rows) are merged
+// by one CompactRuns transaction under a failpoint sweep; after the crash
+// and reopen every source run must be either fully folded into the
+// partitions or fully intact — the merge is a single transaction, so a torn
+// state (some runs gone, some left) is a bug. Recovered state must pass the
+// invariant battery (which audits the per-run zone metadata) and answer
+// exact searches with the newest-wins contract preserved.
+func TestLSMCompactRunsCrash(t *testing.T) {
+	opts := Options{
+		Dim: 8, Seed: 3,
+		LSMIngest:        true,
+		MemtableMaxItems: 1 << 20, // seal manually, compact under the failpoint
+	}
+	const base = 48
+	const perRun = 10
+	sawFailure := false
+	for n := 1; n <= 10; n++ {
+		t.Run(fmt.Sprintf("fail%d", n), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "compact.mnn")
+			db, err := Open(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := make([]Item, base)
+			for i := range batch {
+				id := fmt.Sprintf("base%d", i)
+				batch[i] = Item{ID: id, Vector: idVec(id)}
+			}
+			if err := db.UpsertBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Rebuild(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Three sealed runs with ids 1, 2, 3 (fresh store, ids are
+			// assigned sequentially from 1).
+			for s := 0; s < 3; s++ {
+				runBatch := make([]Item, perRun)
+				for i := range runBatch {
+					id := fmt.Sprintf("run%d_%d", s, i)
+					runBatch[i] = Item{ID: id, Vector: idVec(id)}
+				}
+				if err := db.UpsertBatch(runBatch); err != nil {
+					t.Fatal(err)
+				}
+				if err := db.store.Update(func(wt *storage.WriteTxn) error {
+					sealed, e := db.ix.SealDelta(wt)
+					if e == nil && sealed != perRun {
+						e = fmt.Errorf("sealed %d rows, want %d", sealed, perRun)
+					}
+					return e
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Tombstones over run-resident rows plus a delta shadow: the
+			// compaction must purge the dead rows and must not disturb the
+			// newer delta version.
+			if err := db.Delete("run0_0"); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Delete("run1_5"); err != nil {
+				t.Fatal(err)
+			}
+			shadow := idVec("run2_3-v2")
+			if err := db.Upsert(Item{ID: "run2_3", Vector: shadow}); err != nil {
+				t.Fatal(err)
+			}
+
+			db.store.SetWALFailpoint(n)
+			compactErr := db.store.Update(func(wt *storage.WriteTxn) error {
+				_, e := db.ix.CompactRuns(wt, []int64{1, 2, 3})
+				return e
+			})
+			db.store.SetWALFailpoint(-1)
+			if compactErr != nil {
+				sawFailure = true
+			}
+
+			crashLSM(t, db)
+
+			db2, err := Open(path, opts)
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			defer db2.Close()
+			checkSingleInvariants(t, db2)
+
+			st, err := db2.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const live = base + 3*perRun - 2
+			if st.NumVectors != live {
+				t.Fatalf("NumVectors = %d after crash, want %d (compactErr=%v)", st.NumVectors, live, compactErr)
+			}
+			// Two deletes and one shadow upsert each killed a run row, so
+			// the intact runs hold 3*perRun-3 live rows.
+			switch {
+			case st.Ingest.RunCount == 3 && st.Ingest.RunRows == 3*perRun-3:
+				// Compaction never committed: every run fully intact.
+			case st.Ingest.RunCount == 0 && st.Ingest.RunRows == 0:
+				// Compaction committed atomically: every run fully folded.
+			default:
+				t.Fatalf("torn compaction: runs=%d runRows=%d (compactErr=%v)",
+					st.Ingest.RunCount, st.Ingest.RunRows, compactErr)
+			}
+
+			for i := 0; i < base; i++ {
+				if _, err := db2.Get(fmt.Sprintf("base%d", i)); err != nil {
+					t.Fatalf("base%d lost: %v", i, err)
+				}
+			}
+			for s := 0; s < 3; s++ {
+				for i := 0; i < perRun; i++ {
+					id := fmt.Sprintf("run%d_%d", s, i)
+					item, err := db2.Get(id)
+					switch id {
+					case "run0_0", "run1_5":
+						if !errors.Is(err, ErrNotFound) {
+							t.Fatalf("deleted %s resurfaced: item=%v err=%v", id, item, err)
+						}
+					case "run2_3":
+						if err != nil {
+							t.Fatalf("shadowed %s lost: %v", id, err)
+						}
+						for d := range shadow {
+							if item.Vector[d] != shadow[d] {
+								t.Fatalf("%s lost its newest version at dim %d", id, d)
+							}
+						}
+					default:
+						if err != nil {
+							t.Fatalf("run row %s unreachable: %v", id, err)
+						}
+					}
+				}
+			}
+			// The surviving state must stay maintainable and searchable.
+			if _, err := db2.Rebuild(); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := db2.Search(SearchRequest{Vector: idVec("run1_7"), K: 1, Exact: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) != 1 || resp.Results[0].ID != "run1_7" {
+				t.Fatalf("post-recovery search returned %+v", resp.Results)
+			}
+		})
+	}
+	if !sawFailure {
+		t.Fatal("failpoint sweep never injected a failure — battery exercised nothing")
+	}
+}

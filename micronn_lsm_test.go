@@ -89,6 +89,25 @@ func TestLSMGroupCommitVisibility(t *testing.T) {
 	checkSingleInvariants(t, db)
 }
 
+// waitSeal polls until the background sealer (ingest.go triggerSeal) has
+// produced at least one live run. Seals run off the group-commit path, so
+// tests that need run-resident rows must wait for one.
+func waitSeal(t *testing.T, db *DB) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := db.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ingest.Seals > 0 && st.Ingest.RunCount > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("background seal never produced a run")
+}
+
 // TestLSMSealAndShadowing fills the memtable past its bound so the delta
 // seals into a sorted run, then checks newest-wins shadowing: an update of
 // a run-resident id serves the new vector, a delete tombstones it, and a
@@ -112,6 +131,7 @@ func TestLSMSealAndShadowing(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitSeal(t, db) // seals are asynchronous
 	st, err := db.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -245,6 +265,7 @@ func TestLSMCompactViaMaintain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitSeal(t, db) // seals are asynchronous; the deletes below must hit run rows
 	for i := 0; i < 4; i++ {
 		id := fmt.Sprintf("new%d", i)
 		if err := db.Delete(id); err != nil {

@@ -1176,6 +1176,7 @@ func AggregateStats(per []Stats) Stats {
 		out.Maintenance.Merges += st.Maintenance.Merges
 		out.Maintenance.Compactions += st.Maintenance.Compactions
 		out.Maintenance.StaleRetries += st.Maintenance.StaleRetries
+		out.Maintenance.RowChanges += st.Maintenance.RowChanges
 		out.Maintenance.Errors += st.Maintenance.Errors
 		out.Ingest.Enabled = out.Ingest.Enabled || st.Ingest.Enabled
 		out.Ingest.GroupCommits += st.Ingest.GroupCommits
@@ -1185,6 +1186,10 @@ func AggregateStats(per []Stats) Stats {
 		}
 		out.Ingest.Seals += st.Ingest.Seals
 		out.Ingest.SealedRows += st.Ingest.SealedRows
+		out.Ingest.SealFailures += st.Ingest.SealFailures
+		if out.Ingest.LastSealError == "" {
+			out.Ingest.LastSealError = st.Ingest.LastSealError
+		}
 		out.Ingest.RunCount += st.Ingest.RunCount
 		out.Ingest.RunRows += st.Ingest.RunRows
 		out.Ingest.TombstoneRows += st.Ingest.TombstoneRows
@@ -1192,6 +1197,8 @@ func AggregateStats(per []Stats) Stats {
 		out.Ingest.BackpressureTriggers += st.Ingest.BackpressureTriggers
 		out.Ingest.BackpressureWaits += st.Ingest.BackpressureWaits
 		out.Ingest.BackpressureWaitNs += st.Ingest.BackpressureWaitNs
+		out.Ingest.ZonePruneChecks += st.Ingest.ZonePruneChecks
+		out.Ingest.ZonePrunedRuns += st.Ingest.ZonePrunedRuns
 		out.GateWaits += st.GateWaits
 		out.GateWaitNs += st.GateWaitNs
 		if st.LastMaintainAction != "" {
@@ -1214,11 +1221,20 @@ func AggregateStats(per []Stats) Stats {
 		out.CacheEvictions += st.CacheEvictions
 		out.WALBytes += st.WALBytes
 		out.FileBytes += st.FileBytes
+		out.PagesWritten += st.PagesWritten
 	}
 	if out.NumPartitions > 0 {
 		out.AvgPartitionSize = float64(out.NumVectors-out.DeltaCount-out.Ingest.RunRows) / float64(out.NumPartitions)
 	}
 	return out
+}
+
+// SetZonePruning toggles per-run zone/Bloom pruning on every shard (see
+// DB.SetZonePruning).
+func (s *ShardedDB) SetZonePruning(enabled bool) {
+	for _, sh := range s.shards {
+		sh.SetZonePruning(enabled)
+	}
 }
 
 // ShardStats returns each shard's stats, indexed by shard.
