@@ -1581,3 +1581,61 @@ func BenchmarkTieredCompaction(b *testing.B) {
 	b.ReportMetric(pruned/float64(b.N), "pruned-runs")
 	b.ReportMetric(diverged/float64(b.N), "prune-divergences")
 }
+
+// --- Hybrid search: BM25 lexical leg fused with the vector leg ---
+
+// BenchmarkHybridSearch times the fused query path on a tagged corpus,
+// alongside the pure vector leg on the same store for the overhead
+// comparison.
+func BenchmarkHybridSearch(b *testing.B) {
+	fd := workload.GenerateFiltered(workload.FilteredSpec{
+		Dim: 48, NumVectors: 4000, NumQueries: 64, Seed: 21,
+	})
+	db, err := micronn.Open(filepath.Join(b.TempDir(), "hybrid.mnn"), micronn.Options{
+		Dim: 48, Metric: micronn.Cosine, Seed: 21,
+		Attributes: []micronn.AttributeDef{{Name: "tags", Type: micronn.AttrText, FullText: true}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	items := make([]micronn.Item, 0, 1000)
+	for i := 0; i < 4000; i++ {
+		items = append(items, micronn.Item{
+			ID:         workload.AssetID(i),
+			Vector:     fd.Train.Row(i),
+			Attributes: map[string]any{"tags": fd.Tags[i]},
+		})
+		if len(items) == 1000 || i == 3999 {
+			if err := db.UpsertBatch(items); err != nil {
+				b.Fatal(err)
+			}
+			items = items[:0]
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("vector-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qi := i % 64
+			_, err := db.HybridSearch(micronn.HybridRequest{
+				Vector: fd.Queries.Row(qi), K: 10, NProbe: 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qi := i % 64
+			_, err := db.HybridSearch(micronn.HybridRequest{
+				Vector: fd.Queries.Row(qi), Text: fd.QueryTags[qi], K: 10, NProbe: 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

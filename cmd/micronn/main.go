@@ -126,6 +126,11 @@ commands:
   search  -id <asset> | -vec "f,f,..."  [-k N] [-nprobe N] [-exact] [-rerank N]
           [-repeat N] [-no-cache]       -repeat re-runs the query (repeats hit
                                         the result cache; -no-cache bypasses it)
+          [-text "query"] [-text-col C] [-fusion K]
+                                        -text adds a BM25 lexical leg fused
+                                        with the vector leg by reciprocal-rank
+                                        fusion (constant K, default 60);
+                                        -text-col picks the full-text attribute
   delete  -id <asset>
   stats
 
@@ -311,6 +316,9 @@ func cmdSearch(path string, args []string) error {
 	rerank := fs.Int("rerank", 0, "quantized-search rerank multiplier (0 = default)")
 	repeat := fs.Int("repeat", 1, "run the query N times (repeats are served by the result cache)")
 	noCache := fs.Bool("no-cache", false, "bypass the result cache (every run scans the store)")
+	text := fs.String("text", "", "lexical query: fuse a BM25 full-text leg with the vector leg")
+	textCol := fs.String("text-col", "", "full-text attribute for -text (default: the store's only one)")
+	fusion := fs.Int("fusion", 0, "reciprocal-rank fusion constant (0 = default 60)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -340,30 +348,55 @@ func cmdSearch(path string, args []string) error {
 		return fmt.Errorf("search: -id or -vec required")
 	}
 
-	req := micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact, RerankFactor: *rerank, NoCache: *noCache}
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	var resp *micronn.SearchResponse
+	var plan micronn.PlanInfo
+	var nResults int
 	var elapsed, firstRun time.Duration
-	for run := 0; run < *repeat; run++ {
-		start := time.Now()
-		resp, err = d.Search(req)
-		if err != nil {
-			return err
+	if *text != "" {
+		req := micronn.HybridRequest{Vector: q, Text: *text, TextCol: *textCol, FusionK: *fusion,
+			K: *k, NProbe: *nprobe, Exact: *exact, RerankFactor: *rerank, NoCache: *noCache}
+		var resp *micronn.HybridResponse
+		for run := 0; run < *repeat; run++ {
+			start := time.Now()
+			resp, err = d.HybridSearch(req)
+			if err != nil {
+				return err
+			}
+			elapsed = time.Since(start)
+			if run == 0 {
+				firstRun = elapsed
+			}
 		}
-		elapsed = time.Since(start)
-		if run == 0 {
-			firstRun = elapsed
+		for i, r := range resp.Results {
+			fmt.Printf("%2d. %-16s score %.6f  dist %.6f  bm25 %.4f  (v#%d t#%d)\n",
+				i+1, r.ID, r.Score, r.Distance, r.TextScore, r.VectorRank, r.TextRank)
 		}
-	}
-	for i, r := range resp.Results {
-		fmt.Printf("%2d. %-16s %.6f\n", i+1, r.ID, r.Distance)
+		plan, nResults = resp.Plan, len(resp.Results)
+	} else {
+		req := micronn.SearchRequest{Vector: q, K: *k, NProbe: *nprobe, Exact: *exact, RerankFactor: *rerank, NoCache: *noCache}
+		var resp *micronn.SearchResponse
+		for run := 0; run < *repeat; run++ {
+			start := time.Now()
+			resp, err = d.Search(req)
+			if err != nil {
+				return err
+			}
+			elapsed = time.Since(start)
+			if run == 0 {
+				firstRun = elapsed
+			}
+		}
+		for i, r := range resp.Results {
+			fmt.Printf("%2d. %-16s %.6f\n", i+1, r.ID, r.Distance)
+		}
+		plan, nResults = resp.Plan, len(resp.Results)
 	}
 	fmt.Printf("(%d results in %v, %d partitions, %d vectors scanned, %d KiB read, %d reranked)\n",
-		len(resp.Results), elapsed.Round(time.Microsecond),
-		resp.Plan.PartitionsScanned, resp.Plan.VectorsScanned,
-		resp.Plan.BytesScanned/1024, resp.Plan.Reranked)
+		nResults, elapsed.Round(time.Microsecond),
+		plan.PartitionsScanned, plan.VectorsScanned,
+		plan.BytesScanned/1024, plan.Reranked)
 	if *repeat > 1 {
 		st, err := d.Stats()
 		if err != nil {

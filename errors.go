@@ -73,6 +73,90 @@ func normalizeSearchRequest(req *SearchRequest, dim, rerankDefault int, quantize
 	return nil
 }
 
+// normalizeHybridRequest is the defaulting-and-validation path for hybrid
+// (lexical + vector) queries, shared by DB.HybridSearch,
+// Snapshot.HybridSearch and the sharded router. The vector-leg knobs follow
+// normalizeSearchRequest's rules exactly; the lexical-leg knobs (TextCol,
+// FusionK, fusion weights) are canonicalized here so equal-by-behavior
+// requests produce identical cache fingerprints. Idempotent.
+func normalizeHybridRequest(req *HybridRequest, dim, rerankDefault int, quantized bool, ftsCols []string) error {
+	if req.K < 0 {
+		return badRequestf("K %d must not be negative", req.K)
+	}
+	if req.NProbe < 0 {
+		return badRequestf("NProbe %d must not be negative", req.NProbe)
+	}
+	if req.RerankFactor < 0 {
+		return badRequestf("RerankFactor %d must not be negative", req.RerankFactor)
+	}
+	if req.FusionK < 0 {
+		return badRequestf("FusionK %d must not be negative", req.FusionK)
+	}
+	if req.VectorWeight < 0 || req.TextWeight < 0 {
+		return badRequestf("fusion weights must not be negative")
+	}
+	if len(req.Vector) != dim {
+		return fmt.Errorf("%w: query dimension %d, want %d", ErrDimMismatch, len(req.Vector), dim)
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.Text == "" {
+		// Pure vector query: zero every lexical knob so the request is
+		// byte-equal to its Search counterpart in behavior and fingerprint.
+		req.TextCol = ""
+		req.FusionK = 0
+		req.Weighted = false
+		req.VectorWeight, req.TextWeight = 0, 0
+	} else {
+		if req.TextCol == "" {
+			switch len(ftsCols) {
+			case 1:
+				req.TextCol = ftsCols[0]
+			case 0:
+				return badRequestf("hybrid text search requires a FullText attribute")
+			default:
+				return badRequestf("TextCol required: store has %d full-text attributes", len(ftsCols))
+			}
+		} else {
+			ok := false
+			for _, c := range ftsCols {
+				if c == req.TextCol {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return badRequestf("TextCol %q has no full-text index", req.TextCol)
+			}
+		}
+		if req.FusionK == 0 {
+			req.FusionK = defaultFusionK
+		}
+		if req.Weighted {
+			if req.VectorWeight == 0 && req.TextWeight == 0 {
+				req.VectorWeight, req.TextWeight = 0.5, 0.5
+			}
+		} else {
+			req.VectorWeight, req.TextWeight = 0, 0
+		}
+	}
+	if req.Exact {
+		req.NProbe = 0
+		req.RerankFactor = 0
+		return nil
+	}
+	if req.NProbe == 0 {
+		req.NProbe = 8
+	}
+	if !quantized {
+		req.RerankFactor = 0
+	} else if req.RerankFactor == 0 {
+		req.RerankFactor = rerankDefault
+	}
+	return nil
+}
+
 // normalizeBatchSearchRequest is the batch analog of
 // normalizeSearchRequest, applied by DB.BatchSearch, Snapshot.BatchSearch
 // and the sharded batch path.
@@ -117,6 +201,11 @@ func (db *DB) normalizeBatchSearch(req *BatchSearchRequest) error {
 	return normalizeBatchSearchRequest(req, cfg.Dim, cfg.RerankFactor, cfg.Quantization != QuantNone)
 }
 
+func (db *DB) normalizeHybrid(req *HybridRequest) error {
+	cfg := db.ix.Config()
+	return normalizeHybridRequest(req, cfg.Dim, cfg.RerankFactor, cfg.Quantization != QuantNone, db.ix.FullTextColumns())
+}
+
 // normalizeSearch applies the shared normalization under the shard set's
 // (identical) configuration — the same code path as a single store, so
 // sharded defaulting can never drift.
@@ -126,4 +215,8 @@ func (s *ShardedDB) normalizeSearch(req *SearchRequest) error {
 
 func (s *ShardedDB) normalizeBatchSearch(req *BatchSearchRequest) error {
 	return s.shards[0].normalizeBatchSearch(req)
+}
+
+func (s *ShardedDB) normalizeHybrid(req *HybridRequest) error {
+	return s.shards[0].normalizeHybrid(req)
 }

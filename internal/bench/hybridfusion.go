@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"micronn"
+	"micronn/internal/workload"
+)
+
+// HybridFusion measures the hybrid (BM25 ∪ vector) search path against its
+// two single-leg degenerations on a tagged corpus. Ground truth per query is
+// the exact fused ranking — an exhaustive vector leg under the same
+// reciprocal-rank fusion — the hybrid analog of scoring ANN recall against
+// exact KNN. Three modes are timed and scored against it:
+//
+//   - vector-only: the plain ANN leg, blind to tags — measures how much of
+//     the fused ranking vectors alone recover;
+//   - lexical-only: BM25 ranking alone (weighted fusion, VectorWeight=0);
+//   - fused: reciprocal-rank fusion of both approximate legs.
+//
+// Verdicts assert the PR acceptance criteria: fused recall@10 at least
+// matching the better single leg, and a 3-shard store returning rankings
+// identical to the single store on the same corpus (global BM25 statistics
+// plus asset-ordered tie-breaks are what make that exact).
+func HybridFusion(cfg Config) error {
+	cfg.fill()
+	cfg.header("Hybrid fusion: BM25 + vector RRF vs single legs")
+
+	numVectors := int(200_000 * cfg.Scale)
+	if numVectors < 4000 {
+		numVectors = 4000
+	}
+	const dim = 48
+	const k = 10
+	const nprobe = 16
+	numQueries := cfg.QuerySample
+	if numQueries > 150 {
+		numQueries = 150
+	}
+
+	fd := workload.GenerateFiltered(workload.FilteredSpec{
+		Dim: dim, NumVectors: numVectors, NumQueries: numQueries, Seed: cfg.Seed + 9,
+	})
+
+	opts := micronn.Options{
+		Dim:        dim,
+		Metric:     micronn.Cosine,
+		Seed:       cfg.Seed,
+		Attributes: []micronn.AttributeDef{{Name: "tags", Type: micronn.AttrText, FullText: true}},
+	}
+	path := filepath.Join(cfg.Dir, "hybridfusion.mnn")
+	os.Remove(path)
+	os.Remove(path + "-wal")
+	os.Remove(path + ".lock")
+	db, err := micronn.Open(path, opts)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	sdir := filepath.Join(cfg.Dir, "hybridfusion-shards")
+	os.RemoveAll(sdir)
+	sopts := opts
+	sopts.Shards = 3
+	sdb, err := micronn.OpenSharded(sdir, sopts)
+	if err != nil {
+		return err
+	}
+	defer sdb.Close()
+
+	const chunk = 1000
+	items := make([]micronn.Item, 0, chunk)
+	for i := 0; i < numVectors; i++ {
+		items = append(items, micronn.Item{
+			ID:         workload.AssetID(i),
+			Vector:     fd.Train.Row(i),
+			Attributes: map[string]any{"tags": fd.Tags[i]},
+		})
+		if len(items) == chunk || i == numVectors-1 {
+			if err := db.UpsertBatch(items); err != nil {
+				return err
+			}
+			if err := sdb.UpsertBatch(items); err != nil {
+				return err
+			}
+			items = items[:0]
+		}
+	}
+	if _, err := db.Rebuild(); err != nil {
+		return err
+	}
+	if _, err := sdb.Rebuild(); err != nil {
+		return err
+	}
+
+	// Ground truth: the exact fused top-K (exhaustive vector leg, same RRF).
+	gt := make([]map[string]bool, numQueries)
+	for qi := 0; qi < numQueries; qi++ {
+		resp, err := db.HybridSearch(micronn.HybridRequest{
+			Vector: fd.Queries.Row(qi), Text: fd.QueryTags[qi], K: k, Exact: true,
+		})
+		if err != nil {
+			return err
+		}
+		gt[qi] = make(map[string]bool, len(resp.Results))
+		for _, r := range resp.Results {
+			gt[qi][r.ID] = true
+		}
+	}
+
+	type mode struct {
+		name string
+		req  func(qi int) micronn.HybridRequest
+	}
+	modes := []mode{
+		{"vector-only", func(qi int) micronn.HybridRequest {
+			return micronn.HybridRequest{Vector: fd.Queries.Row(qi), K: k, NProbe: nprobe}
+		}},
+		{"lexical-only", func(qi int) micronn.HybridRequest {
+			return micronn.HybridRequest{Vector: fd.Queries.Row(qi), Text: fd.QueryTags[qi],
+				K: k, NProbe: nprobe, Weighted: true, VectorWeight: 0, TextWeight: 1}
+		}},
+		{"fused-rrf", func(qi int) micronn.HybridRequest {
+			return micronn.HybridRequest{Vector: fd.Queries.Row(qi), Text: fd.QueryTags[qi],
+				K: k, NProbe: nprobe}
+		}},
+	}
+
+	recalls := make(map[string]float64, len(modes))
+	lats := make(map[string]latencyStats, len(modes))
+	for _, m := range modes {
+		durs := make([]time.Duration, 0, numQueries)
+		var recall float64
+		var scored int
+		for qi := 0; qi < numQueries; qi++ {
+			start := time.Now()
+			resp, err := db.HybridSearch(m.req(qi))
+			if err != nil {
+				return err
+			}
+			durs = append(durs, time.Since(start))
+			if len(gt[qi]) == 0 {
+				continue
+			}
+			hits := 0
+			for _, r := range resp.Results {
+				if gt[qi][r.ID] {
+					hits++
+				}
+			}
+			recall += float64(hits) / float64(len(gt[qi]))
+			scored++
+		}
+		if scored > 0 {
+			recall /= float64(scored)
+		}
+		recalls[m.name] = recall
+		lats[m.name] = summarize(durs)
+	}
+
+	// Cross-topology check: with an exact vector leg the fused ranking must
+	// be identical on the 3-shard store — ids, scores, distances, leg ranks.
+	var topoMismatches int
+	for qi := 0; qi < numQueries; qi++ {
+		req := micronn.HybridRequest{Vector: fd.Queries.Row(qi), Text: fd.QueryTags[qi], K: k, Exact: true}
+		a, err := db.HybridSearch(req)
+		if err != nil {
+			return err
+		}
+		b, err := sdb.HybridSearch(req)
+		if err != nil {
+			return err
+		}
+		if len(a.Results) != len(b.Results) {
+			topoMismatches++
+			continue
+		}
+		for i := range a.Results {
+			if a.Results[i] != b.Results[i] {
+				topoMismatches++
+				break
+			}
+		}
+	}
+
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "Mode\tRecall@10\tp50 ms\tp99 ms")
+	for _, m := range modes {
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%s\n", m.name, recalls[m.name], ms(lats[m.name].p50), ms(lats[m.name].p99))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	verdict := func(ok bool, msg string) {
+		tag := "OK"
+		if !ok {
+			tag = "VIOLATION"
+		}
+		fmt.Fprintf(cfg.Out, "%-9s %s\n", tag+":", msg)
+	}
+	maxLeg := recalls["vector-only"]
+	if recalls["lexical-only"] > maxLeg {
+		maxLeg = recalls["lexical-only"]
+	}
+	fmt.Fprintln(cfg.Out)
+	verdict(recalls["fused-rrf"] >= maxLeg,
+		fmt.Sprintf("fused recall@10 %.3f >= best single leg %.3f", recalls["fused-rrf"], maxLeg))
+	verdict(topoMismatches == 0,
+		fmt.Sprintf("%d/%d sharded fused rankings differ from single-store (global BM25 stats + asset-ordered ties make them identical)", topoMismatches, numQueries))
+	return nil
+}

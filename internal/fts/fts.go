@@ -10,82 +10,53 @@ import (
 	"errors"
 	"sort"
 	"strings"
-	"unicode"
 
 	"micronn/internal/btree"
 	"micronn/internal/reldb"
 	"micronn/internal/storage"
+	"micronn/internal/token"
 )
 
 // docCountKey is the reserved stats key holding the total document count.
 // Tokens are lowercase alphanumeric runs, so "#docs" can never collide.
 const docCountKey = "#docs"
 
-// Tokenize lowercases s and splits it into maximal letter/digit runs.
-func Tokenize(s string) []string {
-	var tokens []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			tokens = append(tokens, cur.String())
-			cur.Reset()
-		}
-	}
-	for _, r := range s {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			cur.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
-		}
-	}
-	flush()
-	return tokens
-}
+// tokenLenKey is the reserved stats key holding the summed token length of
+// every indexed document (Σ doclen), maintained alongside the per-doc
+// length table so the BM25 average document length is O(1). Same
+// no-collision argument as docCountKey.
+const tokenLenKey = "#len"
+
+// Tokenize lowercases s and splits it into maximal letter/digit runs. It is
+// the shared tokenizer from internal/token, re-exported so existing callers
+// keep one import.
+func Tokenize(s string) []string { return token.Tokenize(s) }
 
 // UniqueTokens returns the deduplicated, sorted token set of s.
-func UniqueTokens(s string) []string {
-	toks := Tokenize(s)
-	if len(toks) == 0 {
-		return nil
-	}
-	sort.Strings(toks)
-	out := toks[:1]
-	for _, t := range toks[1:] {
-		if t != out[len(out)-1] {
-			out = append(out, t)
-		}
-	}
-	return out
-}
+func UniqueTokens(s string) []string { return token.Unique(s) }
 
 // Match reports whether doc contains every token of query (the conjunctive
 // MATCH semantics used by hybrid post-filtering).
-func Match(doc, query string) bool {
-	queryToks := UniqueTokens(query)
-	if len(queryToks) == 0 {
-		return true // empty MATCH constrains nothing
-	}
-	docToks := Tokenize(doc)
-	set := make(map[string]struct{}, len(docToks))
-	for _, t := range docToks {
-		set[t] = struct{}{}
-	}
-	for _, q := range queryToks {
-		if _, ok := set[q]; !ok {
-			return false
-		}
-	}
-	return true
-}
+func Match(doc, query string) bool { return token.Match(doc, query) }
 
 // Index is an inverted token index over int64 document ids.
 type Index struct {
 	postings *reldb.Table // (token TEXT, doc INTEGER) -> ()
 	stats    *reldb.Table // (token TEXT) -> (count INTEGER)
+	// doclen records each indexed document's unique-token count. It doubles
+	// as the doc-existence record: a document is "in the index" exactly when
+	// it has a doclen row, which is what makes the #docs stat drift-free
+	// under duplicate Add and spurious Remove. Nil on indexes created before
+	// the table existed (legacy stores keep the old approximate accounting).
+	doclen *reldb.Table // (doc INTEGER) -> (len INTEGER)
 }
 
 func tableNames(name string) (postings, stats string) {
 	return "__fts_" + name + "_postings", "__fts_" + name + "_stats"
+}
+
+func doclenTableName(name string) string {
+	return "__fts_" + name + "_doclen"
 }
 
 // Create creates the index's tables inside wt.
@@ -109,6 +80,14 @@ func Create(db *reldb.DB, wt *storage.WriteTxn, name string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	err = db.CreateTable(wt, &reldb.Schema{
+		Name: doclenTableName(name),
+		Key:  []reldb.Column{{Name: "doc", Type: reldb.TypeInt64}},
+		Cols: []reldb.Column{{Name: "len", Type: reldb.TypeInt64}},
+	})
+	if err != nil {
+		return nil, err
+	}
 	return Open(db, name)
 }
 
@@ -123,7 +102,13 @@ func Open(db *reldb.DB, name string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{postings: postings, stats: stats}, nil
+	ix := &Index{postings: postings, stats: stats}
+	if dName := doclenTableName(name); db.HasTable(dName) {
+		if ix.doclen, err = db.Table(dName); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
 }
 
 // Exists reports whether the named index exists in db.
@@ -153,21 +138,59 @@ func (ix *Index) bumpStat(wt *storage.WriteTxn, token string, delta int64) error
 	return ix.stats.Put(wt, reldb.Row{reldb.S(token), reldb.I(cur)})
 }
 
-// Add indexes doc's text under id.
+// Add indexes doc's text under id. Re-adding an id is cumulative (the doc's
+// token set becomes the union) and drift-free: a posting already present
+// bumps nothing, and #docs only moves when the doc had no doclen row yet.
 func (ix *Index) Add(wt *storage.WriteTxn, id int64, text string) error {
+	var added int64
 	for _, tok := range UniqueTokens(text) {
+		_, err := ix.postings.Get(wt, reldb.S(tok), reldb.I(id))
+		if err == nil {
+			continue // posting already present: stats already count it
+		}
+		if !errors.Is(err, reldb.ErrNotFound) {
+			return err
+		}
 		if err := ix.postings.Put(wt, reldb.Row{reldb.S(tok), reldb.I(id)}); err != nil {
 			return err
 		}
 		if err := ix.bumpStat(wt, tok, 1); err != nil {
 			return err
 		}
+		added++
 	}
-	return ix.bumpStat(wt, docCountKey, 1)
+	if ix.doclen == nil {
+		// Legacy index without the doclen table: keep the historical
+		// (unconditional) doc accounting rather than guessing.
+		return ix.bumpStat(wt, docCountKey, 1)
+	}
+	row, err := ix.doclen.Get(wt, reldb.I(id))
+	switch {
+	case errors.Is(err, reldb.ErrNotFound):
+		if err := ix.doclen.Put(wt, reldb.Row{reldb.I(id), reldb.I(added)}); err != nil {
+			return err
+		}
+		if err := ix.bumpStat(wt, docCountKey, 1); err != nil {
+			return err
+		}
+	case err != nil:
+		return err
+	case added > 0:
+		if err := ix.doclen.Put(wt, reldb.Row{reldb.I(id), reldb.I(row[1].Int + added)}); err != nil {
+			return err
+		}
+	}
+	if added > 0 {
+		return ix.bumpStat(wt, tokenLenKey, added)
+	}
+	return nil
 }
 
 // Remove un-indexes the document (text must be the text supplied to Add).
+// Removing tokens the doc never had, or an id that was never added, is a
+// no-op on the statistics.
 func (ix *Index) Remove(wt *storage.WriteTxn, id int64, text string) error {
+	var removed int64
 	for _, tok := range UniqueTokens(text) {
 		err := ix.postings.Delete(wt, reldb.S(tok), reldb.I(id))
 		if errors.Is(err, reldb.ErrNotFound) {
@@ -179,6 +202,28 @@ func (ix *Index) Remove(wt *storage.WriteTxn, id int64, text string) error {
 		if err := ix.bumpStat(wt, tok, -1); err != nil {
 			return err
 		}
+		removed++
+	}
+	if ix.doclen == nil {
+		return ix.bumpStat(wt, docCountKey, -1)
+	}
+	row, err := ix.doclen.Get(wt, reldb.I(id))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return nil // never added (or already removed): nothing to account
+	}
+	if err != nil {
+		return err
+	}
+	if removed > 0 {
+		if err := ix.bumpStat(wt, tokenLenKey, -removed); err != nil {
+			return err
+		}
+	}
+	if rest := row[1].Int - removed; rest > 0 {
+		return ix.doclen.Put(wt, reldb.Row{reldb.I(id), reldb.I(rest)})
+	}
+	if err := ix.doclen.Delete(wt, reldb.I(id)); err != nil {
+		return err
 	}
 	return ix.bumpStat(wt, docCountKey, -1)
 }
@@ -198,6 +243,34 @@ func (ix *Index) DocFreq(txn btree.ReadTxn, token string) (int64, error) {
 // TotalDocs returns the number of indexed documents.
 func (ix *Index) TotalDocs(txn btree.ReadTxn) (int64, error) {
 	return ix.DocFreq(txn, docCountKey)
+}
+
+// TotalTokens returns the summed unique-token length of every indexed
+// document (zero on legacy indexes without per-doc lengths).
+func (ix *Index) TotalTokens(txn btree.ReadTxn) (int64, error) {
+	if ix.doclen == nil {
+		return 0, nil
+	}
+	return ix.DocFreq(txn, tokenLenKey)
+}
+
+// HasDocLens reports whether the index persists per-document token lengths
+// (false only for indexes created before the doclen table existed).
+func (ix *Index) HasDocLens() bool { return ix.doclen != nil }
+
+// DocLen returns document id's unique-token count, 0 if unknown.
+func (ix *Index) DocLen(txn btree.ReadTxn, id int64) (int64, error) {
+	if ix.doclen == nil {
+		return 0, nil
+	}
+	row, err := ix.doclen.Get(txn, reldb.I(id))
+	if errors.Is(err, reldb.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return row[1].Int, nil
 }
 
 // MatchScan streams, in ascending id order, the documents containing every
@@ -248,10 +321,13 @@ func (ix *Index) MatchScan(txn btree.ReadTxn, query string, fn func(id int64) er
 // answered by direct posting probes — cheaper than refetching and
 // re-tokenizing the document text during post-filter partition scans.
 func (ix *Index) ContainsAll(txn btree.ReadTxn, id int64, query string) (bool, error) {
-	tokens := UniqueTokens(query)
-	if len(tokens) == 0 {
-		return true, nil
-	}
+	return ix.ContainsAllTokens(txn, id, UniqueTokens(query))
+}
+
+// ContainsAllTokens is ContainsAll over a pre-tokenized query: callers that
+// post-filter many rows against one query tokenize it once (see
+// token.NewMatcher) instead of once per row.
+func (ix *Index) ContainsAllTokens(txn btree.ReadTxn, id int64, tokens []string) (bool, error) {
 	for _, tok := range tokens {
 		_, err := ix.postings.Get(txn, reldb.S(tok), reldb.I(id))
 		if errors.Is(err, reldb.ErrNotFound) {

@@ -1,0 +1,140 @@
+package ivf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"micronn/internal/btree"
+	"micronn/internal/fts"
+	"micronn/internal/reldb"
+	"micronn/internal/vec"
+)
+
+// This file is the index-level lexical leg of hybrid search: BM25 ranking
+// over a FullText attribute's inverted index, split into a stats-collection
+// half and a scoring half so a sharded router can aggregate global df/N
+// figures before any shard scores (making sharded and single-store rankings
+// identical). Fusion itself lives a layer up, in the public API.
+
+// LexicalDoc is one BM25-ranked document resolved to its asset id, with its
+// exact (full-precision) distance to the query vector so fusion can report
+// parity distances for documents the vector leg never visited.
+type LexicalDoc struct {
+	AssetID  string
+	VectorID int64
+	Score    float64
+	Distance float32
+}
+
+// FullTextColumns returns the attribute names carrying a full-text index,
+// sorted.
+func (ix *Index) FullTextColumns() []string {
+	cols := make([]string, 0, len(ix.ftsIndexes))
+	for c := range ix.ftsIndexes {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// ftsIndex resolves column's full-text index.
+func (ix *Index) ftsIndex(column string) (*fts.Index, error) {
+	f, ok := ix.ftsIndexes[column]
+	if !ok {
+		return nil, fmt.Errorf("%w: hybrid text search on %q without full-text index", ErrNoFilter, column)
+	}
+	return f, nil
+}
+
+// LexicalStats collects this store's BM25 statistics (per-token document
+// frequencies, document count, summed document length) for the given unique
+// query tokens.
+func (ix *Index) LexicalStats(txn btree.ReadTxn, column string, tokens []string) (fts.BM25Stats, error) {
+	f, err := ix.ftsIndex(column)
+	if err != nil {
+		return fts.BM25Stats{}, err
+	}
+	return f.CollectBM25Stats(txn, tokens)
+}
+
+// LexicalSearch BM25-ranks the documents of column's full-text index against
+// the query tokens using the supplied (possibly cross-shard global) corpus
+// statistics and returns the k best, resolved to asset ids and annotated
+// with exact distances to q. The cut to k happens AFTER resolving doc ids
+// to asset ids and re-sorting on (score desc, asset id asc): asset ids are
+// the only tie-break total order that agrees across topologies (vids are
+// assigned per store), so this ordering makes a sharded merge of per-shard
+// top-k lists equal a single store's top-k. Documents whose vid no longer
+// resolves are skipped.
+func (ix *Index) LexicalSearch(txn btree.ReadTxn, column string, q []float32, tokens []string, gs fts.BM25Stats, k int) ([]LexicalDoc, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	f, err := ix.ftsIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	scored, err := f.BM25Score(txn, tokens, gs, fts.DefaultBM25K1, fts.DefaultBM25B)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LexicalDoc, 0, len(scored))
+	for _, sd := range scored {
+		vrow, err := ix.vids.Get(txn, reldb.I(sd.Doc))
+		if errors.Is(err, reldb.ErrNotFound) {
+			continue // posting without a live vector row
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LexicalDoc{AssetID: vrow[2].Str, VectorID: sd.Doc, Score: sd.Score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].AssetID < out[j].AssetID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	for i := range out {
+		d, err := ix.ExactDistance(txn, q, out[i].VectorID)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Distance = d
+	}
+	return out, nil
+}
+
+// ExactDistance computes the full-precision distance from q to vid's stored
+// vector: from the raw store on a quantized index (the rawvecs parity path
+// hybrid rerank relies on), from the partition row otherwise.
+func (ix *Index) ExactDistance(txn btree.ReadTxn, q []float32, vid int64) (float32, error) {
+	if len(q) != ix.cfg.Dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), ix.cfg.Dim)
+	}
+	var blob []byte
+	if ix.rawvecs != nil {
+		b, err := ix.rawVector(txn, vid)
+		if err != nil {
+			return 0, err
+		}
+		blob = b
+	} else {
+		vrow, err := ix.vids.Get(txn, reldb.I(vid))
+		if err != nil {
+			return 0, err
+		}
+		row, err := ix.vectors.Get(txn, reldb.I(vrow[1].Int), reldb.I(vid))
+		if err != nil {
+			return 0, err
+		}
+		blob = row[3].Bts
+	}
+	x := make([]float32, ix.cfg.Dim)
+	vec.FromBlob(x, blob)
+	return vec.Distance(ix.cfg.Metric, q, x), nil
+}

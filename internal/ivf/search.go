@@ -7,11 +7,11 @@ import (
 	"sync"
 
 	"micronn/internal/btree"
-	"micronn/internal/fts"
 	"micronn/internal/quant"
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
 	"micronn/internal/storage"
+	"micronn/internal/token"
 	"micronn/internal/topk"
 	"micronn/internal/vec"
 )
@@ -210,12 +210,71 @@ const scanBatch = 256
 type scanCtx struct {
 	q       []float32
 	filters []stats.Filter
+	ms      *matchSet       // compiled MATCH queries, nil without MATCH filters
 	cb      *quant.Codebook // non-nil when partitions hold SQ8 codes
 	qq      *quant.Query    // asymmetric-distance state (approximate scans)
 	cancel  <-chan struct{} // closed to abandon the search (ErrCanceled)
 	// dead is the tombstone set (vids of logically deleted run rows), loaded
 	// only when some probed run carries tombstones; workers skip these rows.
 	dead map[int64]bool
+}
+
+// matchSet holds the MATCH queries of one search compiled once (query
+// tokenized, token set indexed), so row-loop filter evaluation never
+// re-tokenizes the query or rebuilds a per-document token set. Immutable
+// after compileMatchers, hence safe to share across scan workers.
+type matchSet struct {
+	byQuery map[string]*token.Matcher
+	eval    reldb.MatchFunc
+}
+
+// compileMatchers pre-tokenizes every MATCH predicate in filters. Returns
+// nil when there is nothing to compile.
+func compileMatchers(filters []stats.Filter) *matchSet {
+	var byQuery map[string]*token.Matcher
+	for _, group := range filters {
+		for _, pred := range group.AnyOf {
+			if pred.Op != reldb.OpMatch {
+				continue
+			}
+			if byQuery == nil {
+				byQuery = make(map[string]*token.Matcher)
+			}
+			if _, ok := byQuery[pred.Value.Str]; !ok {
+				byQuery[pred.Value.Str] = token.NewMatcher(pred.Value.Str)
+			}
+		}
+	}
+	if byQuery == nil {
+		return nil
+	}
+	ms := &matchSet{byQuery: byQuery}
+	ms.eval = func(doc, query string) bool {
+		if m, ok := ms.byQuery[query]; ok {
+			return m.Match(doc)
+		}
+		return token.Match(doc, query)
+	}
+	return ms
+}
+
+// matchFunc returns the MatchFunc Predicate.Eval should use: the compiled
+// one when available, the one-shot tokenizer otherwise.
+func (ms *matchSet) matchFunc() reldb.MatchFunc {
+	if ms == nil {
+		return token.Match
+	}
+	return ms.eval
+}
+
+// tokens returns query's pre-tokenized unique token set.
+func (ms *matchSet) tokens(query string) []string {
+	if ms != nil {
+		if m, ok := ms.byQuery[query]; ok {
+			return m.Tokens()
+		}
+	}
+	return token.Unique(query)
 }
 
 // canceled reports whether the search's cancel channel has been closed.
@@ -256,7 +315,7 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 		// a random raw lookup per row.
 		return ix.exactQuantScan(txn, q, opts, info, len(parts))
 	}
-	ctx := &scanCtx{q: q, filters: opts.Filters, cb: cb, cancel: opts.Cancel}
+	ctx := &scanCtx{q: q, filters: opts.Filters, ms: compileMatchers(opts.Filters), cb: cb, cancel: opts.Cancel}
 	heapK := k
 	if cb != nil {
 		ctx.qq = cb.NewQuery(ix.cfg.Metric, q)
@@ -372,10 +431,11 @@ func (ix *Index) scanPartitions(txn btree.ReadTxn, parts []int64, q []float32, o
 func (ix *Index) exactQuantScan(txn btree.ReadTxn, q []float32, opts SearchOptions, info *PlanInfo, nparts int) ([]topk.Result, error) {
 	heap := topk.New(opts.K)
 	x := make([]float32, ix.cfg.Dim)
+	ms := compileMatchers(opts.Filters)
 	err := ix.rawvecs.Scan(txn, nil, func(row reldb.Row) error {
 		vid := row[0].Int
 		if len(opts.Filters) > 0 {
-			ok, ferr := ix.evalFilters(txn, vid, opts.Filters)
+			ok, ferr := ix.evalFilters(txn, vid, opts.Filters, ms)
 			if ferr != nil {
 				return ferr
 			}
@@ -486,7 +546,7 @@ func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, ctx *scanCtx
 				return nil // tombstoned run row
 			}
 			if len(ctx.filters) > 0 {
-				ok, ferr := ix.evalFilters(txn, vid, ctx.filters)
+				ok, ferr := ix.evalFilters(txn, vid, ctx.filters, ctx.ms)
 				if ferr != nil {
 					return ferr
 				}
@@ -519,8 +579,10 @@ func (ix *Index) scanWorker(txn btree.ReadTxn, partCh <-chan int64, ctx *scanCtx
 // evalFilters applies the CNF filter set to the vector identified by vid.
 // MATCH predicates on full-text attributes are answered by direct posting
 // probes; the attribute row is fetched lazily, only when a comparison
-// predicate needs it.
-func (ix *Index) evalFilters(txn btree.ReadTxn, vid int64, filters []stats.Filter) (bool, error) {
+// predicate needs it. ms carries the search's compiled MATCH queries (nil
+// is allowed and falls back to one-shot tokenization); callers evaluating
+// many rows must compile once with compileMatchers.
+func (ix *Index) evalFilters(txn btree.ReadTxn, vid int64, filters []stats.Filter, ms *matchSet) (bool, error) {
 	var row reldb.Row
 	var rowLoaded, rowMissing bool
 	loadRow := func() error {
@@ -545,7 +607,7 @@ func (ix *Index) evalFilters(txn btree.ReadTxn, vid int64, filters []stats.Filte
 			}
 			if pred.Op == reldb.OpMatch {
 				if f, ok := ix.ftsIndexes[pred.Column]; ok {
-					hit, err := f.ContainsAll(txn, vid, pred.Value.Str)
+					hit, err := f.ContainsAllTokens(txn, vid, ms.tokens(pred.Value.Str))
 					if err != nil {
 						return false, err
 					}
@@ -562,7 +624,7 @@ func (ix *Index) evalFilters(txn btree.ReadTxn, vid int64, filters []stats.Filte
 			if rowMissing {
 				continue
 			}
-			if pred.Eval(row[pos], fts.Match) {
+			if pred.Eval(row[pos], ms.matchFunc()) {
 				matched = true
 				break
 			}
@@ -668,12 +730,13 @@ func (ix *Index) preFilterSearch(txn btree.ReadTxn, q []float32, opts SearchOpti
 	}
 	heap := topk.New(opts.K)
 	x := make([]float32, ix.cfg.Dim)
+	ms := compileMatchers(opts.Filters)
 
 	// process verifies the remaining filter groups (if any), fetches the
 	// vector and offers it to the heap.
 	process := func(vid int64, verify []stats.Filter) error {
 		if len(verify) > 0 {
-			ok, err := ix.evalFilters(txn, vid, verify)
+			ok, err := ix.evalFilters(txn, vid, verify, ms)
 			if err != nil {
 				return err
 			}
@@ -715,7 +778,7 @@ func (ix *Index) preFilterSearch(txn btree.ReadTxn, q []float32, opts SearchOpti
 		// No index-supported group: brute-force the attribute table.
 		err = ix.attrs.ScanKeys(txn, nil, func(key reldb.Row) error {
 			vid := key[0].Int
-			ok, err := ix.evalFilters(txn, vid, opts.Filters)
+			ok, err := ix.evalFilters(txn, vid, opts.Filters, ms)
 			if err != nil {
 				return err
 			}

@@ -8,6 +8,7 @@ import (
 
 	"micronn/internal/reldb"
 	"micronn/internal/stats"
+	"micronn/internal/token"
 )
 
 // Key is the 128-bit fingerprint of a canonicalized query.
@@ -18,6 +19,7 @@ type Key [16]byte
 const (
 	KindSearch byte = 'S'
 	KindBatch  byte = 'B'
+	KindHybrid byte = 'H'
 )
 
 // Request is the canonicalizable description of a query. The caller is
@@ -36,6 +38,16 @@ type Request struct {
 	Exact        bool
 	Vectors      [][]float32
 	Filters      []stats.Filter
+
+	// Hybrid-query fields (zero for KindSearch/KindBatch). Text is hashed
+	// as its sorted unique token set — the engine tokenizes the same way, so
+	// queries equal after tokenization share one entry.
+	Text         string
+	TextCol      string
+	FusionK      int
+	Weighted     bool
+	VectorWeight float64
+	TextWeight   float64
 }
 
 // KeyOf returns the fingerprint of the canonical form of r. It is total:
@@ -81,6 +93,24 @@ func KeyOf(r Request) Key {
 		}
 	}
 	h.Write(canonFilters(r.Filters))
+	// Hybrid fields are appended after the base encoding; keys are
+	// process-local fingerprints, so extending the preimage is safe.
+	toks := token.Unique(r.Text)
+	writeU64(uint64(len(toks)))
+	for _, t := range toks {
+		writeU64(uint64(len(t)))
+		h.Write([]byte(t))
+	}
+	writeU64(uint64(len(r.TextCol)))
+	h.Write([]byte(r.TextCol))
+	writeU64(uint64(int64(r.FusionK)))
+	weighted := byte(0)
+	if r.Weighted {
+		weighted = 1
+	}
+	h.Write([]byte{weighted})
+	writeU64(canonFloat64(r.VectorWeight))
+	writeU64(canonFloat64(r.TextWeight))
 	var k Key
 	copy(k[:], h.Sum(nil))
 	return k

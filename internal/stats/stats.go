@@ -15,6 +15,7 @@ import (
 	"micronn/internal/btree"
 	"micronn/internal/reldb"
 	"micronn/internal/storage"
+	"micronn/internal/token"
 )
 
 // histogramBuckets is the equi-depth bucket count for numeric columns.
@@ -277,7 +278,7 @@ func (ts *TableStats) rangeSelectivity(cs *ColumnStats, pred reldb.Predicate, no
 func matchSelectivity(column, query string, docFreq DocFreqFunc) (float64, error) {
 	sel := 1.0
 	found := false
-	for _, tok := range tokenizeForStats(query) {
+	for _, tok := range token.Tokenize(query) {
 		df, total, err := docFreq(column, tok)
 		if err != nil {
 			return 1, err
@@ -339,38 +340,6 @@ func (ts *TableStats) FilterSelectivity(filters []Filter, docFreq DocFreqFunc) (
 		}
 	}
 	return minSel, nil
-}
-
-// tokenizeForStats mirrors fts.Tokenize without importing it (avoiding a
-// dependency for one loop): lowercase letter/digit runs.
-func tokenizeForStats(s string) []string {
-	var out []string
-	start := -1
-	lower := []rune(s)
-	for i, r := range lower {
-		isWord := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
-		if isWord && start < 0 {
-			start = i
-		}
-		if !isWord && start >= 0 {
-			out = append(out, lowerASCII(string(lower[start:i])))
-			start = -1
-		}
-	}
-	if start >= 0 {
-		out = append(out, lowerASCII(string(lower[start:])))
-	}
-	return out
-}
-
-func lowerASCII(s string) string {
-	b := []byte(s)
-	for i := range b {
-		if b[i] >= 'A' && b[i] <= 'Z' {
-			b[i] += 'a' - 'A'
-		}
-	}
-	return string(b)
 }
 
 // --- persistence ---

@@ -1,0 +1,206 @@
+package token
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// naiveTokenize is a slow reference implementation built on the standard
+// library's generic splitter: lowercase first, then split on any rune that
+// is not a letter or digit. The production tokenizer must agree with it on
+// every input (the historical bug was an ASCII-only fast path that silently
+// diverged on unicode and digit-adjacent text).
+func naiveTokenize(s string) []string {
+	lowered := strings.Map(unicode.ToLower, s)
+	return strings.FieldsFunc(lowered, func(r rune) bool { return !isTokenRune(r) })
+}
+
+var crossCheckCorpus = []string{
+	"",
+	"   ",
+	"hello world",
+	"Hello, World!",
+	"black-cat_playing!",
+	"abc123 456def 789",
+	"ÜNïcode Wörds",
+	"ÅNGSTRÖM ångström",
+	"naïve café résumé",
+	"日本語のテキスト分かち書きなし",
+	"русский Текст С Кириллицей",
+	"Ελληνικά ΚΕΦΑΛΑΙΑ",
+	"emoji 😀 between 🎉 tokens",
+	"tabs\tand\nnewlines\r\nmixed",
+	"punctuation...everywhere!!!,,,;;;",
+	"digits0n7he3dge 0leading trailing9",
+	"İstanbul DİACRİTİCS", // dotted capital I: ToLower is not ASCII folding
+	"ǅungla titlecase ǅ",  // titlecase rune with a distinct lowercase
+	"ß already lowercase sharp s",
+	"mixed العربية and English",
+	"한국어 단어 사이 공백",
+	"a",
+	"A",
+	"1",
+	"٣٤٥ arabic-indic digits", // unicode digits outside ASCII
+	"ⅦⅧ roman numeral letters",
+}
+
+// TestTokenizeCrossCheck pins the tokenizer to the naive reference on a
+// corpus that exercises unicode letters, non-ASCII digits, titlecase runes
+// and punctuation runs.
+func TestTokenizeCrossCheck(t *testing.T) {
+	for _, s := range crossCheckCorpus {
+		got := Tokenize(s)
+		want := naiveTokenize(s)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestTokenizeLowercaseIdempotent(t *testing.T) {
+	for _, s := range crossCheckCorpus {
+		once := Tokenize(s)
+		twice := Tokenize(strings.Join(once, " "))
+		if !reflect.DeepEqual(once, twice) {
+			t.Errorf("Tokenize(%q) not idempotent: %v then %v", s, once, twice)
+		}
+	}
+}
+
+func TestUnique(t *testing.T) {
+	got := Unique("cat dog CAT bird dog")
+	want := []string{"bird", "cat", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Unique = %v, want %v", got, want)
+	}
+	if Unique("...") != nil {
+		t.Error("Unique of token-free input should be nil")
+	}
+}
+
+// TestMatcherAgreesWithMatch checks the compiled matcher against the
+// one-shot path and a naive set-containment oracle across the corpus.
+func TestMatcherAgreesWithMatch(t *testing.T) {
+	queries := append([]string{"hello", "hello world", "wörds ünïcode", "absent",
+		"123 abc123", "", "EMOJI tokens", "ß"}, crossCheckCorpus...)
+	for _, doc := range crossCheckCorpus {
+		docSet := make(map[string]bool)
+		for _, tok := range Tokenize(doc) {
+			docSet[tok] = true
+		}
+		for _, q := range queries {
+			want := true
+			for _, tok := range Unique(q) {
+				if !docSet[tok] {
+					want = false
+					break
+				}
+			}
+			if got := Match(doc, q); got != want {
+				t.Errorf("Match(%q, %q) = %v, want %v", doc, q, got, want)
+			}
+			if got := NewMatcher(q).Match(doc); got != want {
+				t.Errorf("NewMatcher(%q).Match(%q) = %v, want %v", q, doc, got, want)
+			}
+		}
+	}
+}
+
+// TestMatcherManyTokens exercises the >64-token fallback path (the seen
+// bitmap switches from a uint64 to a slice).
+func TestMatcherManyTokens(t *testing.T) {
+	var toks []string
+	for r := 'a'; r <= 'z'; r++ {
+		for r2 := 'a'; r2 <= 'z'; r2++ {
+			toks = append(toks, string(r)+string(r2))
+		}
+	}
+	toks = toks[:70]
+	query := strings.Join(toks, " ")
+	m := NewMatcher(query)
+	if !m.Match(query + " extra words") {
+		t.Error("70-token query should match a superset doc")
+	}
+	if m.Match(strings.Join(toks[:69], " ")) {
+		t.Error("70-token query must not match a 69-token subset doc")
+	}
+	// Duplicate doc tokens must not double-count toward the found total.
+	if m.Match(strings.Join(toks[:35], " ") + " " + strings.Join(toks[:35], " ")) {
+		t.Error("duplicated subset doc must not match")
+	}
+}
+
+// FuzzTokenize fuzzes the tokenizer invariants: agreement with the naive
+// reference, idempotence under lowercasing, Unique being a sorted set, and
+// Match agreeing with set containment.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range crossCheckCorpus {
+		f.Add(s)
+	}
+	f.Add("\x80\xfe invalid utf8 \xc3")
+	f.Add(strings.Repeat("löng ", 100))
+	f.Fuzz(func(t *testing.T, s string) {
+		got := Tokenize(s)
+		want := naiveTokenize(s)
+		if len(got) != len(want) {
+			t.Fatalf("Tokenize(%q): %d tokens, reference %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Tokenize(%q)[%d] = %q, reference %q", s, i, got[i], want[i])
+			}
+		}
+		rejoined := strings.Join(got, " ")
+		if !reflect.DeepEqual(Tokenize(rejoined), got) && len(got) > 0 {
+			t.Fatalf("Tokenize(%q) not idempotent", s)
+		}
+		uniq := Unique(s)
+		if !sort.StringsAreSorted(uniq) {
+			t.Fatalf("Unique(%q) not sorted: %v", s, uniq)
+		}
+		for i := 1; i < len(uniq); i++ {
+			if uniq[i] == uniq[i-1] {
+				t.Fatalf("Unique(%q) has duplicate %q", s, uniq[i])
+			}
+		}
+		if !Match(s, s) && len(got) > 0 {
+			t.Fatalf("Match(%q, itself) = false", s)
+		}
+		if !Match(s, "") {
+			t.Fatalf("Match(%q, empty) = false", s)
+		}
+	})
+}
+
+// BenchmarkMatchPerRow is the shape of the fixed MATCH post-filter bug: one
+// query evaluated against many rows. The compiled matcher tokenizes the
+// query once; the one-shot path re-tokenizes (and rebuilds its token map)
+// for every row.
+func BenchmarkMatchPerRow(b *testing.B) {
+	const query = "golden retriever playing fetch outdoors"
+	doc := "a golden retriever happily playing fetch with a frisbee outdoors in the park on a sunny afternoon"
+	b.Run("recompile-per-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !Match(doc, query) {
+				b.Fatal("should match")
+			}
+		}
+	})
+	b.Run("compiled-once", func(b *testing.B) {
+		m := NewMatcher(query)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !m.Match(doc) {
+				b.Fatal("should match")
+			}
+		}
+	})
+}

@@ -216,6 +216,37 @@
 // backpressure; the MICRONN_TEST_INGEST=lsm environment variable
 // force-enables the path for the CI matrix leg.
 //
+// # Hybrid search
+//
+// HybridSearch runs one query down two legs under a single read snapshot
+// and fuses the rankings. The lexical leg BM25-scores the request's Text
+// against a FullText attribute's inverted index (disjunctive semantics:
+// any query token matches; postings store unique tokens, so term frequency
+// is binary and document length is the count of distinct indexed tokens).
+// The vector leg is the ordinary ANN search — the same NProbe / Exact /
+// RerankFactor / Filters knobs as SearchRequest. Both legs retrieve K
+// candidates; by default they fuse by reciprocal-rank fusion
+// (score = Σ 1/(FusionK+rank), FusionK defaulting to 60), or with
+// HybridRequest.Weighted by a weighted sum of the normalized leg scores.
+// Every fused result carries its exact full-precision distance — computed
+// through the raw-vector side table on quantized stores — so SQ8/SQ4
+// databases report the same distances as float32 ones.
+//
+//	resp, err := db.HybridSearch(micronn.HybridRequest{
+//		Vector: embedding, Text: "golden retriever park", K: 10,
+//	})
+//
+// An empty Text degrades to a pure vector query with results identical to
+// Search. On a sharded database the lexical leg is two-phase: every shard
+// reports its local document frequencies, the router sums them into global
+// corpus statistics, and each shard then scores its own postings with the
+// global figures — per-shard BM25 scores are therefore comparable, and with
+// ties broken on asset id (a cross-topology total order) the fused ranking
+// is identical to a single store holding the same corpus. Hybrid responses
+// participate in the result cache under the same exact generation
+// invalidation as searches, keyed by the canonicalized request (Text is
+// fingerprinted as its unique token set). Stats.HybridSearches counts calls.
+//
 // # Quick start
 //
 //	db, err := micronn.Open("photos.mnn", micronn.Options{Dim: 128})
@@ -591,6 +622,9 @@ type DB struct {
 
 	// cache is the generation-versioned result cache (nil when disabled).
 	cache *rescache.Cache
+
+	// hybridSearches counts HybridSearch calls (surfaced via Stats).
+	hybridSearches atomic.Uint64
 
 	// ing is the LSM ingest committer (nil unless Options.LSMIngest).
 	ing *ingester
@@ -1825,6 +1859,9 @@ type Stats struct {
 	// Cache reports the query result cache (all zeros when disabled). On
 	// a sharded database the one router-level cache is reported.
 	Cache CacheStats
+	// HybridSearches counts HybridSearch calls on this handle (on a
+	// sharded database, router-level calls).
+	HybridSearches uint64
 }
 
 // CacheStats reports the query result cache.
@@ -1942,5 +1979,6 @@ func (db *DB) Stats() (Stats, error) {
 	out.FileBytes = int64(ss.PageCount) * int64(db.store.PageSize())
 	out.PagesWritten = ss.PagesWritten
 	out.Cache = cacheStatsOf(db.cache)
+	out.HybridSearches = db.hybridSearches.Load()
 	return out, nil
 }

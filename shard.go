@@ -29,6 +29,7 @@ type Store interface {
 	DeleteBatch([]string) error
 	Get(string) (*Item, error)
 	Search(SearchRequest) (*SearchResponse, error)
+	HybridSearch(HybridRequest) (*HybridResponse, error)
 	BatchSearch(BatchSearchRequest) (*BatchSearchResponse, error)
 	Rebuild() (*MaintenanceReport, error)
 	FlushDelta() (*MaintenanceReport, error)
@@ -83,6 +84,11 @@ type ShardedDB struct {
 	// generations partially match can reuse the unchanged shards'
 	// candidates and re-scan only the shards that moved.
 	cache *rescache.Cache
+
+	// hybridSearches counts router-level HybridSearch calls; ShardedDB.Stats
+	// overlays it on the aggregated shard stats (shards are not bumped, so
+	// the total is not double-counted).
+	hybridSearches atomic.Uint64
 }
 
 // OpenSharded opens or creates a sharded database in dir. On creation
@@ -1222,6 +1228,7 @@ func AggregateStats(per []Stats) Stats {
 		out.WALBytes += st.WALBytes
 		out.FileBytes += st.FileBytes
 		out.PagesWritten += st.PagesWritten
+		out.HybridSearches += st.HybridSearches
 	}
 	if out.NumPartitions > 0 {
 		out.AvgPartitionSize = float64(out.NumVectors-out.DeltaCount-out.Ingest.RunRows) / float64(out.NumPartitions)
@@ -1261,6 +1268,9 @@ func (s *ShardedDB) Stats() (Stats, error) {
 	}
 	out := AggregateStats(per)
 	out.Cache = cacheStatsOf(s.cache)
+	// Hybrid queries run at the router, never on individual shards, so the
+	// per-shard sum is zero and this overlay is the whole count.
+	out.HybridSearches += s.hybridSearches.Load()
 	return out, nil
 }
 
